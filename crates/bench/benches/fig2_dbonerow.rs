@@ -1,0 +1,37 @@
+//! Figure 2: `dbonerow` — XSLT rewrite vs no-rewrite across document sizes.
+//!
+//! The paper measured 8M/16M/32M/64M documents on Oracle; we sweep row
+//! counts geometrically (each size roughly doubling the document). The
+//! claim under test is the *shape*: the no-rewrite cost grows linearly with
+//! document size (materialise everything, scan everything), while the
+//! rewrite cost stays nearly flat thanks to the B-tree probe on the value
+//! predicate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsltdb_bench::Workload;
+
+const SIZES: &[usize] = &[1000, 2000, 4000, 8000];
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_dbonerow");
+    group.sample_size(10);
+    for &rows in SIZES {
+        let w = Workload::dbonerow(rows);
+        assert_eq!(
+            w.tier(),
+            xsltdb::pipeline::Tier::Sql,
+            "dbonerow must reach the SQL tier"
+        );
+        group.bench_with_input(BenchmarkId::new("rewrite", rows), &w, |b, w| {
+            b.iter(|| black_box(w.run_rewrite()))
+        });
+        group.bench_with_input(BenchmarkId::new("no_rewrite", rows), &w, |b, w| {
+            b.iter(|| black_box(w.run_baseline()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 3: `avts`, `chart`, `metric`, `total` — rewrite vs no-rewrite.
+//!
+//! These cases carry no indexable value predicate; the rewrite's win comes
+//! from construction directly over relational columns (avts, metric) and
+//! from pushing `count()`/`sum()` into relational aggregation (chart,
+//! total), instead of materialising the XML and interpreting templates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xsltdb_bench::Workload;
+
+const CASES: &[&str] = &["avts", "chart", "metric", "total"];
+const ROWS: usize = 2000;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cases");
+    group.sample_size(10);
+    for &name in CASES {
+        let w = Workload::xsltmark(name, ROWS);
+        assert_ne!(
+            w.tier(),
+            xsltdb::pipeline::Tier::Vm,
+            "{name} must reach a rewrite tier"
+        );
+        group.bench_with_input(BenchmarkId::new("rewrite", name), &w, |b, w| {
+            b.iter(|| black_box(w.run_rewrite()))
+        });
+        group.bench_with_input(BenchmarkId::new("no_rewrite", name), &w, |b, w| {
+            b.iter(|| black_box(w.run_baseline()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

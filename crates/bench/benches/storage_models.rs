@@ -1,0 +1,57 @@
+//! Criterion version of the §7.4 storage-model study (see
+//! `src/bin/storage_report.rs` for the narrated table): the `dbonerow`
+//! query under object-relational, tree+index, CLOB+index, unindexed-tree
+//! and functional-DOM execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use xsltdb::docexec::execute_indexed;
+use xsltdb::xqgen::{rewrite, RewriteOptions};
+use xsltdb_bench::Workload;
+use xsltdb_relstore::{DocStorageModel, ExecStats, XmlDocStore};
+use xsltdb_xml::NodeId;
+use xsltdb_xquery::{evaluate_query, NodeHandle};
+use xsltdb_xslt::{compile_str, transform};
+use xsltdb_xsltmark::{db_struct_info, db_xml, dbonerow_stylesheet, existing_id};
+
+const ROWS: usize = 2000;
+
+fn storage_models(c: &mut Criterion) {
+    let xml = db_xml(ROWS, 0xDB);
+    let sheet = compile_str(&dbonerow_stylesheet(existing_id(ROWS))).expect("compiles");
+    let outcome =
+        rewrite(&sheet, &db_struct_info(), &RewriteOptions::default()).expect("rewrites");
+    let parsed = Rc::new(xsltdb_xml::parse::parse(&xml).expect("parses"));
+    let mut tree_idx = XmlDocStore::new(DocStorageModel::Tree, true);
+    tree_idx.insert(&xml).expect("insert");
+    let mut clob_idx = XmlDocStore::new(DocStorageModel::Clob, true);
+    clob_idx.insert(&xml).expect("insert");
+    let or = Workload::dbonerow(ROWS);
+
+    let mut group = c.benchmark_group("storage_models");
+    group.sample_size(10);
+    group.bench_function("object_relational_sql", |b| {
+        b.iter(|| black_box(or.run_rewrite()))
+    });
+    let stats = ExecStats::new();
+    group.bench_function("tree_with_path_index", |b| {
+        b.iter(|| black_box(execute_indexed(&outcome.query, &tree_idx, 0, &stats).unwrap()))
+    });
+    group.bench_function("clob_with_path_index", |b| {
+        b.iter(|| black_box(execute_indexed(&outcome.query, &clob_idx, 0, &stats).unwrap()))
+    });
+    group.bench_function("tree_no_index_xquery", |b| {
+        b.iter(|| {
+            let input = NodeHandle::new(Rc::clone(&parsed), NodeId::DOCUMENT);
+            black_box(evaluate_query(&outcome.query, Some(input)).unwrap())
+        })
+    });
+    group.bench_function("dom_no_rewrite_vm", |b| {
+        b.iter(|| black_box(transform(&sheet, &parsed).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, storage_models);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 3 report: `avts`, `chart`, `metric`, `total` — rewrite vs
+//! no-rewrite at a fixed document size, as in the paper's bar chart.
+
+use xsltdb_bench::{median_micros, Workload};
+
+fn main() {
+    let cases = ["avts", "chart", "metric", "total"];
+    let rows = 2000usize;
+    let iters = 9;
+
+    println!("Figure 3 — XSLT rewrite vs no-rewrite ({} rows)", rows);
+    println!();
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>8} | {:>8}",
+        "case", "rewrite (µs)", "no-rewrite (µs)", "speedup", "tier"
+    );
+    println!("{}", "-".repeat(64));
+
+    for name in cases {
+        let w = Workload::xsltmark(name, rows);
+        let rewrite_us = median_micros(iters, || {
+            let _ = w.run_rewrite();
+        });
+        let baseline_us = median_micros(iters, || {
+            let _ = w.run_baseline();
+        });
+        println!(
+            "{:>8} | {:>14.1} | {:>14.1} | {:>7.1}x | {:>8}",
+            name,
+            rewrite_us,
+            baseline_us,
+            baseline_us / rewrite_us,
+            match w.tier() {
+                xsltdb::pipeline::Tier::Sql => "SQL",
+                xsltdb::pipeline::Tier::XQuery => "XQuery",
+                xsltdb::pipeline::Tier::Vm => "VM",
+            },
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper): the rewrite wins every case; chart/total push");
+    println!("count()/sum() into relational aggregation, avts/metric construct");
+    println!("directly from columns without materialising the input XML.");
+}

@@ -1,0 +1,46 @@
+//! §5 objective 2 report: how many of the forty XSLTMark cases the rewrite
+//! compiles into a fully inlined XQuery (the paper measured 23 of 40).
+
+use xsltdb_xsltmark::{all_cases, run_case};
+
+fn main() {
+    println!("XSLTMark inline-mode statistic (paper §5: 23 of 40 fully inline)");
+    println!();
+    println!(
+        "{:<14} | {:<16} | {:>7} | {:>7} | note",
+        "case", "mode", "inline", "matches"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut inlined = 0usize;
+    let mut matched = 0usize;
+    let cases = all_cases();
+    for c in &cases {
+        let r = run_case(c, 20, 0xDB);
+        if r.fully_inlined {
+            inlined += 1;
+        }
+        if r.matches_vm {
+            matched += 1;
+        }
+        println!(
+            "{:<14} | {:<16} | {:>7} | {:>7} | {}",
+            r.name,
+            r.mode.map_or("VM (fallback)".to_string(), |m| format!("{m:?}")),
+            if r.fully_inlined { "yes" } else { "no" },
+            if r.matches_vm { "yes" } else { "NO" },
+            r.note.as_deref().unwrap_or(""),
+        );
+    }
+
+    println!("{}", "-".repeat(78));
+    println!(
+        "fully inlined: {inlined} / {} (paper: 23 / 40); equivalent to VM: {matched} / {}",
+        cases.len(),
+        cases.len()
+    );
+    let (sql, xq, vm) = xsltdb_xsltmark::tier_statistics(20, 0xDB);
+    println!(
+        "planned tiers over the relational db view: SQL {sql}, XQuery {xq}, VM {vm}"
+    );
+}

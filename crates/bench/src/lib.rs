@@ -1,0 +1,16 @@
+//! # xsltdb-bench
+//!
+//! The benchmark harness regenerating every figure and table of the
+//! paper's evaluation (§5). Criterion benches (`benches/`) provide the
+//! statistically careful measurements; the report binaries (`src/bin/`)
+//! print paper-shaped tables:
+//!
+//! * `fig2_report` — `dbonerow` rewrite vs no-rewrite across document
+//!   sizes (Figure 2);
+//! * `fig3_report` — `avts` / `chart` / `metric` / `total` rewrite vs
+//!   no-rewrite (Figure 3);
+//! * `inline_report` — the 40-case inline statistic (§5, objective 2).
+
+pub mod harness;
+
+pub use harness::{median_micros, Workload};

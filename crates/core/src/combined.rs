@@ -1,0 +1,358 @@
+//! Combined cross-language optimisation (paper §2.2, Example 2): a user
+//! XQuery over the *result* of an XSLT transformation (an "XSLT view") is
+//! composed with the stylesheet's rewritten XQuery, then the composed query
+//! is rewritten to SQL/XML — yielding the Table 11 plan that touches only
+//! the base tables.
+//!
+//! The key step is *constructor projection*: a path like `./table/tr` over
+//! a query that constructs its result is answered statically by selecting
+//! the construction sites of the matching elements.
+
+use crate::error::RewriteError;
+use xsltdb_xquery::{Clause, PathStart, XQuery, XqExpr};
+use xsltdb_xpath::{Axis, NodeTest};
+
+/// Compose `user_query` (whose context item is the XSLT result) with the
+/// rewritten stylesheet query `xslt_query` (whose context item is the view
+/// row document). The result reads the view row directly.
+pub fn compose_over_xslt_view(
+    user_query: &XQuery,
+    xslt_query: &XQuery,
+) -> Result<XQuery, RewriteError> {
+    if !user_query.functions.is_empty() || !xslt_query.functions.is_empty() {
+        return Err(RewriteError::new(
+            "composition requires fully inlined queries",
+        ));
+    }
+    if !user_query.variables.is_empty() {
+        return Err(RewriteError::new(
+            "user query prolog variables are not supported in composition",
+        ));
+    }
+    let body = simplify(substitute(&user_query.body, &xslt_query.body)?);
+    Ok(XQuery {
+        variables: xslt_query.variables.clone(),
+        functions: Vec::new(),
+        body,
+    })
+}
+
+/// Post-composition simplification: `for $v in E return $v` over a
+/// constructing expression is just `E` (the classic identity-FLWOR
+/// elimination that makes the Table 11 plan emerge).
+fn simplify(e: XqExpr) -> XqExpr {
+    match e {
+        XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
+            let ret = simplify(*ret);
+            if where_clause.is_none() && order_by.is_empty() && clauses.len() == 1 {
+                if let Clause::For { var, source } = &clauses[0] {
+                    if ret == XqExpr::VarRef(var.clone()) {
+                        return simplify(source.clone());
+                    }
+                }
+            }
+            XqExpr::Flwor {
+                clauses: clauses
+                    .into_iter()
+                    .map(|c| match c {
+                        Clause::For { var, source } => {
+                            Clause::For { var, source: simplify(source) }
+                        }
+                        Clause::Let { var, value } => {
+                            Clause::Let { var, value: simplify(value) }
+                        }
+                    })
+                    .collect(),
+                where_clause,
+                order_by,
+                ret: Box::new(ret),
+            }
+        }
+        XqExpr::Seq(es) => XqExpr::Seq(es.into_iter().map(simplify).collect()),
+        XqExpr::Annotated { comment, expr } => {
+            XqExpr::Annotated { comment, expr: Box::new(simplify(*expr)) }
+        }
+        XqExpr::If { cond, then, els } => XqExpr::If {
+            cond,
+            then: Box::new(simplify(*then)),
+            els: Box::new(simplify(*els)),
+        },
+        other => other,
+    }
+}
+
+/// Replace context-based paths in the user expression with projections of
+/// the XSLT result constructor.
+fn substitute(e: &XqExpr, result: &XqExpr) -> Result<XqExpr, RewriteError> {
+    match e {
+        XqExpr::Path { start, steps }
+            if matches!(start, PathStart::Context | PathStart::Root)
+                || matches!(start, PathStart::Expr(b) if **b == XqExpr::ContextItem) =>
+        {
+            let mut names = Vec::with_capacity(steps.len());
+            for s in steps {
+                if s.axis == Axis::SelfAxis && s.test == NodeTest::Node {
+                    continue; // a leading `.`
+                }
+                if s.axis != Axis::Child || !s.predicates.is_empty() {
+                    return Err(RewriteError::new(
+                        "only simple child paths can be projected through a constructor",
+                    ));
+                }
+                match &s.test {
+                    NodeTest::Name { local, .. } => names.push(local.clone()),
+                    other => {
+                        return Err(RewriteError::new(format!(
+                            "cannot project node test {other} through a constructor"
+                        )))
+                    }
+                }
+            }
+            project(result, &names)
+        }
+        XqExpr::ContextItem => Ok(result.clone()),
+        XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
+            let clauses = clauses
+                .iter()
+                .map(|c| {
+                    Ok(match c {
+                        Clause::For { var, source } => Clause::For {
+                            var: var.clone(),
+                            source: substitute(source, result)?,
+                        },
+                        Clause::Let { var, value } => Clause::Let {
+                            var: var.clone(),
+                            value: substitute(value, result)?,
+                        },
+                    })
+                })
+                .collect::<Result<_, RewriteError>>()?;
+            Ok(XqExpr::Flwor {
+                clauses,
+                where_clause: match where_clause {
+                    Some(w) => Some(Box::new(substitute(w, result)?)),
+                    None => None,
+                },
+                order_by: order_by.clone(),
+                ret: Box::new(substitute(ret, result)?),
+            })
+        }
+        XqExpr::Seq(es) => Ok(XqExpr::Seq(
+            es.iter().map(|x| substitute(x, result)).collect::<Result<_, _>>()?,
+        )),
+        XqExpr::Call { name, args } => Ok(XqExpr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute(a, result))
+                .collect::<Result<_, _>>()?,
+        }),
+        // Variables bound by the user's own FLWOR refer to projected nodes;
+        // leave them (and literals) untouched.
+        other => Ok(other.clone()),
+    }
+}
+
+/// Select the construction sites of elements at `path` inside a
+/// constructing expression.
+pub fn project(e: &XqExpr, path: &[String]) -> Result<XqExpr, RewriteError> {
+    if path.is_empty() {
+        return Ok(e.clone());
+    }
+    let projected = match e {
+        XqExpr::Annotated { expr, .. } => project(expr, path)?,
+        XqExpr::Seq(es) => {
+            let parts: Vec<XqExpr> = es
+                .iter()
+                .map(|x| project(x, path))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .filter(|x| *x != XqExpr::Empty)
+                .collect();
+            match parts.len() {
+                0 => XqExpr::Empty,
+                1 => parts.into_iter().next().expect("one element"),
+                _ => XqExpr::Seq(parts),
+            }
+        }
+        XqExpr::DirectElem { name, content, .. } => {
+            if *name.local == path[0] {
+                if path.len() == 1 {
+                    e.clone()
+                } else {
+                    project(&XqExpr::Seq(content.clone()), &path[1..])?
+                }
+            } else {
+                XqExpr::Empty
+            }
+        }
+        XqExpr::CompElem { name, content } => match name.as_ref() {
+            XqExpr::StrLit(n) if n == &path[0] => {
+                if path.len() == 1 {
+                    e.clone()
+                } else {
+                    project(content, &path[1..])?
+                }
+            }
+            _ => XqExpr::Empty,
+        },
+        XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
+            let inner = project(ret, path)?;
+            if inner == XqExpr::Empty {
+                XqExpr::Empty
+            } else {
+                XqExpr::Flwor {
+                    clauses: clauses.clone(),
+                    where_clause: where_clause.clone(),
+                    order_by: order_by.clone(),
+                    ret: Box::new(inner),
+                }
+            }
+        }
+        XqExpr::If { cond, then, els } => {
+            let t = project(then, path)?;
+            let f = project(els, path)?;
+            if t == XqExpr::Empty && f == XqExpr::Empty {
+                XqExpr::Empty
+            } else {
+                XqExpr::If {
+                    cond: cond.clone(),
+                    then: Box::new(t),
+                    els: Box::new(f),
+                }
+            }
+        }
+        // Text never contains elements.
+        XqExpr::TextContent(_)
+        | XqExpr::StrLit(_)
+        | XqExpr::NumLit(_)
+        | XqExpr::CompText(_)
+        | XqExpr::CompAttr { .. }
+        | XqExpr::Empty => XqExpr::Empty,
+        // fn:string and friends produce atomics.
+        XqExpr::Call { name, .. }
+            if matches!(
+                name.strip_prefix("fn:").unwrap_or(name),
+                "string" | "concat" | "string-join" | "count" | "sum" | "number"
+            ) =>
+        {
+            XqExpr::Empty
+        }
+        other => {
+            return Err(RewriteError::new(format!(
+                "cannot see through {other:?} to project constructed elements"
+            )))
+        }
+    };
+    Ok(projected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_xquery::{parse_query, parse_xq_expr, pretty};
+
+    #[test]
+    fn projects_through_constructors_and_flwor() {
+        let result = parse_xq_expr(
+            r#"(<H1>x</H1>,
+                <table border="2">{
+                  (<td>head</td>,
+                   for $e in $v/emp return <tr><td>{fn:string($e/empno)}</td></tr>)
+                }</table>)"#,
+        )
+        .unwrap();
+        let p = project(&result, &["table".into(), "tr".into()]).unwrap();
+        let printed = pretty(&p);
+        assert!(printed.contains("for $e in $v/emp"), "{printed}");
+        assert!(printed.contains("<tr>"), "{printed}");
+        assert!(!printed.contains("H1"), "{printed}");
+        assert!(!printed.contains("head"), "{printed}");
+    }
+
+    #[test]
+    fn composes_table10_query() {
+        let user = parse_query("for $tr in ./table/tr return $tr").unwrap();
+        let xslt = parse_query(
+            r#"declare variable $var000 := .;
+               (<H1>t</H1>,
+                <table>{for $e in $var000/dept/emp return <tr>{fn:string($e)}</tr>}</table>)"#,
+        )
+        .unwrap();
+        let composed = compose_over_xslt_view(&user, &xslt).unwrap();
+        let printed = xsltdb_xquery::pretty_query(&composed);
+        assert!(printed.contains("for $e in $var000/dept/emp"), "{printed}");
+        assert!(!printed.contains("H1"), "{printed}");
+    }
+
+    #[test]
+    fn projection_failure_reported() {
+        // Cannot see through an opaque path.
+        let result = parse_xq_expr("$v/something").unwrap();
+        assert!(project(&result, &["x".into()]).is_err());
+    }
+
+    #[test]
+    fn empty_path_returns_whole() {
+        let e = parse_xq_expr("<a/>").unwrap();
+        assert_eq!(project(&e, &[]).unwrap(), e);
+    }
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+    use xsltdb_xquery::{parse_xq_expr, pretty};
+
+    #[test]
+    fn identity_for_elimination() {
+        let user = xsltdb_xquery::parse_query("for $x in ./a return $x").unwrap();
+        let xslt = xsltdb_xquery::parse_query(
+            "declare variable $var000 := .; <a>{fn:string($var000)}</a>",
+        )
+        .unwrap();
+        let composed = compose_over_xslt_view(&user, &xslt).unwrap();
+        // The identity FLWOR dissolves; the constructor remains directly.
+        assert!(matches!(composed.body, XqExpr::DirectElem { .. }), "{:?}", composed.body);
+    }
+
+    #[test]
+    fn non_identity_for_is_kept() {
+        let user =
+            xsltdb_xquery::parse_query("for $x in ./a return fn:string($x)").unwrap();
+        let xslt = xsltdb_xquery::parse_query(
+            "declare variable $var000 := .; <a>1</a>",
+        )
+        .unwrap();
+        let composed = compose_over_xslt_view(&user, &xslt).unwrap();
+        let p = pretty(&composed.body);
+        assert!(p.contains("for $x in"), "{p}");
+        assert!(p.contains("fn:string($x)"), "{p}");
+    }
+
+    #[test]
+    fn projection_through_if_branches() {
+        let result = parse_xq_expr(
+            "if ($c) then <t><r>1</r></t> else <t><r>2</r></t>",
+        )
+        .unwrap();
+        let p = project(&result, &["t".into(), "r".into()]).unwrap();
+        let printed = pretty(&p);
+        assert!(printed.contains("if ("), "{printed}");
+        assert!(printed.contains("<r>1</r>") && printed.contains("<r>2</r>"), "{printed}");
+    }
+
+    #[test]
+    fn projection_misses_yield_empty() {
+        let result = parse_xq_expr("<t><a/></t>").unwrap();
+        assert_eq!(project(&result, &["t".into(), "zzz".into()]).unwrap(), XqExpr::Empty);
+        assert_eq!(project(&result, &["nope".into()]).unwrap(), XqExpr::Empty);
+    }
+
+    #[test]
+    fn user_prolog_variables_rejected() {
+        let user = xsltdb_xquery::parse_query("declare variable $u := 1; $u").unwrap();
+        let xslt = xsltdb_xquery::parse_query("declare variable $var000 := .; <a/>").unwrap();
+        assert!(compose_over_xslt_view(&user, &xslt).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Index-assisted execution of rewritten queries over stored documents —
+//! the §7.4 study subject: "CLOB or BLOB storage with path/value index,
+//! tree storage with path/value index".
+//!
+//! Given a rewritten (inline) XQuery, [`index_assist`] finds the first
+//! `for $v in path[child = literal]` iteration whose path is statically
+//! rooted at the input document, replaces its source with a probe variable,
+//! and returns the probe specification. [`execute_indexed`] runs the probe
+//! against an [`XmlDocStore`]'s path/value index and evaluates the residual
+//! query with the probed nodes pre-bound — so the value predicate costs one
+//! index probe instead of a document scan, under either storage model.
+
+use crate::error::PipelineError;
+use crate::xqgen::ROOT_VAR;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xsltdb_relstore::{Datum, ExecStats, XmlDocStore};
+use xsltdb_xml::{Document, NodeId};
+use xsltdb_xpath::{Axis, NodeTest};
+use xsltdb_xquery::{
+    evaluate_query, evaluate_query_with_vars, sequence_to_document, Clause, CompOp, Item,
+    NodeHandle, PathStart, XQuery, XqExpr,
+};
+
+/// The variable the assisted query iterates instead of its original path.
+pub const INDEXED_VAR: &str = "xdb-indexed";
+
+/// What to probe in the path/value index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeSpec {
+    /// Path of the indexed leaf, e.g. `/table/row/id`.
+    pub leaf_path: String,
+    pub value: Datum,
+    /// Steps to ascend from the leaf hit to the node the query iterates
+    /// (1 for a `child = literal` predicate, 0 for `. = literal`).
+    pub ascend: usize,
+}
+
+/// Try to turn a query into an index-assisted form. Returns the modified
+/// query plus the probe, or `None` when no iteration is indexable.
+pub fn index_assist(query: &XQuery) -> Option<(XQuery, ProbeSpec)> {
+    // The generated prolog binds the document variable to the context item.
+    let mut paths: HashMap<String, Vec<String>> = HashMap::new();
+    for v in &query.variables {
+        if v.value == XqExpr::ContextItem {
+            paths.insert(v.name.clone(), Vec::new());
+        }
+    }
+    if !paths.contains_key(ROOT_VAR) {
+        return None;
+    }
+    let mut body = query.body.clone();
+    let spec = assist(&mut body, &paths)?;
+    Some((
+        XQuery {
+            variables: query.variables.clone(),
+            functions: query.functions.clone(),
+            body,
+        },
+        spec,
+    ))
+}
+
+fn assist(e: &mut XqExpr, paths: &HashMap<String, Vec<String>>) -> Option<ProbeSpec> {
+    match e {
+        XqExpr::Annotated { expr, .. } => assist(expr, paths),
+        XqExpr::Seq(es) => es.iter_mut().find_map(|x| assist(x, paths)),
+        XqExpr::DirectElem { content, .. } => {
+            content.iter_mut().find_map(|x| assist(x, paths))
+        }
+        XqExpr::If { then, els, .. } => {
+            assist(then, paths).or_else(|| assist(els, paths))
+        }
+        XqExpr::Flwor { clauses, ret, .. } => {
+            let mut local = paths.clone();
+            for c in clauses.iter_mut() {
+                match c {
+                    Clause::Let { var, value } => {
+                        if let Some(p) = simple_doc_path(value, &local) {
+                            local.insert(var.clone(), p);
+                        }
+                    }
+                    Clause::For { var: _, source } => {
+                        if let Some(spec) = indexable(source, &local) {
+                            *source = XqExpr::VarRef(INDEXED_VAR.to_string());
+                            return Some(spec);
+                        }
+                    }
+                }
+            }
+            assist(ret, &local)
+        }
+        _ => None,
+    }
+}
+
+/// A path of plain child steps rooted (transitively) at the document var.
+fn simple_doc_path(
+    e: &XqExpr,
+    paths: &HashMap<String, Vec<String>>,
+) -> Option<Vec<String>> {
+    match e {
+        XqExpr::VarRef(v) => paths.get(v).cloned(),
+        XqExpr::Path { start, steps } => {
+            let mut base = match start {
+                PathStart::Expr(b) => match b.as_ref() {
+                    XqExpr::VarRef(v) => paths.get(v).cloned()?,
+                    _ => return None,
+                },
+                _ => return None,
+            };
+            for s in steps {
+                if s.axis != Axis::Child || !s.predicates.is_empty() {
+                    return None;
+                }
+                match &s.test {
+                    NodeTest::Name { local, .. } => base.push(local.clone()),
+                    _ => return None,
+                }
+            }
+            Some(base)
+        }
+        _ => None,
+    }
+}
+
+/// `path/elem[child = literal]` (or `[. = literal]`) over a document-rooted
+/// path.
+fn indexable(
+    source: &XqExpr,
+    paths: &HashMap<String, Vec<String>>,
+) -> Option<ProbeSpec> {
+    let XqExpr::Path { start, steps } = source else {
+        return None;
+    };
+    let base = match start {
+        PathStart::Expr(b) => match b.as_ref() {
+            XqExpr::VarRef(v) => paths.get(v).cloned()?,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (last, init) = steps.split_last()?;
+    let mut full = base;
+    for s in init {
+        if s.axis != Axis::Child || !s.predicates.is_empty() {
+            return None;
+        }
+        match &s.test {
+            NodeTest::Name { local, .. } => full.push(local.clone()),
+            _ => return None,
+        }
+    }
+    if last.axis != Axis::Child || last.predicates.len() != 1 {
+        return None;
+    }
+    let NodeTest::Name { local: target, .. } = &last.test else {
+        return None;
+    };
+    full.push(target.clone());
+
+    let XqExpr::Compare(CompOp::Eq, l, r) = &last.predicates[0] else {
+        return None;
+    };
+    let (lhs, lit) = match (l.as_ref(), r.as_ref()) {
+        (p, XqExpr::NumLit(_) | XqExpr::StrLit(_)) => (p, r.as_ref()),
+        (XqExpr::NumLit(_) | XqExpr::StrLit(_), p) => (p, l.as_ref()),
+        _ => return None,
+    };
+    let value = match lit {
+        XqExpr::NumLit(n) => Datum::Num(*n),
+        XqExpr::StrLit(s) => Datum::Text(s.clone()),
+        _ => return None,
+    };
+    let ascend = match lhs {
+        XqExpr::ContextItem => 0,
+        XqExpr::Path { start: PathStart::Context, steps } if steps.len() == 1 => {
+            let s = &steps[0];
+            if s.axis != Axis::Child || !s.predicates.is_empty() {
+                return None;
+            }
+            match &s.test {
+                NodeTest::Name { local, .. } => {
+                    full.push(local.clone());
+                    1
+                }
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    Some(ProbeSpec { leaf_path: format!("/{}", full.join("/")), value, ascend })
+}
+
+/// Execute a rewritten query over one stored document, using the path/value
+/// index when the query shape allows it; falls back to plain evaluation
+/// otherwise. Under CLOB storage the fetch re-parses (the storage model's
+/// materialisation cost); under tree storage it is free.
+pub fn execute_indexed(
+    query: &XQuery,
+    store: &XmlDocStore,
+    doc: usize,
+    stats: &ExecStats,
+) -> Result<Document, PipelineError> {
+    let assisted = if store.is_indexed() { index_assist(query) } else { None };
+    match assisted {
+        Some((q2, spec)) => {
+            let hits = store.lookup(&spec.leaf_path, &spec.value, stats)?;
+            let tree = store.fetch(doc)?;
+            let mut nodes = Vec::new();
+            for h in hits.into_iter().filter(|h| h.doc == doc) {
+                let mut n = h.node;
+                for _ in 0..spec.ascend {
+                    n = tree.parent(n).ok_or_else(|| {
+                        PipelineError("index hit above the document root".into())
+                    })?;
+                }
+                nodes.push(Item::Node(NodeHandle::new(Rc::clone(&tree), n)));
+            }
+            let input = NodeHandle::new(tree, NodeId::DOCUMENT);
+            let seq = evaluate_query_with_vars(
+                &q2,
+                Some(input),
+                vec![(INDEXED_VAR.to_string(), nodes)],
+            )?;
+            Ok(sequence_to_document(&seq))
+        }
+        None => {
+            let tree = store.fetch(doc)?;
+            let input = NodeHandle::new(tree, NodeId::DOCUMENT);
+            let seq = evaluate_query(query, Some(input))?;
+            Ok(sequence_to_document(&seq))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xqgen::{rewrite, RewriteOptions};
+    use xsltdb_relstore::DocStorageModel;
+    use xsltdb_structinfo::struct_of_dtd;
+    use xsltdb_xquery::parse_query;
+    use xsltdb_xslt::{compile_str, transform};
+
+    const DTD: &str = "<!ELEMENT table (row*)> <!ELEMENT row (id, name)> \
+                       <!ELEMENT id (#PCDATA)> <!ELEMENT name (#PCDATA)>";
+    const DOC: &str = "<table><row><id>41</id><name>Ann</name></row>\
+                       <row><id>7</id><name>Bo</name></row></table>";
+
+    fn onerow_sheet() -> String {
+        r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+           <xsl:template match="table"><out><xsl:apply-templates select="row[id = 41]"/></out></xsl:template>
+           <xsl:template match="row"><hit><xsl:value-of select="name"/></hit></xsl:template>
+           </xsl:stylesheet>"#
+            .to_string()
+    }
+
+    #[test]
+    fn index_assist_extracts_probe() {
+        let sheet = compile_str(&onerow_sheet()).unwrap();
+        let info = struct_of_dtd(DTD, "table").unwrap();
+        let outcome = rewrite(&sheet, &info, &RewriteOptions::default()).unwrap();
+        let (q2, spec) = index_assist(&outcome.query).expect("indexable");
+        assert_eq!(spec.leaf_path, "/table/row/id");
+        assert_eq!(spec.value, Datum::Num(41.0));
+        assert_eq!(spec.ascend, 1);
+        let printed = xsltdb_xquery::pretty_query(&q2);
+        assert!(printed.contains("$xdb-indexed"), "{printed}");
+        assert!(!printed.contains("id = 41"), "{printed}");
+    }
+
+    #[test]
+    fn indexed_execution_matches_vm_on_both_models() {
+        let sheet = compile_str(&onerow_sheet()).unwrap();
+        let info = struct_of_dtd(DTD, "table").unwrap();
+        let outcome = rewrite(&sheet, &info, &RewriteOptions::default()).unwrap();
+        let parsed = xsltdb_xml::parse::parse(DOC).unwrap();
+        let expected = xsltdb_xml::to_string(&transform(&sheet, &parsed).unwrap());
+
+        for model in [DocStorageModel::Tree, DocStorageModel::Clob] {
+            let mut store = XmlDocStore::new(model, true);
+            let idx = store.insert(DOC).unwrap();
+            let stats = ExecStats::new();
+            let out = execute_indexed(&outcome.query, &store, idx, &stats).unwrap();
+            assert_eq!(xsltdb_xml::to_string(&out), expected, "{model:?}");
+            assert_eq!(stats.snapshot().index_probes, 1, "{model:?}");
+            if model == DocStorageModel::Clob {
+                assert_eq!(store.reparses.get(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unindexed_store_falls_back_to_plain_evaluation() {
+        let sheet = compile_str(&onerow_sheet()).unwrap();
+        let info = struct_of_dtd(DTD, "table").unwrap();
+        let outcome = rewrite(&sheet, &info, &RewriteOptions::default()).unwrap();
+        let mut store = XmlDocStore::new(DocStorageModel::Tree, false);
+        let idx = store.insert(DOC).unwrap();
+        let stats = ExecStats::new();
+        let out = execute_indexed(&outcome.query, &store, idx, &stats).unwrap();
+        assert!(xsltdb_xml::to_string(&out).contains("Ann"));
+        assert_eq!(stats.snapshot().index_probes, 0);
+    }
+
+    #[test]
+    fn string_predicate_probes_text_key() {
+        let q = parse_query(
+            "declare variable $var000 := .; \
+             for $r in $var000/table/row[name = \"Bo\"] return <f>{fn:string($r/id)}</f>",
+        )
+        .unwrap();
+        let (_, spec) = index_assist(&q).expect("indexable");
+        assert_eq!(spec.leaf_path, "/table/row/name");
+        assert_eq!(spec.value, Datum::Text("Bo".into()));
+
+        let mut store = XmlDocStore::new(DocStorageModel::Tree, true);
+        let idx = store.insert(DOC).unwrap();
+        let stats = ExecStats::new();
+        let out = execute_indexed(&q, &store, idx, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&out), "<f>7</f>");
+    }
+
+    #[test]
+    fn self_predicate_ascend_zero() {
+        let q = parse_query(
+            "declare variable $var000 := .; \
+             for $i in $var000/table/row/id[. = 7] return <f>{fn:string($i)}</f>",
+        )
+        .unwrap();
+        let (_, spec) = index_assist(&q).expect("indexable");
+        assert_eq!(spec.leaf_path, "/table/row/id");
+        assert_eq!(spec.ascend, 0);
+    }
+
+    #[test]
+    fn non_indexable_query_returns_none() {
+        // Range predicates are not equality probes.
+        let q = parse_query(
+            "declare variable $var000 := .; \
+             for $r in $var000/table/row[id > 5] return $r",
+        )
+        .unwrap();
+        assert!(index_assist(&q).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the rewrite pipeline.
+
+use std::fmt;
+
+/// An error during XSLT→XQuery or XQuery→SQL/XML rewriting. Rewrite errors
+/// are not fatal to a transformation: the pipeline falls back to the next
+/// slower tier (see `pipeline`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteError(pub String);
+
+impl RewriteError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        RewriteError(msg.into())
+    }
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// A fatal pipeline error (storage failures, malformed stylesheets, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError(pub String);
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<xsltdb_xslt::XsltError> for PipelineError {
+    fn from(e: xsltdb_xslt::XsltError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+impl From<xsltdb_relstore::StoreError> for PipelineError {
+    fn from(e: xsltdb_relstore::StoreError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+impl From<xsltdb_xquery::XqError> for PipelineError {
+    fn from(e: xsltdb_xquery::XqError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+impl From<RewriteError> for PipelineError {
+    fn from(e: RewriteError) -> Self {
+        PipelineError(e.to_string())
+    }
+}

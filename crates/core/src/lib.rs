@@ -1,0 +1,66 @@
+//! # xsltdb
+//!
+//! Reproduction of *"Efficient XSLT Processing in Relational Database
+//! System"* (Liu & Novoselsky, VLDB 2006): XSLT stylesheets are rewritten
+//! into XQuery by **partially evaluating** them over the input XMLType's
+//! structural information, and the XQuery is rewritten further into a
+//! SQL/XML query over the underlying relational storage — where B-tree
+//! indexes and aggregation do the work the functional XSLT evaluation
+//! would have done by materialising documents and walking DOM trees.
+//!
+//! * [`pe`] — partial evaluation: sample-document tracing and the template
+//!   execution graph (paper §4);
+//! * [`xqgen`] — XQuery generation: inline / non-inline / straightforward
+//!   modes with the §3.3–3.7 optimisations;
+//! * [`sqlrewrite`] — XQuery → SQL/XML over publishing views (Tables 7/11);
+//! * [`pipeline`] — the tiered execution engine and the no-rewrite
+//!   baseline used throughout the evaluation;
+//! * [`combined`] — cross-language composition of XQuery over XSLT views
+//!   (paper §2.2, Example 2);
+//! * [`docexec`] — index-assisted execution over stored documents (the
+//!   §7.4 storage-model study).
+//!
+//! ```
+//! use std::rc::Rc;
+//! use xsltdb::xqgen::{rewrite, RewriteOptions};
+//! use xsltdb_structinfo::struct_of_dtd;
+//! use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
+//!
+//! // Structural information from a DTD (paper §3.2, bullet 1)…
+//! let info = struct_of_dtd(
+//!     "<!ELEMENT emp (ename, sal)> <!ELEMENT ename (#PCDATA)> <!ELEMENT sal (#PCDATA)>",
+//!     "emp",
+//! ).unwrap();
+//! // …drives partial evaluation of a stylesheet into an inlined XQuery…
+//! let sheet = xsltdb_xslt::compile_str(
+//!     r#"<xsl:stylesheet version="1.0"
+//!          xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+//!          <xsl:template match="emp"><p><xsl:value-of select="ename"/></p></xsl:template>
+//!        </xsl:stylesheet>"#,
+//! ).unwrap();
+//! let outcome = rewrite(&sheet, &info, &RewriteOptions::default()).unwrap();
+//! assert!(outcome.fully_inlined());
+//! // …whose output equals the functional evaluation.
+//! let doc = xsltdb_xml::parse_xml("<emp><ename>CLARK</ename><sal>2450</sal></emp>").unwrap();
+//! let input = NodeHandle::new(Rc::new(doc), xsltdb_xml::NodeId::DOCUMENT);
+//! let seq = evaluate_query(&outcome.query, Some(input)).unwrap();
+//! assert_eq!(xsltdb_xml::to_string(&sequence_to_document(&seq)), "<p>CLARK</p>");
+//! ```
+
+pub mod combined;
+pub mod docexec;
+pub mod error;
+pub mod pe;
+pub mod pipeline;
+pub mod sqlrewrite;
+pub mod translate;
+pub mod xqgen;
+
+pub use error::{PipelineError, RewriteError};
+pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
+pub use pe::{partial_evaluate, ExecGraph, PeResult};
+pub use pipeline::{
+    no_rewrite_transform, plan_transform, BaselineRun, Tier, TransformPlan,
+};
+pub use sqlrewrite::rewrite_to_sql;
+pub use xqgen::{rewrite, rewrite_straightforward, RewriteMode, RewriteOptions, RewriteOutcome};

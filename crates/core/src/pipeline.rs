@@ -1,0 +1,296 @@
+//! The tiered transformation pipeline and the no-rewrite baseline.
+//!
+//! Planning tries the tiers in order of the paper's architecture diagram
+//! (Figure 1):
+//!
+//! 1. **SQL tier** — XSLT → XQuery → SQL/XML over the view's base tables
+//!    (Table 7): no XML materialisation at all, value predicates through
+//!    B-tree indexes;
+//! 2. **XQuery tier** — XSLT → XQuery evaluated over the materialised view
+//!    documents: still no template dispatch or pattern matching at run
+//!    time;
+//! 3. **VM tier** — the functional evaluation (materialise + XSLTVM), which
+//!    is also the *no-rewrite baseline* of the paper's Figures 2 and 3.
+
+use crate::error::PipelineError;
+use crate::sqlrewrite::rewrite_to_sql;
+use crate::xqgen::{rewrite, RewriteOptions, RewriteOutcome};
+use std::rc::Rc;
+use xsltdb_relstore::pubexpr::SqlXmlQuery;
+use xsltdb_relstore::{Catalog, ExecStats, XmlView};
+use xsltdb_structinfo::{struct_of_view, StructInfo};
+use xsltdb_xml::Document;
+use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
+use xsltdb_xslt::{compile_str, transform, Stylesheet};
+
+/// Which execution strategy a plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Pure SQL/XML over base tables.
+    Sql,
+    /// Rewritten XQuery over materialised view documents.
+    XQuery,
+    /// Functional evaluation (materialise + XSLTVM) — the no-rewrite path.
+    Vm,
+}
+
+/// A planned transformation of an XMLType view by a stylesheet.
+pub struct TransformPlan {
+    pub tier: Tier,
+    pub sheet: Stylesheet,
+    pub view: XmlView,
+    /// Present on the SQL and XQuery tiers.
+    pub rewrite: Option<RewriteOutcome>,
+    /// Present on the SQL tier.
+    pub sql: Option<SqlXmlQuery>,
+    /// Why the plan fell back below the SQL tier, if it did.
+    pub fallback_reason: Option<String>,
+}
+
+/// Plan the transformation of every row of `view` by `stylesheet_src`.
+pub fn plan_transform(
+    view: &XmlView,
+    stylesheet_src: &str,
+    opts: &RewriteOptions,
+) -> Result<TransformPlan, PipelineError> {
+    let sheet = compile_str(stylesheet_src)?;
+    plan_compiled(view, sheet, opts)
+}
+
+/// Plan with a pre-compiled stylesheet.
+pub fn plan_compiled(
+    view: &XmlView,
+    sheet: Stylesheet,
+    opts: &RewriteOptions,
+) -> Result<TransformPlan, PipelineError> {
+    let info: StructInfo = match struct_of_view(view) {
+        Ok(i) => i,
+        Err(e) => {
+            return Ok(TransformPlan {
+                tier: Tier::Vm,
+                sheet,
+                view: view.clone(),
+                rewrite: None,
+                sql: None,
+                fallback_reason: Some(e.to_string()),
+            })
+        }
+    };
+    match rewrite(&sheet, &info, opts) {
+        Ok(outcome) => match rewrite_to_sql(&outcome.query, &info) {
+            Ok(sql) => Ok(TransformPlan {
+                tier: Tier::Sql,
+                sheet,
+                view: view.clone(),
+                rewrite: Some(outcome),
+                sql: Some(sql),
+                fallback_reason: None,
+            }),
+            Err(e) => Ok(TransformPlan {
+                tier: Tier::XQuery,
+                sheet,
+                view: view.clone(),
+                rewrite: Some(outcome),
+                sql: None,
+                fallback_reason: Some(e.to_string()),
+            }),
+        },
+        Err(e) => Ok(TransformPlan {
+            tier: Tier::Vm,
+            sheet,
+            view: view.clone(),
+            rewrite: None,
+            sql: None,
+            fallback_reason: Some(e.to_string()),
+        }),
+    }
+}
+
+impl TransformPlan {
+    /// Run the plan: one result document per view row.
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+    ) -> Result<Vec<Document>, PipelineError> {
+        match self.tier {
+            Tier::Sql => {
+                let sql = self.sql.as_ref().expect("SQL tier carries a query");
+                Ok(sql.execute(catalog, stats)?)
+            }
+            Tier::XQuery => {
+                let outcome = self.rewrite.as_ref().expect("XQuery tier carries a rewrite");
+                let docs = self.view.materialize(catalog, stats)?;
+                let mut out = Vec::with_capacity(docs.len());
+                for d in docs {
+                    let input = NodeHandle::document(d);
+                    let seq = evaluate_query(&outcome.query, Some(input))?;
+                    out.push(sequence_to_document(&seq));
+                }
+                Ok(out)
+            }
+            Tier::Vm => no_rewrite_transform(catalog, &self.view, &self.sheet, stats)
+                .map(|r| r.documents),
+        }
+    }
+}
+
+/// Result of the no-rewrite baseline.
+pub struct BaselineRun {
+    pub documents: Vec<Document>,
+    /// Total nodes materialised before the XSLT processor could start — the
+    /// cost the rewrite avoids.
+    pub materialized_nodes: usize,
+}
+
+/// The paper's no-rewrite baseline: materialise every view row as a DOM and
+/// run the XSLTVM over it.
+pub fn no_rewrite_transform(
+    catalog: &Catalog,
+    view: &XmlView,
+    sheet: &Stylesheet,
+    stats: &ExecStats,
+) -> Result<BaselineRun, PipelineError> {
+    let docs = view.materialize(catalog, stats)?;
+    let materialized_nodes = docs.iter().map(Document::node_count).sum();
+    let mut out = Vec::with_capacity(docs.len());
+    for d in &docs {
+        out.push(transform(sheet, d)?);
+    }
+    Ok(BaselineRun { documents: out, materialized_nodes })
+}
+
+/// Rewrite-and-run over a plain document (DTD/XSD-derived structure): the
+/// XQuery tier for inputs that do not come from a view. Falls back to the
+/// VM when the rewrite fails.
+pub fn transform_document(
+    sheet: &Stylesheet,
+    info: &StructInfo,
+    doc: &Document,
+    opts: &RewriteOptions,
+) -> Result<(Document, Option<RewriteOutcome>), PipelineError> {
+    match rewrite(sheet, info, opts) {
+        Ok(outcome) => {
+            let input = NodeHandle::new(Rc::new(doc.clone()), xsltdb_xml::NodeId::DOCUMENT);
+            let seq = evaluate_query(&outcome.query, Some(input))?;
+            Ok((sequence_to_document(&seq), Some(outcome)))
+        }
+        Err(_) => Ok((transform(sheet, doc)?, None)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_relstore::exec::Conjunction;
+    use xsltdb_relstore::pubexpr::PubExpr;
+    use xsltdb_relstore::{ColType, Datum, Table};
+
+    fn setup() -> (Catalog, XmlView) {
+        let mut t = Table::new("t", &[("v", ColType::Int)]);
+        t.insert(vec![Datum::Int(7)]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add_table(t);
+        let view = XmlView::new(
+            "vu",
+            SqlXmlQuery {
+                base_table: "t".into(),
+                where_clause: Conjunction::default(),
+                select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
+            },
+        );
+        catalog.add_view(view.clone());
+        (catalog, view)
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+        )
+    }
+
+    #[test]
+    fn simple_stylesheet_plans_to_sql_tier() {
+        let (catalog, view) = setup();
+        let plan = plan_transform(
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.tier, Tier::Sql);
+        let stats = ExecStats::new();
+        let docs = plan.execute(&catalog, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
+    }
+
+    #[test]
+    fn untranslatable_sql_shape_falls_to_xquery_tier() {
+        // substring() has no SQL translation but is fine in XQuery.
+        let (catalog, view) = setup();
+        let plan = plan_transform(
+            &view,
+            &wrap(
+                r#"<xsl:template match="r"><o><xsl:value-of select="substring(v, 1, 1)"/></o></xsl:template>"#,
+            ),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.tier, Tier::XQuery, "{:?}", plan.fallback_reason);
+        assert!(plan.fallback_reason.is_some());
+        let stats = ExecStats::new();
+        let docs = plan.execute(&catalog, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
+    }
+
+    #[test]
+    fn unrewritable_stylesheet_falls_to_vm_tier() {
+        let (catalog, view) = setup();
+        let plan = plan_transform(
+            &view,
+            &wrap(
+                r#"<xsl:template match="r"><o id="{generate-id(.)}"><xsl:value-of select="v"/></o></xsl:template>"#,
+            ),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.tier, Tier::Vm, "{:?}", plan.fallback_reason);
+        let stats = ExecStats::new();
+        let docs = plan.execute(&catalog, &stats).unwrap();
+        assert!(xsltdb_xml::to_string(&docs[0]).contains("<o id="));
+    }
+
+    #[test]
+    fn bad_stylesheet_is_a_hard_error() {
+        let (_c, view) = setup();
+        assert!(plan_transform(&view, "<not-xslt/>", &RewriteOptions::default()).is_err());
+    }
+
+    #[test]
+    fn transform_document_uses_rewrite_when_possible() {
+        let info = xsltdb_structinfo::struct_of_dtd(
+            "<!ELEMENT r (v)> <!ELEMENT v (#PCDATA)>",
+            "r",
+        )
+        .unwrap();
+        let doc = xsltdb_xml::parse::parse("<r><v>9</v></r>").unwrap();
+        let sheet = xsltdb_xslt::compile_str(&wrap(
+            r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#,
+        ))
+        .unwrap();
+        let (out, outcome) =
+            transform_document(&sheet, &info, &doc, &RewriteOptions::default()).unwrap();
+        assert!(outcome.is_some());
+        assert_eq!(xsltdb_xml::to_string(&out), "<o>9</o>");
+    }
+
+    #[test]
+    fn baseline_reports_materialized_nodes() {
+        let (catalog, view) = setup();
+        let sheet = xsltdb_xslt::compile_str(&wrap("")).unwrap();
+        let stats = ExecStats::new();
+        let run = no_rewrite_transform(&catalog, &view, &sheet, &stats).unwrap();
+        // <r><v>7</v></r>: document + r + v + text = 4 nodes.
+        assert_eq!(run.materialized_nodes, 4);
+    }
+}

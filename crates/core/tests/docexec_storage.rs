@@ -1,0 +1,86 @@
+//! Integration of the §7.4 storage models with the full rewrite pipeline:
+//! the same dbonerow transformation over all storage configurations must
+//! agree with the functional evaluation, and the counters must show the
+//! index doing the selection work.
+
+use xsltdb::docexec::execute_indexed;
+use xsltdb::xqgen::{rewrite, RewriteOptions};
+use xsltdb_relstore::{DocStorageModel, ExecStats, XmlDocStore};
+use xsltdb_xml::to_string;
+use xsltdb_xslt::{compile_str, transform};
+use xsltdb_xsltmark::{db_struct_info, db_xml, dbonerow_stylesheet, existing_id};
+
+#[test]
+fn all_storage_models_agree_with_functional_evaluation() {
+    let rows = 120;
+    let xml = db_xml(rows, 0xCAFE);
+    let sheet = compile_str(&dbonerow_stylesheet(existing_id(rows))).unwrap();
+    let outcome = rewrite(&sheet, &db_struct_info(), &RewriteOptions::default()).unwrap();
+    assert!(outcome.fully_inlined());
+
+    let parsed = xsltdb_xml::parse_xml(&xml).unwrap();
+    let expected = to_string(&transform(&sheet, &parsed).unwrap());
+
+    for (model, indexed) in [
+        (DocStorageModel::Tree, true),
+        (DocStorageModel::Tree, false),
+        (DocStorageModel::Clob, true),
+        (DocStorageModel::Clob, false),
+    ] {
+        let mut store = XmlDocStore::new(model, indexed);
+        let idx = store.insert(&xml).unwrap();
+        let stats = ExecStats::new();
+        let out = execute_indexed(&outcome.query, &store, idx, &stats).unwrap();
+        assert_eq!(
+            to_string(&out),
+            expected,
+            "model {model:?} indexed={indexed} diverges"
+        );
+        if indexed {
+            assert_eq!(stats.snapshot().index_probes, 1, "{model:?}");
+            assert_eq!(stats.snapshot().index_rows, 1, "{model:?}");
+        } else {
+            assert_eq!(stats.snapshot().index_probes, 0, "{model:?}");
+        }
+    }
+}
+
+#[test]
+fn clob_model_counts_reparses_per_query() {
+    let xml = db_xml(30, 1);
+    let sheet = compile_str(&dbonerow_stylesheet(existing_id(30))).unwrap();
+    let outcome = rewrite(&sheet, &db_struct_info(), &RewriteOptions::default()).unwrap();
+    let mut store = XmlDocStore::new(DocStorageModel::Clob, true);
+    let idx = store.insert(&xml).unwrap();
+    let stats = ExecStats::new();
+    for _ in 0..3 {
+        execute_indexed(&outcome.query, &store, idx, &stats).unwrap();
+    }
+    assert_eq!(store.reparses.get(), 3, "one materialisation per query");
+
+    let mut tree = XmlDocStore::new(DocStorageModel::Tree, true);
+    let idx = tree.insert(&xml).unwrap();
+    for _ in 0..3 {
+        execute_indexed(&outcome.query, &tree, idx, &stats).unwrap();
+    }
+    assert_eq!(tree.reparses.get(), 0, "tree storage never rematerialises");
+}
+
+#[test]
+fn multiple_documents_probe_only_their_own_hits() {
+    // Two documents in one store: the probe filters hits by document.
+    let a = "<table><row><id>1</id><firstname>F</firstname><lastname>X</lastname>\
+             <street>s</street><city>c</city><state>CA</state><zip>90000</zip></row></table>";
+    let b = "<table><row><id>1</id><firstname>G</firstname><lastname>Y</lastname>\
+             <street>s</street><city>c</city><state>NY</state><zip>10000</zip></row></table>";
+    let sheet = compile_str(&dbonerow_stylesheet(1)).unwrap();
+    let outcome = rewrite(&sheet, &db_struct_info(), &RewriteOptions::default()).unwrap();
+    let mut store = XmlDocStore::new(DocStorageModel::Tree, true);
+    let ia = store.insert(a).unwrap();
+    let ib = store.insert(b).unwrap();
+    let stats = ExecStats::new();
+    let out_a = to_string(&execute_indexed(&outcome.query, &store, ia, &stats).unwrap());
+    let out_b = to_string(&execute_indexed(&outcome.query, &store, ib, &stats).unwrap());
+    assert!(out_a.contains("X, F"), "{out_a}");
+    assert!(out_b.contains("Y, G"), "{out_b}");
+}

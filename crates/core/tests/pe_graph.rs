@@ -1,0 +1,136 @@
+//! Focused tests of the template execution graph (paper §4.3): state
+//! identity, transition ordering, call-site separation and mode handling.
+
+use xsltdb::pe::partial_evaluate;
+use xsltdb_structinfo::{struct_of_dtd, SampleNode, StructInfo};
+use xsltdb_xslt::compile_str;
+
+fn info() -> StructInfo {
+    struct_of_dtd(
+        r#"<!ELEMENT r (a, b)>
+           <!ELEMENT a (#PCDATA)>
+           <!ELEMENT b (#PCDATA)>"#,
+        "r",
+    )
+    .unwrap()
+}
+
+fn wrap(body: &str) -> String {
+    format!(
+        r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+    )
+}
+
+#[test]
+fn two_sites_in_one_template_are_distinct() {
+    let sheet = compile_str(&wrap(
+        r#"<xsl:template match="r">
+             <xsl:apply-templates select="a"/>
+             <xsl:apply-templates select="b"/>
+           </xsl:template>
+           <xsl:template match="a"><A/></xsl:template>
+           <xsl:template match="b"><B/></xsl:template>"#,
+    ))
+    .unwrap();
+    let pe = partial_evaluate(&sheet, &info()).unwrap();
+    let r_state = pe
+        .graph
+        .states
+        .iter()
+        .find(|s| s.template.is_some() && s.node == SampleNode::Element(vec![]))
+        .expect("r template state");
+    assert_eq!(r_state.transitions.len(), 2, "one entry per call site");
+    for trans in r_state.transitions.values() {
+        assert_eq!(trans.len(), 1, "each site saw exactly one node kind");
+    }
+}
+
+#[test]
+fn same_template_at_two_positions_gives_two_states() {
+    // `*` matches both a and b: one template, two structural states.
+    let sheet = compile_str(&wrap(
+        r#"<xsl:template match="r"><xsl:apply-templates/></xsl:template>
+           <xsl:template match="*[name() != 'r']"><x/></xsl:template>"#,
+    ))
+    .unwrap();
+    let pe = partial_evaluate(&sheet, &info()).unwrap();
+    let star_states = pe
+        .graph
+        .states
+        .iter()
+        .filter(|s| {
+            s.template.is_some()
+                && matches!(&s.node, SampleNode::Element(p) if !p.is_empty())
+        })
+        .count();
+    assert_eq!(star_states, 2);
+}
+
+#[test]
+fn modes_create_separate_transitions() {
+    let sheet = compile_str(&wrap(
+        r#"<xsl:template match="r">
+             <xsl:apply-templates select="a"/>
+             <xsl:apply-templates select="a" mode="m"/>
+           </xsl:template>
+           <xsl:template match="a"><plain/></xsl:template>
+           <xsl:template match="a" mode="m"><loud/></xsl:template>"#,
+    ))
+    .unwrap();
+    let pe = partial_evaluate(&sheet, &info()).unwrap();
+    // Both templates instantiated, both reachable from r.
+    assert_eq!(pe.graph.instantiated.len(), 3);
+    let r_state = pe
+        .graph
+        .states
+        .iter()
+        .find(|s| s.template.is_some() && s.node == SampleNode::Element(vec![]))
+        .unwrap();
+    let targets: Vec<usize> = r_state
+        .transitions
+        .values()
+        .flat_map(|v| v.iter().map(|t| t.target))
+        .collect();
+    assert_eq!(targets.len(), 2);
+    assert_ne!(targets[0], targets[1], "different templates, different states");
+}
+
+#[test]
+fn call_template_via_edge_recorded() {
+    let sheet = compile_str(&wrap(
+        r#"<xsl:template match="r"><xsl:call-template name="helper"/></xsl:template>
+           <xsl:template name="helper"><h/></xsl:template>"#,
+    ))
+    .unwrap();
+    let pe = partial_evaluate(&sheet, &info()).unwrap();
+    let r_state = pe
+        .graph
+        .states
+        .iter()
+        .find(|s| s.template.is_some() && s.node == SampleNode::Element(vec![]))
+        .unwrap();
+    let (_, trans) = r_state.transitions.iter().next().expect("the call site");
+    // The callee keeps the caller's current node.
+    assert_eq!(trans[0].node, SampleNode::Element(vec![]));
+}
+
+#[test]
+fn builtin_states_share_identity_across_visits() {
+    // The same (builtin, node) pair visited twice reuses one state.
+    let sheet = compile_str(&wrap(
+        r#"<xsl:template match="r">
+             <xsl:apply-templates select="a"/>
+             <xsl:apply-templates select="a"/>
+           </xsl:template>"#,
+    ))
+    .unwrap();
+    let pe = partial_evaluate(&sheet, &info()).unwrap();
+    let builtin_a_states = pe
+        .graph
+        .states
+        .iter()
+        .filter(|s| s.template.is_none() && s.node == SampleNode::Element(vec![0]))
+        .count();
+    assert_eq!(builtin_a_states, 1);
+    assert!(!pe.graph.recursive, "re-visiting a completed state is not a cycle");
+}

@@ -1,0 +1,119 @@
+//! The catalog: tables, indexes and XMLType views.
+
+use crate::index::Index;
+use crate::table::{StoreError, Table};
+use crate::view::XmlView;
+use std::collections::HashMap;
+
+/// An in-memory database: tables, secondary indexes, XMLType views.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    indexes: Vec<Index>,
+    views: HashMap<String, XmlView>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError(format!("unknown table {name}")))
+    }
+
+    /// Mutable access for loading data. After bulk changes call
+    /// [`reindex`](Self::reindex) to rebuild that table's indexes.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError(format!("unknown table {name}")))
+    }
+
+    /// Create (or rebuild) a B-tree index on `table.column`.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), StoreError> {
+        let t = self.table(table)?;
+        let idx = Index::build(t, column)?;
+        self.indexes
+            .retain(|i| !(i.table == table && i.column.eq_ignore_ascii_case(column)));
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Rebuild every index on `table` (after data loading).
+    pub fn reindex(&mut self, table: &str) -> Result<(), StoreError> {
+        let columns: Vec<String> = self
+            .indexes
+            .iter()
+            .filter(|i| i.table == table)
+            .map(|i| i.column.clone())
+            .collect();
+        for c in columns {
+            self.create_index(table, &c)?;
+        }
+        Ok(())
+    }
+
+    pub fn index_on(&self, table: &str, column: &str) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.table == table && i.column.eq_ignore_ascii_case(column))
+    }
+
+    pub fn add_view(&mut self, view: XmlView) {
+        self.views.insert(view.name.clone(), view);
+    }
+
+    pub fn view(&self, name: &str) -> Result<&XmlView, StoreError> {
+        self.views
+            .get(name)
+            .ok_or_else(|| StoreError(format!("unknown view {name}")))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::{ColType, Datum};
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        let mut t = Table::new("t", &[("a", ColType::Int)]);
+        t.insert(vec![Datum::Int(1)]).unwrap();
+        c.add_table(t);
+        assert!(c.table("t").is_ok());
+        assert!(c.table("missing").is_err());
+        c.create_index("t", "a").unwrap();
+        assert!(c.index_on("t", "a").is_some());
+        assert!(c.index_on("t", "b").is_none());
+    }
+
+    #[test]
+    fn reindex_after_load() {
+        let mut c = Catalog::new();
+        let t = Table::new("t", &[("a", ColType::Int)]);
+        c.add_table(t);
+        c.create_index("t", "a").unwrap();
+        c.table_mut("t").unwrap().insert(vec![Datum::Int(5)]).unwrap();
+        c.reindex("t").unwrap();
+        assert_eq!(c.index_on("t", "a").unwrap().lookup_eq(&Datum::Int(5)).len(), 1);
+    }
+
+    #[test]
+    fn create_index_on_missing_column_errors() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("t", &[("a", ColType::Int)]));
+        assert!(c.create_index("t", "zz").is_err());
+    }
+}

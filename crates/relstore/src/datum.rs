@@ -1,0 +1,170 @@
+//! Column values and their total order (for B-tree index keys).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    Int,
+    Num,
+    Text,
+}
+
+/// Arithmetic operators usable in published scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    Null,
+    Int(i64),
+    Num(f64),
+    Text(String),
+}
+
+impl Datum {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// SQL-ish display: NULL renders empty (as in XML publishing).
+    pub fn to_text(&self) -> String {
+        match self {
+            Datum::Null => String::new(),
+            Datum::Int(i) => i.to_string(),
+            Datum::Num(n) => xsltdb_xpath::value::num_to_string(*n),
+            Datum::Text(s) => s.clone(),
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Num(n) => Some(*n),
+            Datum::Null | Datum::Text(_) => None,
+        }
+    }
+
+    /// Total order used by indexes and comparisons: NULL < numbers < text.
+    /// Ints and floats compare numerically; NaN sorts below all numbers.
+    pub fn cmp_total(&self, other: &Datum) -> Ordering {
+        use Datum::*;
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Null => 0,
+                Int(_) | Num(_) => 1,
+                Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let x = a.as_f64().expect("numeric");
+                let y = b.as_f64().expect("numeric");
+                match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Less,
+                    (false, true) => Ordering::Greater,
+                    _ => x.partial_cmp(&y).expect("non-NaN"),
+                }
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Num(n) => write!(f, "{n}"),
+            Datum::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A `Datum` wrapper with `Ord`, usable as a B-tree key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatumKey(pub Datum);
+
+impl Eq for DatumKey {}
+
+impl PartialOrd for DatumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DatumKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp_total(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        assert_eq!(Datum::Int(1).cmp_total(&Datum::Int(2)), Ordering::Less);
+        assert_eq!(Datum::Int(2).cmp_total(&Datum::Num(2.0)), Ordering::Equal);
+        assert_eq!(Datum::Num(2.5).cmp_total(&Datum::Int(2)), Ordering::Greater);
+        assert_eq!(Datum::Null.cmp_total(&Datum::Int(0)), Ordering::Less);
+        assert_eq!(Datum::Text("a".into()).cmp_total(&Datum::Int(9)), Ordering::Greater);
+        assert_eq!(
+            Datum::Text("a".into()).cmp_total(&Datum::Text("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn nan_sorts_low_among_numbers() {
+        assert_eq!(Datum::Num(f64::NAN).cmp_total(&Datum::Num(0.0)), Ordering::Less);
+        assert_eq!(Datum::Num(f64::NAN).cmp_total(&Datum::Null), Ordering::Greater);
+    }
+
+    #[test]
+    fn to_text_rules() {
+        assert_eq!(Datum::Null.to_text(), "");
+        assert_eq!(Datum::Int(42).to_text(), "42");
+        assert_eq!(Datum::Num(2.5).to_text(), "2.5");
+        assert_eq!(Datum::Num(2.0).to_text(), "2");
+        assert_eq!(Datum::Text("x".into()).to_text(), "x");
+    }
+
+    #[test]
+    fn key_usable_in_btreemap() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(DatumKey(Datum::Int(5)), "five");
+        m.insert(DatumKey(Datum::Int(1)), "one");
+        let keys: Vec<_> = m.keys().map(|k| k.0.clone()).collect();
+        assert_eq!(keys, vec![Datum::Int(1), Datum::Int(5)]);
+        // Float key matches int key when numerically equal.
+        assert!(m.contains_key(&DatumKey(Datum::Num(5.0))));
+    }
+}

@@ -1,0 +1,340 @@
+//! Predicates and the iterator-based pull executor (Graefe-style \[10\]):
+//! row sources are iterators; the access-path planner picks a B-tree index
+//! probe when one applies and layers a residual filter on top.
+
+use crate::catalog::Catalog;
+use crate::datum::Datum;
+use crate::stats::ExecStats;
+use crate::table::{RowId, StoreError, Table};
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A single-column comparison with a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnCmp {
+    pub column: String,
+    pub op: CmpOp,
+    pub value: Datum,
+}
+
+impl ColumnCmp {
+    pub fn new(column: &str, op: CmpOp, value: Datum) -> Self {
+        ColumnCmp { column: column.to_string(), op, value }
+    }
+
+    /// Evaluate against a row; comparisons with NULL are false.
+    pub fn matches(&self, table: &Table, row: RowId) -> Result<bool, StoreError> {
+        let d = table.value_by_name(row, &self.column)?;
+        if d.is_null() || self.value.is_null() {
+            return Ok(false);
+        }
+        Ok(self.op.eval(d.cmp_total(&self.value)))
+    }
+}
+
+/// A conjunction of column comparisons (the only predicate shape the
+/// SQL/XML rewrite produces; `OR` never arises from residual XPath
+/// predicates of the supported form).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Conjunction {
+    pub terms: Vec<ColumnCmp>,
+}
+
+impl Conjunction {
+    pub fn of(terms: Vec<ColumnCmp>) -> Self {
+        Conjunction { terms }
+    }
+
+    pub fn single(column: &str, op: CmpOp, value: Datum) -> Self {
+        Conjunction { terms: vec![ColumnCmp::new(column, op, value)] }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    pub fn matches(&self, table: &Table, row: RowId) -> Result<bool, StoreError> {
+        for t in &self.terms {
+            if !t.matches(table, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// The access path the planner chose — surfaced so tests and EXPLAIN-style
+/// output can assert on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    FullScan,
+    IndexEq { column: String },
+    IndexRange { column: String },
+}
+
+/// A full-table scan, counting rows as they are pulled.
+pub struct FullScan<'a> {
+    table: &'a Table,
+    stats: &'a ExecStats,
+    next: RowId,
+}
+
+impl Iterator for FullScan<'_> {
+    type Item = RowId;
+    fn next(&mut self) -> Option<RowId> {
+        if self.next >= self.table.row_count() {
+            return None;
+        }
+        let r = self.next;
+        self.next += 1;
+        self.stats.add_rows_scanned(1);
+        Some(r)
+    }
+}
+
+/// Rows produced by an index probe (probe accounted at construction).
+pub struct IndexRows {
+    rows: std::vec::IntoIter<RowId>,
+}
+
+impl Iterator for IndexRows {
+    type Item = RowId;
+    fn next(&mut self) -> Option<RowId> {
+        self.rows.next()
+    }
+}
+
+/// A residual filter over another row source.
+pub struct FilterRows<'a, I> {
+    input: I,
+    table: &'a Table,
+    pred: Conjunction,
+}
+
+impl<I: Iterator<Item = RowId>> Iterator for FilterRows<'_, I> {
+    type Item = RowId;
+    fn next(&mut self) -> Option<RowId> {
+        self.input
+            .by_ref()
+            .find(|&r| self.pred.matches(self.table, r).unwrap_or(false))
+    }
+}
+
+/// Plan and run an access path for `table` under `pred`, returning matching
+/// rows in heap order plus the chosen path.
+pub fn scan(
+    catalog: &Catalog,
+    stats: &ExecStats,
+    table_name: &str,
+    pred: &Conjunction,
+) -> Result<(Vec<RowId>, AccessPath), StoreError> {
+    let table = catalog.table(table_name)?;
+
+    // Prefer an equality probe, then a range probe, then a full scan.
+    let mut chosen: Option<(usize, bool)> = None; // (term index, is_eq)
+    for (i, t) in pred.terms.iter().enumerate() {
+        if catalog.index_on(table_name, &t.column).is_none() || t.value.is_null() {
+            continue;
+        }
+        match t.op {
+            CmpOp::Eq => {
+                chosen = Some((i, true));
+                break;
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                if chosen.is_none() {
+                    chosen = Some((i, false));
+                }
+            }
+            CmpOp::Ne => {}
+        }
+    }
+
+    match chosen {
+        Some((i, is_eq)) => {
+            let term = &pred.terms[i];
+            let index = catalog
+                .index_on(table_name, &term.column)
+                .expect("checked above");
+            let mut rows = if is_eq {
+                index.lookup_eq(&term.value)
+            } else {
+                let (lo, hi) = match term.op {
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(&term.value)),
+                    CmpOp::Le => (Bound::Unbounded, Bound::Included(&term.value)),
+                    CmpOp::Gt => (Bound::Excluded(&term.value), Bound::Unbounded),
+                    CmpOp::Ge => (Bound::Included(&term.value), Bound::Unbounded),
+                    _ => unreachable!("eq/ne handled elsewhere"),
+                };
+                index.lookup_range(lo, hi)
+            };
+            stats.add_index_probe(rows.len() as u64);
+            rows.sort_unstable();
+            let residual = Conjunction {
+                terms: pred
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, t)| t.clone())
+                    .collect(),
+            };
+            let path = if is_eq {
+                AccessPath::IndexEq { column: term.column.clone() }
+            } else {
+                AccessPath::IndexRange { column: term.column.clone() }
+            };
+            if residual.is_empty() {
+                Ok((rows, path))
+            } else {
+                // Residual filtering visits each candidate row.
+                stats.add_rows_scanned(rows.len() as u64);
+                let source = IndexRows { rows: rows.into_iter() };
+                let out: Vec<RowId> =
+                    FilterRows { input: source, table, pred: residual }.collect();
+                Ok((out, path))
+            }
+        }
+        None => {
+            let source = FullScan { table, stats, next: 0 };
+            let out: Vec<RowId> = if pred.is_empty() {
+                source.collect()
+            } else {
+                FilterRows { input: source, table, pred: pred.clone() }.collect()
+            };
+            Ok((out, AccessPath::FullScan))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::datum::ColType;
+    use crate::table::Table;
+
+    fn catalog() -> Catalog {
+        let mut emp = Table::new(
+            "emp",
+            &[("empno", ColType::Int), ("sal", ColType::Int), ("deptno", ColType::Int)],
+        );
+        for (no, sal, d) in [
+            (7782, 2450, 10),
+            (7934, 1300, 10),
+            (7954, 4900, 40),
+            (8001, 2100, 40),
+        ] {
+            emp.insert(vec![Datum::Int(no), Datum::Int(sal), Datum::Int(d)]).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.add_table(emp);
+        c.create_index("emp", "sal").unwrap();
+        c.create_index("emp", "deptno").unwrap();
+        c
+    }
+
+    #[test]
+    fn full_scan_counts_rows() {
+        let c = catalog();
+        let stats = ExecStats::new();
+        let (rows, path) =
+            scan(&c, &stats, "emp", &Conjunction::single("empno", CmpOp::Eq, Datum::Int(7934)))
+                .unwrap();
+        // empno has no index → full scan.
+        assert_eq!(path, AccessPath::FullScan);
+        assert_eq!(rows, vec![1]);
+        assert_eq!(stats.snapshot().rows_scanned, 4);
+        assert_eq!(stats.snapshot().index_probes, 0);
+    }
+
+    #[test]
+    fn index_range_used_for_sal() {
+        let c = catalog();
+        let stats = ExecStats::new();
+        let (rows, path) =
+            scan(&c, &stats, "emp", &Conjunction::single("sal", CmpOp::Gt, Datum::Int(2000)))
+                .unwrap();
+        assert_eq!(path, AccessPath::IndexRange { column: "sal".into() });
+        assert_eq!(rows, vec![0, 2, 3]);
+        let s = stats.snapshot();
+        assert_eq!(s.index_probes, 1);
+        assert_eq!(s.index_rows, 3);
+        assert_eq!(s.rows_scanned, 0);
+    }
+
+    #[test]
+    fn eq_probe_preferred_over_range() {
+        let c = catalog();
+        let stats = ExecStats::new();
+        let pred = Conjunction::of(vec![
+            ColumnCmp::new("sal", CmpOp::Gt, Datum::Int(2000)),
+            ColumnCmp::new("deptno", CmpOp::Eq, Datum::Int(40)),
+        ]);
+        let (rows, path) = scan(&c, &stats, "emp", &pred).unwrap();
+        assert_eq!(path, AccessPath::IndexEq { column: "deptno".into() });
+        assert_eq!(rows, vec![2, 3]);
+        let s = stats.snapshot();
+        assert_eq!(s.index_probes, 1);
+        // Residual sal filter visited both candidates.
+        assert_eq!(s.rows_scanned, 2);
+    }
+
+    #[test]
+    fn null_comparisons_filter_out() {
+        let mut c = catalog();
+        c.table_mut("emp")
+            .unwrap()
+            .insert(vec![Datum::Int(9999), Datum::Null, Datum::Int(10)])
+            .unwrap();
+        let stats = ExecStats::new();
+        let (rows, _) =
+            scan(&c, &stats, "emp", &Conjunction::single("sal", CmpOp::Ne, Datum::Int(0)))
+                .unwrap();
+        assert_eq!(rows.len(), 4); // NULL row excluded
+    }
+
+    #[test]
+    fn empty_predicate_returns_all() {
+        let c = catalog();
+        let stats = ExecStats::new();
+        let (rows, path) = scan(&c, &stats, "emp", &Conjunction::default()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(path, AccessPath::FullScan);
+    }
+}

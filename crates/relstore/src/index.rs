@@ -1,0 +1,122 @@
+//! B-tree secondary indexes (one column each).
+
+use crate::datum::{Datum, DatumKey};
+use crate::table::{RowId, StoreError, Table};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A secondary B-tree index over one column of a table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub table: String,
+    pub column: String,
+    map: BTreeMap<DatumKey, Vec<RowId>>,
+}
+
+impl Index {
+    /// Build an index over `table.column`. NULLs are not indexed (matching
+    /// the usual B-tree behaviour).
+    pub fn build(table: &Table, column: &str) -> Result<Index, StoreError> {
+        let ci = table
+            .col_index(column)
+            .ok_or_else(|| StoreError(format!("no column {column} in {}", table.name)))?;
+        let mut map: BTreeMap<DatumKey, Vec<RowId>> = BTreeMap::new();
+        for (rid, row) in table.rows.iter().enumerate() {
+            let d = &row[ci];
+            if d.is_null() {
+                continue;
+            }
+            map.entry(DatumKey(d.clone())).or_default().push(rid);
+        }
+        Ok(Index { table: table.name.clone(), column: column.to_string(), map })
+    }
+
+    /// Equality probe.
+    pub fn lookup_eq(&self, key: &Datum) -> Vec<RowId> {
+        self.map
+            .get(&DatumKey(key.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Range scan with explicit bounds.
+    pub fn lookup_range(&self, lo: Bound<&Datum>, hi: Bound<&Datum>) -> Vec<RowId> {
+        let lo = map_bound(lo);
+        let hi = map_bound(hi);
+        let mut out = Vec::new();
+        for (_, rids) in self.map.range::<DatumKey, _>((lo, hi)) {
+            out.extend_from_slice(rids);
+        }
+        out
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn map_bound(b: Bound<&Datum>) -> Bound<DatumKey> {
+    match b {
+        Bound::Included(d) => Bound::Included(DatumKey(d.clone())),
+        Bound::Excluded(d) => Bound::Excluded(DatumKey(d.clone())),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::ColType;
+
+    fn emp() -> Table {
+        let mut t = Table::new("emp", &[("empno", ColType::Int), ("sal", ColType::Int)]);
+        for (no, sal) in [(7782, 2450), (7934, 1300), (7954, 4900), (8000, 2450)] {
+            t.insert(vec![Datum::Int(no), Datum::Int(sal)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let t = emp();
+        let idx = Index::build(&t, "sal").unwrap();
+        assert_eq!(idx.lookup_eq(&Datum::Int(2450)), vec![0, 3]);
+        assert!(idx.lookup_eq(&Datum::Int(9)).is_empty());
+    }
+
+    #[test]
+    fn range_lookup() {
+        let t = emp();
+        let idx = Index::build(&t, "sal").unwrap();
+        let rows = idx.lookup_range(Bound::Excluded(&Datum::Int(2000)), Bound::Unbounded);
+        assert_eq!(rows.len(), 3); // 2450, 2450, 4900
+        let rows = idx.lookup_range(
+            Bound::Included(&Datum::Int(1300)),
+            Bound::Included(&Datum::Int(2450)),
+        );
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut t = emp();
+        t.insert(vec![Datum::Int(9000), Datum::Null]).unwrap();
+        let idx = Index::build(&t, "sal").unwrap();
+        let all = idx.lookup_range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = emp();
+        assert!(Index::build(&t, "nope").is_err());
+    }
+
+    #[test]
+    fn numeric_cross_type_probe() {
+        let t = emp();
+        let idx = Index::build(&t, "sal").unwrap();
+        assert_eq!(idx.lookup_eq(&Datum::Num(2450.0)).len(), 2);
+    }
+}

@@ -1,0 +1,617 @@
+//! SQL/XML publishing expressions — `XMLElement`, `XMLConcat`, `XMLAgg`,
+//! `XMLAttributes`, string concatenation and column references. This is the
+//! target language of the paper's final rewrite step (Table 7 / Table 11):
+//! a query made only of publishing functions over relational columns.
+
+use crate::catalog::Catalog;
+use crate::exec::{scan, AccessPath, CmpOp, ColumnCmp, Conjunction};
+use crate::stats::ExecStats;
+use crate::table::{RowId, StoreError};
+use xsltdb_xml::{Document, QName, TreeBuilder};
+
+/// Aggregate functions usable in scalar subqueries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+}
+
+/// A comparison term whose right-hand side may be a constant or a column of
+/// the *outer* row (the correlation of a scalar subquery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggPredTerm {
+    Const(ColumnCmp),
+    /// `inner_column = outer_table.outer_column`.
+    Correlate { inner_column: String, outer_table: String, outer_column: String },
+}
+
+/// An `ORDER BY` key of an `XMLAgg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggOrder {
+    pub column: String,
+    pub descending: bool,
+}
+
+/// A publishing expression, evaluated per outer-row binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PubExpr {
+    /// `XMLElement("name", XMLAttributes(...), children...)`.
+    Element { name: String, attrs: Vec<(String, PubExpr)>, children: Vec<PubExpr> },
+    /// `XMLConcat(...)` — splice children in place.
+    Concat(Vec<PubExpr>),
+    /// A string literal (text content).
+    Literal(String),
+    /// A column of a bound table (text content).
+    ColumnRef { table: String, column: String },
+    /// SQL `||` string concatenation (text content).
+    StrConcat(Vec<PubExpr>),
+    /// Correlated `(SELECT XMLAgg(body) FROM table WHERE ...)`.
+    Agg {
+        table: String,
+        predicate: Vec<AggPredTerm>,
+        order_by: Vec<AggOrder>,
+        body: Box<PubExpr>,
+    },
+    /// Numeric arithmetic over scalar subexpressions, published as text
+    /// (`sum(SAL) / count(*)`-style projections).
+    Arith {
+        op: crate::datum::ArithOp,
+        left: Box<PubExpr>,
+        right: Box<PubExpr>,
+    },
+    /// SQL `CASE WHEN col op const THEN ... ELSE ... END` over a bound row —
+    /// the target of rewritten `xsl:if`/`xsl:choose` over column values.
+    Case {
+        cond: ColumnCmp,
+        /// Table whose bound row the condition reads.
+        table: String,
+        then: Box<PubExpr>,
+        els: Box<PubExpr>,
+    },
+    /// Correlated scalar `(SELECT count(*)/sum(col) FROM table WHERE ...)`,
+    /// published as text.
+    ScalarAgg {
+        func: AggFunc,
+        column: Option<String>,
+        table: String,
+        predicate: Vec<AggPredTerm>,
+    },
+}
+
+impl PubExpr {
+    pub fn elem(name: &str, children: Vec<PubExpr>) -> PubExpr {
+        PubExpr::Element { name: name.to_string(), attrs: Vec::new(), children }
+    }
+
+    pub fn col(table: &str, column: &str) -> PubExpr {
+        PubExpr::ColumnRef { table: table.to_string(), column: column.to_string() }
+    }
+
+    pub fn lit(s: &str) -> PubExpr {
+        PubExpr::Literal(s.to_string())
+    }
+}
+
+/// Row bindings during evaluation: innermost binding of a table name wins.
+#[derive(Debug, Default, Clone)]
+pub struct Bindings {
+    stack: Vec<(String, RowId)>,
+}
+
+impl Bindings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, table: &str, row: RowId) {
+        self.stack.push((table.to_string(), row));
+    }
+
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    pub fn get(&self, table: &str) -> Option<RowId> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(t, _)| t == table)
+            .map(|(_, r)| *r)
+    }
+}
+
+/// Evaluate a publishing expression into `out`.
+pub fn eval_pub(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+    out: &mut TreeBuilder,
+) -> Result<(), StoreError> {
+    match expr {
+        PubExpr::Literal(s) => {
+            out.text(s);
+            Ok(())
+        }
+        PubExpr::ColumnRef { table, column } => {
+            let row = bindings
+                .get(table)
+                .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
+            let d = catalog.table(table)?.value_by_name(row, column)?.clone();
+            out.text(&d.to_text());
+            Ok(())
+        }
+        PubExpr::StrConcat(parts) => {
+            for p in parts {
+                eval_pub(p, catalog, stats, bindings, out)?;
+            }
+            Ok(())
+        }
+        PubExpr::Concat(parts) => {
+            for p in parts {
+                eval_pub(p, catalog, stats, bindings, out)?;
+            }
+            Ok(())
+        }
+        PubExpr::Element { name, attrs, children } => {
+            stats.add_element();
+            out.start_element(QName::local(name));
+            for (aname, avalue) in attrs {
+                let text = eval_to_text(avalue, catalog, stats, bindings)?;
+                out.try_attribute(QName::local(aname), text)
+                    .map_err(|m| StoreError(m.to_string()))?;
+            }
+            for c in children {
+                eval_pub(c, catalog, stats, bindings, out)?;
+            }
+            out.end_element();
+            Ok(())
+        }
+        PubExpr::Arith { op, left, right } => {
+            let l = xsltdb_xpath::value::str_to_num(&eval_to_text(left, catalog, stats, bindings)?);
+            let r = xsltdb_xpath::value::str_to_num(&eval_to_text(right, catalog, stats, bindings)?);
+            let n = match op {
+                crate::datum::ArithOp::Add => l + r,
+                crate::datum::ArithOp::Sub => l - r,
+                crate::datum::ArithOp::Mul => l * r,
+                crate::datum::ArithOp::Div => l / r,
+                crate::datum::ArithOp::Mod => l % r,
+            };
+            out.text(&xsltdb_xpath::value::num_to_string(n));
+            Ok(())
+        }
+        PubExpr::Case { cond, table, then, els } => {
+            let row = bindings
+                .get(table)
+                .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
+            let t = catalog.table(table)?;
+            if cond.matches(t, row)? {
+                eval_pub(then, catalog, stats, bindings, out)
+            } else {
+                eval_pub(els, catalog, stats, bindings, out)
+            }
+        }
+        PubExpr::Agg { table, predicate, order_by, body } => {
+            let rows = agg_rows(table, predicate, catalog, stats, bindings)?;
+            let rows = order_rows(rows, table, order_by, catalog)?;
+            for r in rows {
+                bindings.push(table, r);
+                let res = eval_pub(body, catalog, stats, bindings, out);
+                bindings.pop();
+                res?;
+            }
+            Ok(())
+        }
+        PubExpr::ScalarAgg { func, column, table, predicate } => {
+            let rows = agg_rows(table, predicate, catalog, stats, bindings)?;
+            let text = match func {
+                AggFunc::Count => (rows.len() as i64).to_string(),
+                AggFunc::Sum => {
+                    let col = column
+                        .as_deref()
+                        .ok_or_else(|| StoreError("sum() needs a column".into()))?;
+                    let t = catalog.table(table)?;
+                    let mut total = 0.0;
+                    for r in &rows {
+                        if let Some(v) = t.value_by_name(*r, col)?.as_f64() {
+                            total += v;
+                        }
+                    }
+                    xsltdb_xpath::value::num_to_string(total)
+                }
+            };
+            out.text(&text);
+            Ok(())
+        }
+    }
+}
+
+/// Evaluate a text-producing expression to a string (for attributes).
+pub fn eval_to_text(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+) -> Result<String, StoreError> {
+    let mut b = TreeBuilder::new();
+    b.start_element(QName::local("t"));
+    eval_pub(expr, catalog, stats, bindings, &mut b)?;
+    b.end_element();
+    let doc = b.finish();
+    Ok(doc.string_value(xsltdb_xml::NodeId::DOCUMENT))
+}
+
+fn agg_rows(
+    table: &str,
+    predicate: &[AggPredTerm],
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &Bindings,
+) -> Result<Vec<RowId>, StoreError> {
+    // Resolve correlation terms to constants from the outer bindings, so the
+    // access-path planner can use an index on the correlated column too.
+    let mut conj = Conjunction::default();
+    for term in predicate {
+        match term {
+            AggPredTerm::Const(c) => conj.terms.push(c.clone()),
+            AggPredTerm::Correlate { inner_column, outer_table, outer_column } => {
+                let row = bindings.get(outer_table).ok_or_else(|| {
+                    StoreError(format!("no outer row bound for {outer_table}"))
+                })?;
+                let v = catalog
+                    .table(outer_table)?
+                    .value_by_name(row, outer_column)?
+                    .clone();
+                conj.terms.push(ColumnCmp::new(inner_column, CmpOp::Eq, v));
+            }
+        }
+    }
+    let (rows, _path) = scan(catalog, stats, table, &conj)?;
+    Ok(rows)
+}
+
+fn order_rows(
+    mut rows: Vec<RowId>,
+    table: &str,
+    order_by: &[AggOrder],
+    catalog: &Catalog,
+) -> Result<Vec<RowId>, StoreError> {
+    if order_by.is_empty() {
+        return Ok(rows);
+    }
+    let t = catalog.table(table)?;
+    let mut cols = Vec::with_capacity(order_by.len());
+    for o in order_by {
+        let ci = t
+            .col_index(&o.column)
+            .ok_or_else(|| StoreError(format!("no column {} in {table}", o.column)))?;
+        cols.push((ci, o.descending));
+    }
+    rows.sort_by(|&a, &b| {
+        for &(ci, desc) in &cols {
+            let mut ord = t.value(a, ci).cmp_total(t.value(b, ci));
+            if desc {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(rows)
+}
+
+/// A complete SQL/XML query: one publishing expression per row of a base
+/// table (possibly filtered) — the shape of Tables 3, 7 and 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlXmlQuery {
+    pub base_table: String,
+    pub where_clause: Conjunction,
+    pub select: PubExpr,
+}
+
+impl SqlXmlQuery {
+    /// Run the query: one result document per qualifying base row.
+    pub fn execute(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+    ) -> Result<Vec<Document>, StoreError> {
+        let (rows, _path) = scan(catalog, stats, &self.base_table, &self.where_clause)?;
+        let mut out = Vec::with_capacity(rows.len());
+        let mut bindings = Bindings::new();
+        for r in rows {
+            bindings.push(&self.base_table, r);
+            let mut b = TreeBuilder::new();
+            let res = eval_pub(&self.select, catalog, stats, &mut bindings, &mut b);
+            bindings.pop();
+            res?;
+            out.push(b.finish_lenient());
+        }
+        Ok(out)
+    }
+
+    /// The access path the base-table scan would take (for EXPLAIN-style
+    /// reporting).
+    pub fn explain_base_path(&self, catalog: &Catalog) -> Result<AccessPath, StoreError> {
+        let stats = ExecStats::new();
+        let (_, path) = scan(catalog, &stats, &self.base_table, &self.where_clause)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::{ColType, Datum};
+    use crate::table::Table;
+
+    /// The paper's dept/emp schema (Tables 1 and 2).
+    pub(crate) fn paper_catalog() -> Catalog {
+        let mut dept = Table::new(
+            "dept",
+            &[("deptno", ColType::Int), ("dname", ColType::Text), ("loc", ColType::Text)],
+        );
+        dept.insert(vec![
+            Datum::Int(10),
+            Datum::Text("ACCOUNTING".into()),
+            Datum::Text("NEW YORK".into()),
+        ])
+        .unwrap();
+        dept.insert(vec![
+            Datum::Int(40),
+            Datum::Text("OPERATIONS".into()),
+            Datum::Text("BOSTON".into()),
+        ])
+        .unwrap();
+        let mut emp = Table::new(
+            "emp",
+            &[
+                ("empno", ColType::Int),
+                ("ename", ColType::Text),
+                ("job", ColType::Text),
+                ("sal", ColType::Int),
+                ("deptno", ColType::Int),
+            ],
+        );
+        for (no, name, job, sal, d) in [
+            (7782, "CLARK", "MANAGER", 2450, 10),
+            (7934, "MILLER", "CLERK", 1300, 10),
+            (7954, "SMITH", "VP", 4900, 40),
+        ] {
+            emp.insert(vec![
+                Datum::Int(no),
+                Datum::Text(name.into()),
+                Datum::Text(job.into()),
+                Datum::Int(sal),
+                Datum::Int(d),
+            ])
+            .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.add_table(dept);
+        c.add_table(emp);
+        c.create_index("emp", "sal").unwrap();
+        c.create_index("emp", "deptno").unwrap();
+        c
+    }
+
+    /// The dept_emp view construction of Table 3.
+    pub(crate) fn dept_emp_pub() -> PubExpr {
+        PubExpr::elem(
+            "dept",
+            vec![
+                PubExpr::elem("dname", vec![PubExpr::col("dept", "dname")]),
+                PubExpr::elem("loc", vec![PubExpr::col("dept", "loc")]),
+                PubExpr::elem(
+                    "employees",
+                    vec![PubExpr::Agg {
+                        table: "emp".into(),
+                        predicate: vec![AggPredTerm::Correlate {
+                            inner_column: "deptno".into(),
+                            outer_table: "dept".into(),
+                            outer_column: "deptno".into(),
+                        }],
+                        order_by: Vec::new(),
+                        body: Box::new(PubExpr::elem(
+                            "emp",
+                            vec![
+                                PubExpr::elem("empno", vec![PubExpr::col("emp", "empno")]),
+                                PubExpr::elem("ename", vec![PubExpr::col("emp", "ename")]),
+                                PubExpr::elem("sal", vec![PubExpr::col("emp", "sal")]),
+                            ],
+                        )),
+                    }],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn table3_view_produces_table4_rows() {
+        let c = paper_catalog();
+        let stats = ExecStats::new();
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::default(),
+            select: dept_emp_pub(),
+        };
+        let docs = q.execute(&c, &stats).unwrap();
+        assert_eq!(docs.len(), 2);
+        let first = xsltdb_xml::to_string(&docs[0]);
+        assert_eq!(
+            first,
+            "<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees>\
+             <emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>\
+             <emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>\
+             </employees></dept>"
+        );
+        let second = xsltdb_xml::to_string(&docs[1]);
+        assert!(second.contains("<ename>SMITH</ename>"));
+    }
+
+    #[test]
+    fn rewritten_table7_query_uses_sal_index() {
+        // The Table 7 shape: per dept row, H1/H2s plus an XMLAgg over emp
+        // with `sal > 2000 AND deptno = dept.deptno`.
+        let c = paper_catalog();
+        let stats = ExecStats::new();
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::default(),
+            select: PubExpr::Concat(vec![
+                PubExpr::elem("H1", vec![PubExpr::lit("HIGHLY PAID DEPT EMPLOYEES")]),
+                PubExpr::elem(
+                    "H2",
+                    vec![PubExpr::StrConcat(vec![
+                        PubExpr::lit("Department name: "),
+                        PubExpr::col("dept", "dname"),
+                    ])],
+                ),
+                PubExpr::Element {
+                    name: "table".into(),
+                    attrs: vec![("border".into(), PubExpr::lit("2"))],
+                    children: vec![PubExpr::Agg {
+                        table: "emp".into(),
+                        predicate: vec![
+                            AggPredTerm::Const(ColumnCmp::new(
+                                "sal",
+                                CmpOp::Gt,
+                                Datum::Int(2000),
+                            )),
+                            AggPredTerm::Correlate {
+                                inner_column: "deptno".into(),
+                                outer_table: "dept".into(),
+                                outer_column: "deptno".into(),
+                            },
+                        ],
+                        order_by: Vec::new(),
+                        body: Box::new(PubExpr::elem(
+                            "tr",
+                            vec![PubExpr::elem("td", vec![PubExpr::col("emp", "ename")])],
+                        )),
+                    }],
+                },
+            ]),
+        };
+        let docs = q.execute(&c, &stats).unwrap();
+        assert_eq!(docs.len(), 2);
+        let s0 = xsltdb_xml::to_string(&docs[0]);
+        assert!(s0.contains("<td>CLARK</td>"));
+        assert!(!s0.contains("MILLER"));
+        // Index used for the correlated probe.
+        assert!(stats.snapshot().index_probes >= 2);
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let c = paper_catalog();
+        let stats = ExecStats::new();
+        let mut bindings = Bindings::new();
+        let count = eval_to_text(
+            &PubExpr::ScalarAgg {
+                func: AggFunc::Count,
+                column: None,
+                table: "emp".into(),
+                predicate: vec![],
+            },
+            &c,
+            &stats,
+            &mut bindings,
+        )
+        .unwrap();
+        assert_eq!(count, "3");
+        let sum = eval_to_text(
+            &PubExpr::ScalarAgg {
+                func: AggFunc::Sum,
+                column: Some("sal".into()),
+                table: "emp".into(),
+                predicate: vec![],
+            },
+            &c,
+            &stats,
+            &mut bindings,
+        )
+        .unwrap();
+        assert_eq!(sum, "8650");
+    }
+
+    #[test]
+    fn agg_order_by() {
+        let c = paper_catalog();
+        let stats = ExecStats::new();
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::single("deptno", CmpOp::Eq, Datum::Int(10)),
+            select: PubExpr::Agg {
+                table: "emp".into(),
+                predicate: vec![AggPredTerm::Correlate {
+                    inner_column: "deptno".into(),
+                    outer_table: "dept".into(),
+                    outer_column: "deptno".into(),
+                }],
+                order_by: vec![AggOrder { column: "sal".into(), descending: false }],
+                body: Box::new(PubExpr::elem("s", vec![PubExpr::col("emp", "sal")])),
+            },
+        };
+        let docs = q.execute(&c, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<s>1300</s><s>2450</s>");
+    }
+
+    #[test]
+    fn missing_binding_is_error() {
+        let c = paper_catalog();
+        let stats = ExecStats::new();
+        let mut bindings = Bindings::new();
+        let mut b = TreeBuilder::new();
+        let r = eval_pub(&PubExpr::col("dept", "dname"), &c, &stats, &mut bindings, &mut b);
+        assert!(r.is_err());
+    }
+}
+
+#[cfg(test)]
+mod arith_tests {
+    use super::*;
+    use crate::datum::ArithOp;
+
+    #[test]
+    fn arithmetic_over_scalar_aggs() {
+        let c = super::tests::paper_catalog();
+        let stats = ExecStats::new();
+        let mut bindings = Bindings::new();
+        // avg salary = sum(sal) / count(*) = 8650 / 3.
+        let avg = PubExpr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(PubExpr::ScalarAgg {
+                func: AggFunc::Sum,
+                column: Some("sal".into()),
+                table: "emp".into(),
+                predicate: vec![],
+            }),
+            right: Box::new(PubExpr::ScalarAgg {
+                func: AggFunc::Count,
+                column: None,
+                table: "emp".into(),
+                predicate: vec![],
+            }),
+        };
+        let text = eval_to_text(&avg, &c, &stats, &mut bindings).unwrap();
+        assert_eq!(text.parse::<f64>().unwrap().round(), 2883.0);
+    }
+
+    #[test]
+    fn arith_pretty_prints() {
+        let e = PubExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(PubExpr::lit("1")),
+            right: Box::new(PubExpr::lit("2")),
+        };
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: crate::exec::Conjunction::default(),
+            select: e,
+        };
+        assert!(crate::sqlpretty::sql_text(&q).contains("('1' + '2')"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Heap tables.
+
+use crate::datum::{ColType, Datum};
+use std::fmt;
+
+/// Row identifier within a table (heap position).
+pub type RowId = usize;
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// An error from the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A heap table: schema plus rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl Table {
+    pub fn new(name: &str, columns: &[(&str, ColType)]) -> Table {
+        Table {
+            name: name.to_string(),
+            columns: columns
+                .iter()
+                .map(|(n, t)| Column { name: n.to_string(), ty: *t })
+                .collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Insert a row; validates arity and (loosely) types.
+    pub fn insert(&mut self, row: Vec<Datum>) -> Result<RowId, StoreError> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (c, d) in self.columns.iter().zip(&row) {
+            let ok = matches!(
+                (c.ty, d),
+                (_, Datum::Null)
+                    | (ColType::Int, Datum::Int(_))
+                    | (ColType::Num, Datum::Num(_))
+                    | (ColType::Num, Datum::Int(_))
+                    | (ColType::Text, Datum::Text(_))
+            );
+            if !ok {
+                return Err(StoreError(format!(
+                    "table {}: column {} has type {:?}, got {d:?}",
+                    self.name, c.name, c.ty
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    pub fn value(&self, row: RowId, col: usize) -> &Datum {
+        &self.rows[row][col]
+    }
+
+    /// Value by column name; errors on unknown column.
+    pub fn value_by_name(&self, row: RowId, col: &str) -> Result<&Datum, StoreError> {
+        let i = self
+            .col_index(col)
+            .ok_or_else(|| StoreError(format!("table {} has no column {col}", self.name)))?;
+        Ok(&self.rows[row][i])
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dept() -> Table {
+        let mut t = Table::new("dept", &[("deptno", ColType::Int), ("dname", ColType::Text)]);
+        t.insert(vec![Datum::Int(10), Datum::Text("ACCOUNTING".into())]).unwrap();
+        t.insert(vec![Datum::Int(40), Datum::Text("OPERATIONS".into())]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let t = dept();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, 1), &Datum::Text("ACCOUNTING".into()));
+        assert_eq!(t.value_by_name(1, "deptno").unwrap(), &Datum::Int(40));
+    }
+
+    #[test]
+    fn col_index_case_insensitive() {
+        let t = dept();
+        assert_eq!(t.col_index("DNAME"), Some(1));
+        assert_eq!(t.col_index("nope"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = dept();
+        assert!(t.insert(vec![Datum::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = dept();
+        assert!(t.insert(vec![Datum::Text("x".into()), Datum::Text("y".into())]).is_err());
+    }
+
+    #[test]
+    fn null_allowed_everywhere() {
+        let mut t = dept();
+        t.insert(vec![Datum::Null, Datum::Null]).unwrap();
+        assert!(t.value(2, 0).is_null());
+    }
+
+    #[test]
+    fn int_into_num_column_allowed() {
+        let mut t = Table::new("m", &[("v", ColType::Num)]);
+        t.insert(vec![Datum::Int(3)]).unwrap();
+        assert_eq!(t.value(0, 0).as_f64(), Some(3.0));
+    }
+}

@@ -1,0 +1,280 @@
+//! Structural information from a DTD internal subset (paper §3.2, bullet 1).
+//!
+//! Supports the common single-level content models: `EMPTY`, `(#PCDATA)`,
+//! mixed `(#PCDATA | a | b)*`, and one group of named children with `,` or
+//! `|` separators and `?`/`*`/`+` cardinalities, plus `<!ATTLIST>`.
+//! Recursive element structures are rejected — the paper (§7.2) explicitly
+//! leaves recursive documents to future work.
+
+use crate::model::{Cardinality, ChildDecl, ElemDecl, ModelGroup, Origin, StructInfo};
+use std::collections::HashMap;
+
+/// DTD parse/derivation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtdError(pub String);
+
+impl std::fmt::Display for DtdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DTD error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+#[derive(Debug, Clone)]
+struct RawDecl {
+    group: ModelGroup,
+    children: Vec<(String, Cardinality)>,
+    has_text: bool,
+}
+
+/// Parse an internal DTD subset and build the structure rooted at `root`.
+pub fn struct_of_dtd(subset: &str, root: &str) -> Result<StructInfo, DtdError> {
+    let (decls, atts) = parse_subset(subset)?;
+    let mut stack = Vec::new();
+    let root_decl = build(root, &decls, &atts, &mut stack)?;
+    Ok(StructInfo { root: root_decl, origin: Origin::Dtd })
+}
+
+fn build(
+    name: &str,
+    decls: &HashMap<String, RawDecl>,
+    atts: &HashMap<String, Vec<String>>,
+    stack: &mut Vec<String>,
+) -> Result<ElemDecl, DtdError> {
+    if stack.iter().any(|s| s == name) {
+        return Err(DtdError(format!(
+            "recursive element structure through <{name}> is not supported (paper §7.2)"
+        )));
+    }
+    let raw = decls.get(name);
+    let mut decl = match raw {
+        None => ElemDecl::leaf(name), // undeclared: assume text leaf
+        Some(r) => {
+            stack.push(name.to_string());
+            let mut children = Vec::with_capacity(r.children.len());
+            for (cname, card) in &r.children {
+                children.push(ChildDecl {
+                    decl: build(cname, decls, atts, stack)?,
+                    card: *card,
+                });
+            }
+            stack.pop();
+            ElemDecl {
+                name: name.to_string(),
+                group: r.group,
+                children,
+                has_text: r.has_text,
+                attributes: Vec::new(),
+                content: crate::model::ContentBinding::Unbound,
+                row_source: None,
+            }
+        }
+    };
+    if let Some(a) = atts.get(name) {
+        decl.attributes = a.clone();
+    }
+    Ok(decl)
+}
+
+type ParsedSubset = (HashMap<String, RawDecl>, HashMap<String, Vec<String>>);
+
+fn parse_subset(subset: &str) -> Result<ParsedSubset, DtdError> {
+    let mut decls = HashMap::new();
+    let mut atts: HashMap<String, Vec<String>> = HashMap::new();
+    let mut rest = subset;
+    while let Some(start) = rest.find("<!") {
+        rest = &rest[start..];
+        let end = rest
+            .find('>')
+            .ok_or_else(|| DtdError("unterminated declaration".into()))?;
+        let decl_text = &rest[2..end];
+        rest = &rest[end + 1..];
+        if let Some(body) = decl_text.strip_prefix("ELEMENT") {
+            let body = body.trim();
+            let (name, content) = body
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| DtdError(format!("malformed ELEMENT decl `{body}`")))?;
+            decls.insert(name.to_string(), parse_content_model(content.trim())?);
+        } else if let Some(body) = decl_text.strip_prefix("ATTLIST") {
+            let mut parts = body.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| DtdError("ATTLIST without element name".into()))?;
+            // Attribute declarations come in (name, type, default) triples;
+            // defaults like #IMPLIED may be the whole third token.
+            let tokens: Vec<&str> = parts.collect();
+            let mut i = 0;
+            while i + 1 < tokens.len() {
+                atts.entry(name.to_string())
+                    .or_default()
+                    .push(tokens[i].to_string());
+                // Skip type and default (default may be a quoted literal).
+                i += 3;
+            }
+        }
+        // Other declarations (<!ENTITY>, comments) are ignored.
+    }
+    Ok((decls, atts))
+}
+
+fn parse_content_model(content: &str) -> Result<RawDecl, DtdError> {
+    let c = content.trim();
+    if c == "EMPTY" {
+        return Ok(RawDecl { group: ModelGroup::Sequence, children: Vec::new(), has_text: false });
+    }
+    if c == "ANY" {
+        return Ok(RawDecl { group: ModelGroup::All, children: Vec::new(), has_text: true });
+    }
+    let inner = c
+        .strip_prefix('(')
+        .ok_or_else(|| DtdError(format!("expected `(` in content model `{c}`")))?;
+    let (inner, trailing) = match inner.rfind(')') {
+        Some(i) => (&inner[..i], inner[i + 1..].trim()),
+        None => return Err(DtdError(format!("unbalanced parens in `{c}`"))),
+    };
+    let mixed_star = trailing == "*";
+    let inner = inner.trim();
+    if inner == "#PCDATA" {
+        return Ok(RawDecl { group: ModelGroup::Sequence, children: Vec::new(), has_text: true });
+    }
+    if inner.contains('(') {
+        return Err(DtdError(format!(
+            "nested model groups are not supported: `{c}`"
+        )));
+    }
+    let (sep, group) = if inner.contains('|') {
+        ('|', ModelGroup::Choice)
+    } else {
+        (',', ModelGroup::Sequence)
+    };
+    if inner.contains('|') && inner.contains(',') {
+        return Err(DtdError(format!("mixed separators in `{c}`")));
+    }
+    let mut has_text = false;
+    let mut children = Vec::new();
+    for part in inner.split(sep) {
+        let p = part.trim();
+        if p == "#PCDATA" {
+            has_text = true;
+            continue;
+        }
+        let (name, card) = match p.chars().last() {
+            Some('?') => (&p[..p.len() - 1], Cardinality::Optional),
+            Some('*') | Some('+') => (&p[..p.len() - 1], Cardinality::Many),
+            _ => (p, Cardinality::One),
+        };
+        if name.is_empty() {
+            return Err(DtdError(format!("empty particle in `{c}`")));
+        }
+        children.push((name.to_string(), card));
+    }
+    if has_text {
+        // Mixed content: children may repeat in any order.
+        return Ok(RawDecl {
+            group: ModelGroup::All,
+            children: children
+                .into_iter()
+                .map(|(n, _)| (n, Cardinality::Many))
+                .collect(),
+            has_text: true,
+        });
+    }
+    let children = if mixed_star {
+        children.into_iter().map(|(n, _)| (n, Cardinality::Many)).collect()
+    } else {
+        children
+    };
+    Ok(RawDecl { group, children, has_text: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEPT_DTD: &str = r#"
+        <!ELEMENT dept (dname, loc?, employees)>
+        <!ELEMENT dname (#PCDATA)>
+        <!ELEMENT loc (#PCDATA)>
+        <!ELEMENT employees (emp*)>
+        <!ELEMENT emp (empno, ename, sal)>
+        <!ELEMENT empno (#PCDATA)>
+        <!ELEMENT ename (#PCDATA)>
+        <!ELEMENT sal (#PCDATA)>
+        <!ATTLIST dept no CDATA #IMPLIED>
+    "#;
+
+    #[test]
+    fn parses_sequence_model() {
+        let info = struct_of_dtd(DEPT_DTD, "dept").unwrap();
+        assert_eq!(info.root.name, "dept");
+        assert_eq!(info.root.group, ModelGroup::Sequence);
+        assert_eq!(info.root.children.len(), 3);
+        assert_eq!(info.root.child("loc").unwrap().card, Cardinality::Optional);
+        assert_eq!(
+            info.root.child("employees").unwrap().decl.child("emp").unwrap().card,
+            Cardinality::Many
+        );
+        assert!(info.root.descend(&["dname"]).unwrap().has_text);
+        assert_eq!(info.root.attributes, vec!["no"]);
+    }
+
+    #[test]
+    fn choice_model() {
+        let dtd = "<!ELEMENT r (a | b | c)> <!ELEMENT a (#PCDATA)>";
+        let info = struct_of_dtd(dtd, "r").unwrap();
+        assert_eq!(info.root.group, ModelGroup::Choice);
+        assert_eq!(info.root.children.len(), 3);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let dtd = "<!ELEMENT p (#PCDATA | b | i)*>";
+        let info = struct_of_dtd(dtd, "p").unwrap();
+        assert!(info.root.has_text);
+        assert_eq!(info.root.group, ModelGroup::All);
+        assert!(info.root.children.iter().all(|c| c.card == Cardinality::Many));
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let dtd = "<!ELEMENT e EMPTY> <!ELEMENT a ANY>";
+        assert!(!struct_of_dtd(dtd, "e").unwrap().root.has_text);
+        assert!(struct_of_dtd(dtd, "a").unwrap().root.has_text);
+    }
+
+    #[test]
+    fn undeclared_child_is_text_leaf() {
+        let dtd = "<!ELEMENT r (mystery)>";
+        let info = struct_of_dtd(dtd, "r").unwrap();
+        assert!(info.root.child("mystery").unwrap().decl.has_text);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let dtd = "<!ELEMENT a (b)> <!ELEMENT b (a?)>";
+        let err = struct_of_dtd(dtd, "a").unwrap_err();
+        assert!(err.0.contains("recursive"));
+    }
+
+    #[test]
+    fn nested_groups_rejected() {
+        let dtd = "<!ELEMENT r ((a, b) | c)>";
+        assert!(struct_of_dtd(dtd, "r").is_err());
+    }
+
+    #[test]
+    fn works_with_doctype_capture() {
+        let parsed = xsltdb_xml::parse::parse_with_doctype(
+            "<!DOCTYPE dept [<!ELEMENT dept (dname)> <!ELEMENT dname (#PCDATA)>]>\
+             <dept><dname>x</dname></dept>",
+        )
+        .unwrap();
+        let info = struct_of_dtd(
+            parsed.internal_dtd.as_deref().unwrap(),
+            parsed.doctype_name.as_deref().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(info.root.name, "dept");
+    }
+}

@@ -1,0 +1,109 @@
+//! Structural information from static typing of an upstream XQuery (paper
+//! §3.2, bullets 3–4): when the input XMLType is the result of another
+//! XQuery — in particular an XSLT transform already rewritten to XQuery, as
+//! in Example 2 — its structure is the query's inferred result shape.
+
+use crate::model::{
+    Cardinality, ChildDecl, ContentBinding, ElemDecl, ModelGroup, Origin, StructInfo,
+};
+use xsltdb_xquery::typing::{infer, Occurs, Shape};
+use xsltdb_xquery::XqExpr;
+
+/// Error deriving structure from typing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypingError(pub String);
+
+impl std::fmt::Display for TypingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "typing derivation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypingError {}
+
+/// Derive the structure of an XQuery expression's result. The result
+/// sequence is wrapped in a synthetic document root declaration named
+/// `#document`, mirroring how `XMLQuery(... RETURNING CONTENT)` wraps its
+/// result into one XMLType value.
+pub fn struct_of_query_result(body: &XqExpr) -> Result<StructInfo, TypingError> {
+    let shapes = infer(body);
+    let children = shapes
+        .iter()
+        .filter_map(occurs_to_child)
+        .collect::<Vec<_>>();
+    let mut root = ElemDecl::parent("#document", children);
+    root.has_text = shapes
+        .iter()
+        .any(|o| matches!(o.shape, Shape::Text | Shape::Opaque));
+    Ok(StructInfo { root, origin: Origin::StaticTyping })
+}
+
+fn occurs_to_child(o: &Occurs) -> Option<ChildDecl> {
+    match &o.shape {
+        Shape::Element { name, attrs, children } => {
+            let kids: Vec<ChildDecl> = children.iter().filter_map(occurs_to_child).collect();
+            let has_text = children
+                .iter()
+                .any(|c| matches!(c.shape, Shape::Text | Shape::Opaque));
+            Some(ChildDecl {
+                decl: ElemDecl {
+                    name: name.clone(),
+                    group: ModelGroup::Sequence,
+                    children: kids,
+                    has_text,
+                    attributes: attrs.clone(),
+                    content: ContentBinding::Unbound,
+                    row_source: None,
+                },
+                card: match (o.many, o.optional) {
+                    (true, _) => Cardinality::Many,
+                    (false, true) => Cardinality::Optional,
+                    (false, false) => Cardinality::One,
+                },
+            })
+        }
+        Shape::Text | Shape::Opaque => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_xquery::parse_xq_expr;
+
+    #[test]
+    fn table8_like_query_structure() {
+        // A cut-down version of the paper's Table 8 output shape.
+        let q = parse_xq_expr(
+            r#"(<H1>HIGHLY PAID DEPT EMPLOYEES</H1>,
+                <table border="2">{
+                  for $e in $v/emp return <tr><td>{fn:string($e/empno)}</td></tr>
+                }</table>)"#,
+        )
+        .unwrap();
+        let info = struct_of_query_result(&q).unwrap();
+        assert_eq!(info.origin, Origin::StaticTyping);
+        assert_eq!(info.root.children.len(), 2);
+        let table = info.root.child("table").unwrap();
+        assert_eq!(table.card, Cardinality::One);
+        assert_eq!(table.decl.attributes, vec!["border"]);
+        let tr = table.decl.child("tr").unwrap();
+        assert_eq!(tr.card, Cardinality::Many);
+        assert!(tr.decl.child("td").unwrap().decl.has_text);
+    }
+
+    #[test]
+    fn conditional_marks_optional() {
+        let q = parse_xq_expr("if ($x) then <a/> else ()").unwrap();
+        let info = struct_of_query_result(&q).unwrap();
+        assert_eq!(info.root.child("a").unwrap().card, Cardinality::Optional);
+    }
+
+    #[test]
+    fn atomic_result_is_text_document() {
+        let q = parse_xq_expr("fn:string($x)").unwrap();
+        let info = struct_of_query_result(&q).unwrap();
+        assert!(info.root.has_text);
+        assert!(info.root.children.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # xsltdb-structinfo
+//!
+//! XML structural information (paper §3.2): the model of element
+//! declarations with model groups and cardinalities, derivations from every
+//! source the paper lists — DTD, XML Schema, SQL/XML publishing views over
+//! relational data, and static typing of upstream XQuery — and the
+//! annotated *sample document* generator (§4.2) the partial evaluator runs
+//! the XSLTVM against.
+//!
+//! View-derived structures additionally carry *bindings*: which relational
+//! column produces each text node and which table's rows produce each
+//! repeated element. Those bindings are what the XQuery→SQL/XML rewrite in
+//! the `xsltdb` core crate consumes.
+
+pub mod dtd;
+pub mod from_typing;
+pub mod from_view;
+pub mod model;
+pub mod sample;
+pub mod xsd;
+
+pub use dtd::{struct_of_dtd, DtdError};
+pub use from_typing::{struct_of_query_result, TypingError};
+pub use from_view::{struct_of_view, DeriveError};
+pub use model::{
+    Cardinality, ChildDecl, ContentBinding, ElemDecl, ModelGroup, Origin, RowSource, StructInfo,
+};
+pub use sample::{generate_annotated, SampleDoc, SampleNode, SAMPLE_TEXT};
+pub use xsd::{struct_of_xsd, struct_of_xsd_doc, XsdError};

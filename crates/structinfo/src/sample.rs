@@ -1,0 +1,253 @@
+//! Sample document generation (paper §4.2): a document that captures all
+//! the structural information of the input XMLType but none of its content.
+//! The partial evaluator runs the XSLTVM over this document with trace
+//! instructions enabled.
+//!
+//! Two forms are generated:
+//!
+//! * the *clean* sample used for tracing, accompanied by a node→declaration
+//!   map so trace events can be resolved back to structure positions;
+//! * an *annotated* sample carrying `xdb:*` attributes (model group,
+//!   cardinality) in the predefined namespace — the human-readable artefact
+//!   the paper describes.
+
+use crate::model::{Cardinality, ChildDecl, ElemDecl, ModelGroup, StructInfo};
+use std::collections::HashMap;
+use xsltdb_xml::{Document, NodeId, QName, TreeBuilder, XDB_NS};
+
+/// The sentinel placed in text and attribute positions of the sample.
+pub const SAMPLE_TEXT: &str = "0";
+
+/// Where a sample node sits in the declaration tree. Paths are child-index
+/// routes from the root declaration (the root element's path is empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SampleNode {
+    Element(Vec<usize>),
+    /// A text child of the element at the path.
+    Text(Vec<usize>),
+    /// An attribute (by name) of the element at the path.
+    Attribute(Vec<usize>, String),
+    /// The document node.
+    Root,
+}
+
+/// The generated sample document plus its node→structure map.
+pub struct SampleDoc {
+    pub doc: Document,
+    node_map: HashMap<NodeId, SampleNode>,
+}
+
+impl SampleDoc {
+    /// Generate the clean (trace) sample for a structure.
+    pub fn generate(info: &StructInfo) -> SampleDoc {
+        let mut b = TreeBuilder::new();
+        let mut map = HashMap::new();
+        map.insert(NodeId::DOCUMENT, SampleNode::Root);
+        emit(&info.root, &mut b, &mut map, &mut Vec::new());
+        SampleDoc { doc: b.finish(), node_map: map }
+    }
+
+    /// Where does this sample node sit in the declaration tree?
+    pub fn locate(&self, node: NodeId) -> Option<&SampleNode> {
+        self.node_map.get(&node)
+    }
+
+    /// Resolve a declaration path back to the declaration.
+    pub fn decl_at<'a>(info: &'a StructInfo, path: &[usize]) -> &'a ElemDecl {
+        let mut cur = &info.root;
+        for &i in path {
+            cur = &cur.children[i].decl;
+        }
+        cur
+    }
+}
+
+fn emit(
+    decl: &ElemDecl,
+    b: &mut TreeBuilder,
+    map: &mut HashMap<NodeId, SampleNode>,
+    path: &mut Vec<usize>,
+) {
+    let el = b.start_element(QName::local(&decl.name));
+    map.insert(el, SampleNode::Element(path.clone()));
+    // The append-only builder allocates attribute nodes at el+1, el+2, …
+    // and the first child right after them — that invariant gives us the
+    // node ids without needing the builder to return them.
+    for (i, a) in decl.attributes.iter().enumerate() {
+        b.attribute(QName::local(a), SAMPLE_TEXT);
+        map.insert(
+            NodeId(el.0 + 1 + i as u32),
+            SampleNode::Attribute(path.clone(), a.clone()),
+        );
+    }
+    if decl.has_text {
+        b.text(SAMPLE_TEXT);
+        map.insert(
+            NodeId(el.0 + 1 + decl.attributes.len() as u32),
+            SampleNode::Text(path.clone()),
+        );
+    }
+    for (i, child) in decl.children.iter().enumerate() {
+        path.push(i);
+        emit(&child.decl, b, map, path);
+        path.pop();
+    }
+    b.end_element();
+}
+
+/// Generate the annotated sample (with `xdb:*` structure attributes).
+pub fn generate_annotated(info: &StructInfo) -> Document {
+    let mut b = TreeBuilder::new();
+    emit_annotated(&info.root, None, true, &mut b);
+    b.finish()
+}
+
+fn emit_annotated(
+    decl: &ElemDecl,
+    occurs: Option<Cardinality>,
+    is_root: bool,
+    b: &mut TreeBuilder,
+) {
+    b.start_element(QName::local(&decl.name));
+    if is_root {
+        b.attribute(
+            QName { prefix: None, local: "xmlns:xdb".into(), ns_uri: None },
+            XDB_NS,
+        );
+    }
+    if let Some(card) = occurs {
+        let o = match card {
+            Cardinality::One => "one",
+            Cardinality::Optional => "optional",
+            Cardinality::Many => "unbounded",
+        };
+        b.attribute(QName::prefixed("xdb", "occurs", XDB_NS), o);
+    }
+    if decl.group != ModelGroup::Sequence {
+        let g = match decl.group {
+            ModelGroup::Choice => "choice",
+            ModelGroup::All => "all",
+            ModelGroup::Sequence => unreachable!("guarded above"),
+        };
+        b.attribute(QName::prefixed("xdb", "group", XDB_NS), g);
+    }
+    for a in &decl.attributes {
+        b.attribute(QName::local(a), SAMPLE_TEXT);
+    }
+    if decl.has_text {
+        b.text(SAMPLE_TEXT);
+    }
+    for ChildDecl { decl: child, card } in &decl.children {
+        emit_annotated(child, Some(*card), false, b);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ChildDecl, StructInfo};
+
+    fn dept_info() -> StructInfo {
+        let mut dept = ElemDecl::parent(
+            "dept",
+            vec![
+                ChildDecl { decl: ElemDecl::leaf("dname"), card: Cardinality::One },
+                ChildDecl { decl: ElemDecl::leaf("loc"), card: Cardinality::Optional },
+                ChildDecl {
+                    decl: ElemDecl::parent(
+                        "employees",
+                        vec![ChildDecl {
+                            decl: ElemDecl::parent(
+                                "emp",
+                                vec![
+                                    ChildDecl {
+                                        decl: ElemDecl::leaf("empno"),
+                                        card: Cardinality::One,
+                                    },
+                                    ChildDecl {
+                                        decl: ElemDecl::leaf("sal"),
+                                        card: Cardinality::One,
+                                    },
+                                ],
+                            ),
+                            card: Cardinality::Many,
+                        }],
+                    ),
+                    card: Cardinality::One,
+                },
+            ],
+        );
+        dept.attributes.push("no".into());
+        StructInfo::manual(dept)
+    }
+
+    #[test]
+    fn clean_sample_structure() {
+        let info = dept_info();
+        let s = SampleDoc::generate(&info);
+        let xml = xsltdb_xml::to_string(&s.doc);
+        assert_eq!(
+            xml,
+            r#"<dept no="0"><dname>0</dname><loc>0</loc><employees><emp><empno>0</empno><sal>0</sal></emp></employees></dept>"#
+        );
+    }
+
+    #[test]
+    fn node_map_resolves_elements_and_text() {
+        let info = dept_info();
+        let s = SampleDoc::generate(&info);
+        let root = s.doc.root_element().unwrap();
+        assert_eq!(s.locate(root), Some(&SampleNode::Element(vec![])));
+        let dname = s.doc.child_element(root, "dname").unwrap();
+        assert_eq!(s.locate(dname), Some(&SampleNode::Element(vec![0])));
+        let text = s.doc.children(dname).next().unwrap();
+        assert_eq!(s.locate(text), Some(&SampleNode::Text(vec![0])));
+        let emp = s
+            .doc
+            .child_element(s.doc.child_element(root, "employees").unwrap(), "emp")
+            .unwrap();
+        assert_eq!(s.locate(emp), Some(&SampleNode::Element(vec![2, 0])));
+    }
+
+    #[test]
+    fn every_node_is_mapped() {
+        let info = dept_info();
+        let s = SampleDoc::generate(&info);
+        for n in 0..s.doc.node_count() {
+            assert!(
+                s.locate(NodeId(n as u32)).is_some(),
+                "node {n} unmapped"
+            );
+        }
+    }
+
+    #[test]
+    fn attribute_nodes_mapped() {
+        let info = dept_info();
+        let s = SampleDoc::generate(&info);
+        let root = s.doc.root_element().unwrap();
+        let attr = s.doc.attributes(root)[0];
+        assert_eq!(
+            s.locate(attr),
+            Some(&SampleNode::Attribute(vec![], "no".into()))
+        );
+    }
+
+    #[test]
+    fn decl_at_resolves_paths() {
+        let info = dept_info();
+        assert_eq!(SampleDoc::decl_at(&info, &[]).name, "dept");
+        assert_eq!(SampleDoc::decl_at(&info, &[2, 0, 1]).name, "sal");
+    }
+
+    #[test]
+    fn annotated_sample_has_xdb_attrs() {
+        let info = dept_info();
+        let doc = generate_annotated(&info);
+        let xml = xsltdb_xml::to_string(&doc);
+        assert!(xml.contains(r#"xdb:occurs="unbounded""#), "{xml}");
+        assert!(xml.contains(r#"xdb:occurs="optional""#));
+        assert!(xml.contains("xmlns:xdb"));
+    }
+}

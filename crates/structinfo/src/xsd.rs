@@ -1,0 +1,216 @@
+//! Structural information from an XML Schema document (paper §3.2, bullet
+//! 1). Supports the inline-complex-type subset: a single top-level
+//! `xs:element` whose type is either a simple type (text leaf) or an inline
+//! `xs:complexType` with one `xs:sequence` / `xs:choice` / `xs:all` group of
+//! nested `xs:element`s (with `minOccurs`/`maxOccurs`) and `xs:attribute`s.
+
+use crate::model::{Cardinality, ChildDecl, ContentBinding, ElemDecl, ModelGroup, Origin, StructInfo};
+use xsltdb_xml::{Document, NodeId, NodeKind};
+
+/// XSD parse/derivation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XsdError(pub String);
+
+impl std::fmt::Display for XsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XSD error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XsdError {}
+
+const XS_NS: &str = "http://www.w3.org/2001/XMLSchema";
+
+/// Parse an XSD document text and derive the root element structure.
+pub fn struct_of_xsd(xsd_text: &str) -> Result<StructInfo, XsdError> {
+    let doc = xsltdb_xml::parse::parse_trimmed(xsd_text)
+        .map_err(|e| XsdError(e.to_string()))?;
+    struct_of_xsd_doc(&doc)
+}
+
+/// Derive from a parsed XSD document.
+pub fn struct_of_xsd_doc(doc: &Document) -> Result<StructInfo, XsdError> {
+    let schema = doc
+        .root_element()
+        .filter(|&r| is_xs(doc, r, "schema"))
+        .ok_or_else(|| XsdError("expected <xs:schema> root".into()))?;
+    let top = doc
+        .children(schema)
+        .find(|&c| is_xs(doc, c, "element"))
+        .ok_or_else(|| XsdError("no top-level <xs:element>".into()))?;
+    let root = element_decl(doc, top)?;
+    Ok(StructInfo { root, origin: Origin::Schema })
+}
+
+fn is_xs(doc: &Document, node: NodeId, local: &str) -> bool {
+    match doc.kind(node) {
+        NodeKind::Element { name, .. } => {
+            &*name.local == local && name.ns_uri.as_deref() == Some(XS_NS)
+        }
+        _ => false,
+    }
+}
+
+fn element_decl(doc: &Document, el: NodeId) -> Result<ElemDecl, XsdError> {
+    let name = doc
+        .attribute(el, "name")
+        .ok_or_else(|| XsdError("xs:element without name".into()))?
+        .to_string();
+    // Simple-typed element → text leaf.
+    if doc.attribute(el, "type").is_some() {
+        return Ok(ElemDecl::leaf(&name));
+    }
+    let ct = doc
+        .children(el)
+        .find(|&c| is_xs(doc, c, "complexType"));
+    let Some(ct) = ct else {
+        // No type information at all: treat as a text leaf.
+        return Ok(ElemDecl::leaf(&name));
+    };
+    let mut decl = ElemDecl {
+        name,
+        group: ModelGroup::Sequence,
+        children: Vec::new(),
+        has_text: doc.attribute(ct, "mixed") == Some("true"),
+        attributes: Vec::new(),
+        content: ContentBinding::Unbound,
+        row_source: None,
+    };
+    for c in doc.children(ct) {
+        if is_xs(doc, c, "attribute") {
+            if let Some(an) = doc.attribute(c, "name") {
+                decl.attributes.push(an.to_string());
+            }
+            continue;
+        }
+        let group = if is_xs(doc, c, "sequence") {
+            ModelGroup::Sequence
+        } else if is_xs(doc, c, "choice") {
+            ModelGroup::Choice
+        } else if is_xs(doc, c, "all") {
+            ModelGroup::All
+        } else {
+            continue;
+        };
+        decl.group = group;
+        for child in doc.children(c) {
+            if !is_xs(doc, child, "element") {
+                continue;
+            }
+            let card = occurs(doc, child)?;
+            decl.children.push(ChildDecl { decl: element_decl(doc, child)?, card });
+        }
+        // `xs:simpleContent`-free complex types with a group but also text
+        // are only representable via mixed="true", handled above.
+    }
+    Ok(decl)
+}
+
+fn occurs(doc: &Document, el: NodeId) -> Result<Cardinality, XsdError> {
+    let min: u32 = match doc.attribute(el, "minOccurs") {
+        Some(s) => s.parse().map_err(|_| XsdError(format!("bad minOccurs `{s}`")))?,
+        None => 1,
+    };
+    let max: Option<u32> = match doc.attribute(el, "maxOccurs") {
+        Some("unbounded") => None,
+        Some(s) => Some(s.parse().map_err(|_| XsdError(format!("bad maxOccurs `{s}`")))?),
+        None => Some(1),
+    };
+    Ok(Cardinality::from_occurs(min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEPT_XSD: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="dept">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="dname" type="xs:string"/>
+        <xs:element name="loc" type="xs:string" minOccurs="0"/>
+        <xs:element name="employees">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="emp" minOccurs="0" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="empno" type="xs:integer"/>
+                    <xs:element name="sal" type="xs:decimal"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="no"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    #[test]
+    fn parses_nested_schema() {
+        let info = struct_of_xsd(DEPT_XSD).unwrap();
+        assert_eq!(info.root.name, "dept");
+        assert_eq!(info.origin, Origin::Schema);
+        assert_eq!(info.root.group, ModelGroup::Sequence);
+        assert_eq!(info.root.attributes, vec!["no"]);
+        assert_eq!(info.root.child("loc").unwrap().card, Cardinality::Optional);
+        let emp = info.root.child("employees").unwrap().decl.child("emp").unwrap();
+        assert_eq!(emp.card, Cardinality::Many);
+        assert!(info.root.descend(&["employees", "emp", "sal"]).unwrap().has_text);
+    }
+
+    #[test]
+    fn choice_group() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element name="a" type="xs:string"/>
+        <xs:element name="b" type="xs:string"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let info = struct_of_xsd(xsd).unwrap();
+        assert_eq!(info.root.group, ModelGroup::Choice);
+    }
+
+    #[test]
+    fn mixed_content_flag() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="p">
+    <xs:complexType mixed="true">
+      <xs:sequence>
+        <xs:element name="b" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let info = struct_of_xsd(xsd).unwrap();
+        assert!(info.root.has_text);
+    }
+
+    #[test]
+    fn untyped_element_is_leaf() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="x"/></xs:schema>"#;
+        let info = struct_of_xsd(xsd).unwrap();
+        assert!(info.root.has_text);
+        assert!(info.root.children.is_empty());
+    }
+
+    #[test]
+    fn non_schema_rejected() {
+        assert!(struct_of_xsd("<foo/>").is_err());
+        assert!(struct_of_xsd(
+            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! XML escaping and entity decoding.
+
+/// Escape a string for use as element character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decode the five predefined entities plus numeric character references.
+/// Unknown entities are an error (we do not support custom DTD entities).
+pub fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity reference near {:.20}", rest))?;
+        let ent = &rest[1..end];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad hex character reference &{ent};"))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| format!("invalid code point &{ent};"))?,
+                );
+            }
+            _ if ent.starts_with('#') => {
+                let cp: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{ent};"))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| format!("invalid code point &{ent};"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity &{ent};")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_specials() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_ws() {
+        assert_eq!(escape_attr("x\"y\n"), "x&quot;y&#10;");
+    }
+
+    #[test]
+    fn decode_predefined() {
+        assert_eq!(
+            decode_entities("&lt;a&gt; &amp; &apos;b&apos; &quot;c&quot;").unwrap(),
+            "<a> & 'b' \"c\""
+        );
+    }
+
+    #[test]
+    fn decode_numeric() {
+        assert_eq!(decode_entities("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn decode_unknown_is_error() {
+        assert!(decode_entities("&nbsp;").is_err());
+    }
+
+    #[test]
+    fn decode_unterminated_is_error() {
+        assert!(decode_entities("a & b").is_err());
+    }
+
+    #[test]
+    fn roundtrip_escape_decode() {
+        let original = "tricky <text> with & \"quotes\" and 'apostrophes'";
+        assert_eq!(decode_entities(&escape_text(original)).unwrap(), original);
+    }
+}

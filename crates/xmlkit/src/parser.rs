@@ -1,0 +1,534 @@
+//! A hand-written, non-validating XML 1.0 parser covering the subset used
+//! throughout the system: elements, attributes, namespaces, text with entity
+//! and character references, CDATA sections, comments, processing
+//! instructions, an optional XML declaration, and an optional DOCTYPE whose
+//! internal subset is captured verbatim (for the DTD-based structural-
+//! information extractor in `xsltdb-structinfo`).
+
+use crate::builder::TreeBuilder;
+use crate::escape::decode_entities;
+use crate::model::Document;
+use crate::qname::QName;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of [`parse_with_doctype`].
+pub struct ParsedXml {
+    pub document: Document,
+    /// The internal DTD subset (text between `[` and `]` of a DOCTYPE), if
+    /// one was present.
+    pub internal_dtd: Option<String>,
+    /// The DOCTYPE name, if a DOCTYPE was present.
+    pub doctype_name: Option<String>,
+}
+
+/// Parse an XML document. Whitespace-only text nodes are preserved.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    Ok(parse_with_doctype(input)?.document)
+}
+
+/// Parse an XML document, dropping whitespace-only text nodes. Convenient
+/// for data documents written with indentation.
+pub fn parse_trimmed(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    p.drop_ws_only_text = true;
+    p.parse_document()?;
+    Ok(p.into_parsed().document)
+}
+
+/// Parse and also return DOCTYPE information.
+pub fn parse_with_doctype(input: &str) -> Result<ParsedXml, ParseError> {
+    let mut p = Parser::new(input);
+    p.parse_document()?;
+    Ok(p.into_parsed())
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    builder: TreeBuilder,
+    /// Stack of namespace scopes; each frame maps prefix -> URI. The empty
+    /// prefix key "" holds the default namespace.
+    ns_stack: Vec<HashMap<String, String>>,
+    drop_ws_only_text: bool,
+    internal_dtd: Option<String>,
+    doctype_name: Option<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            builder: TreeBuilder::new(),
+            ns_stack: vec![HashMap::new()],
+            drop_ws_only_text: false,
+            internal_dtd: None,
+            doctype_name: None,
+        }
+    }
+
+    fn into_parsed(self) -> ParsedXml {
+        ParsedXml {
+            document: self.builder.finish_lenient(),
+            internal_dtd: self.internal_dtd,
+            doctype_name: self.doctype_name,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: msg.into() })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<(), ParseError> {
+        // Prolog: XML declaration, misc, doctype, misc.
+        self.skip_ws();
+        if self.rest().starts_with("<?xml") {
+            let close = self
+                .rest()
+                .find("?>")
+                .ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: "unterminated XML declaration".into(),
+                })?;
+            self.pos += close + 2;
+        }
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                self.parse_comment(false)?;
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                self.parse_doctype()?;
+            } else if self.rest().starts_with("<?") {
+                self.parse_pi(false)?;
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.peek() != Some('<') {
+            return self.err("expected root element");
+        }
+        self.parse_element()?;
+        // Trailing misc.
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                self.parse_comment(false)?;
+            } else if self.rest().starts_with("<?") {
+                self.parse_pi(false)?;
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return self.err("content after root element");
+        }
+        Ok(())
+    }
+
+    fn parse_doctype(&mut self) -> Result<(), ParseError> {
+        self.expect("<!DOCTYPE")?;
+        self.skip_ws();
+        let name = self.parse_name()?;
+        self.doctype_name = Some(name);
+        // Skip external id keywords until `[` or `>`.
+        loop {
+            match self.peek() {
+                Some('[') => {
+                    self.bump();
+                    let start = self.pos;
+                    let close = self.rest().find(']').ok_or_else(|| ParseError {
+                        offset: self.pos,
+                        message: "unterminated internal DTD subset".into(),
+                    })?;
+                    self.internal_dtd = Some(self.input[start..start + close].to_string());
+                    self.pos += close + 1;
+                }
+                Some('>') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return self.err("unterminated DOCTYPE"),
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return self.err("expected a name"),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn resolve_ns(&self, prefix: &str) -> Option<&str> {
+        self.ns_stack
+            .iter()
+            .rev()
+            .find_map(|frame| frame.get(prefix))
+            .map(|s| s.as_str())
+    }
+
+    fn make_qname(&self, lexical: &str, is_attr: bool) -> QName {
+        let (prefix, local) = QName::split(lexical);
+        let ns_uri = match prefix {
+            Some(p) => self.resolve_ns(p).map(|u| u.into()),
+            // Per the namespaces spec, unprefixed attributes are never in
+            // the default namespace.
+            None if is_attr => None,
+            None => self.resolve_ns("").map(|u| u.into()),
+        };
+        QName { prefix: prefix.map(|p| p.into()), local: local.into(), ns_uri }
+    }
+
+    fn parse_element(&mut self) -> Result<(), ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        // Collect raw attributes first so namespace declarations on this
+        // element are in scope for its own name and attribute names.
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') | Some('/') => break,
+                Some(c) if is_name_start(c) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ ('"' | '\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    let start = self.pos;
+                    let close = self.rest().find(quote).ok_or_else(|| ParseError {
+                        offset: self.pos,
+                        message: "unterminated attribute value".into(),
+                    })?;
+                    let raw = &self.input[start..start + close];
+                    self.pos += close + 1;
+                    let value = decode_entities(raw)
+                        .map_err(|m| ParseError { offset: start, message: m })?;
+                    if raw_attrs.iter().any(|(n, _)| n == &aname) {
+                        return self.err(format!("duplicate attribute `{aname}`"));
+                    }
+                    raw_attrs.push((aname, value));
+                }
+                _ => return self.err("malformed start tag"),
+            }
+        }
+
+        let mut ns_frame = HashMap::new();
+        for (n, v) in &raw_attrs {
+            if n == "xmlns" {
+                ns_frame.insert(String::new(), v.clone());
+            } else if let Some(p) = n.strip_prefix("xmlns:") {
+                ns_frame.insert(p.to_string(), v.clone());
+            }
+        }
+        self.ns_stack.push(ns_frame);
+
+        let qname = self.make_qname(&name, false);
+        self.builder.start_element(qname);
+        for (n, v) in &raw_attrs {
+            // Namespace declarations are kept as plain attributes too, so
+            // serialization round-trips and the XSLT engine can copy them.
+            let q = if n == "xmlns" || n.starts_with("xmlns:") {
+                QName { prefix: None, local: n.as_str().into(), ns_uri: None }
+            } else {
+                self.make_qname(n, true)
+            };
+            self.builder.attribute(q, v.clone());
+        }
+
+        if self.eat("/>") {
+            self.builder.end_element();
+            self.ns_stack.pop();
+            return Ok(());
+        }
+        self.expect(">")?;
+        self.parse_content(&name)?;
+        self.builder.end_element();
+        self.ns_stack.pop();
+        Ok(())
+    }
+
+    fn parse_content(&mut self, open_name: &str) -> Result<(), ParseError> {
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let name = self.parse_name()?;
+                if name != open_name {
+                    return self.err(format!(
+                        "mismatched end tag: expected </{open_name}>, found </{name}>"
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(());
+            } else if self.rest().starts_with("<!--") {
+                self.parse_comment(true)?;
+            } else if self.rest().starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let close = self.rest().find("]]>").ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: "unterminated CDATA section".into(),
+                })?;
+                let text = &self.input[self.pos..self.pos + close];
+                self.builder.text(text);
+                self.pos += close + 3;
+            } else if self.rest().starts_with("<?") {
+                self.parse_pi(true)?;
+            } else if self.peek() == Some('<') {
+                self.parse_element()?;
+            } else if self.peek().is_none() {
+                return self.err(format!("unexpected end of input inside <{open_name}>"));
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '<' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let raw = &self.input[start..self.pos];
+                let text = decode_entities(raw)
+                    .map_err(|m| ParseError { offset: start, message: m })?;
+                if !(self.drop_ws_only_text && text.chars().all(|c| c.is_ascii_whitespace())) {
+                    self.builder.text(&text);
+                }
+            }
+        }
+    }
+
+    fn parse_comment(&mut self, emit: bool) -> Result<(), ParseError> {
+        self.expect("<!--")?;
+        let close = self.rest().find("-->").ok_or_else(|| ParseError {
+            offset: self.pos,
+            message: "unterminated comment".into(),
+        })?;
+        let text = &self.input[self.pos..self.pos + close];
+        if emit {
+            self.builder.comment(text);
+        }
+        self.pos += close + 3;
+        Ok(())
+    }
+
+    fn parse_pi(&mut self, emit: bool) -> Result<(), ParseError> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        let close = self.rest().find("?>").ok_or_else(|| ParseError {
+            offset: self.pos,
+            message: "unterminated processing instruction".into(),
+        })?;
+        let data = self.input[self.pos..self.pos + close].trim().to_string();
+        if emit {
+            self.builder.pi(target, data);
+        }
+        self.pos += close + 2;
+        Ok(())
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+    use crate::qname::XSL_NS;
+
+    #[test]
+    fn parses_simple_document() {
+        let d = parse("<dept><dname>ACCOUNTING</dname></dept>").unwrap();
+        let root = d.root_element().unwrap();
+        assert_eq!(&*d.element_name(root).unwrap().local, "dept");
+        let dname = d.child_element(root, "dname").unwrap();
+        assert_eq!(d.string_value(dname), "ACCOUNTING");
+    }
+
+    #[test]
+    fn parses_attributes_and_self_closing() {
+        let d = parse(r#"<table border="2" width='10'/>"#).unwrap();
+        let t = d.root_element().unwrap();
+        assert_eq!(d.attribute(t, "border"), Some("2"));
+        assert_eq!(d.attribute(t, "width"), Some("10"));
+    }
+
+    #[test]
+    fn resolves_namespaces() {
+        let d = parse(
+            r#"<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+                 <xsl:template match="/"/>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let root = d.root_element().unwrap();
+        let name = d.element_name(root).unwrap();
+        assert_eq!(name.ns_uri.as_deref(), Some(XSL_NS));
+        assert!(name.is_xsl());
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attrs() {
+        let d = parse(r#"<r xmlns="urn:x" a="1"><c/></r>"#).unwrap();
+        let r = d.root_element().unwrap();
+        assert_eq!(d.element_name(r).unwrap().ns_uri.as_deref(), Some("urn:x"));
+        let c = d.child_element(r, "c").unwrap();
+        assert_eq!(d.element_name(c).unwrap().ns_uri.as_deref(), Some("urn:x"));
+        let attr = d.attributes(r)[1];
+        assert_eq!(d.node_name(attr).unwrap().ns_uri, None);
+    }
+
+    #[test]
+    fn entity_decoding_in_text_and_attrs() {
+        let d = parse(r#"<x a="&lt;v&gt;">&amp;&#65;</x>"#).unwrap();
+        let x = d.root_element().unwrap();
+        assert_eq!(d.attribute(x, "a"), Some("<v>"));
+        assert_eq!(d.string_value(x), "&A");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let d = parse("<x><![CDATA[a < b & c]]></x>").unwrap();
+        assert_eq!(d.string_value(d.root_element().unwrap()), "a < b & c");
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let d = parse("<x><!-- note --><?php echo?></x>").unwrap();
+        let x = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(x).collect();
+        assert!(matches!(d.kind(kids[0]), NodeKind::Comment(t) if t == " note "));
+        assert!(matches!(d.kind(kids[1]), NodeKind::Pi { target, .. } if target == "php"));
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype() {
+        let parsed = parse_with_doctype(
+            "<?xml version=\"1.0\"?><!DOCTYPE dept [<!ELEMENT dept (dname)>]><dept><dname>x</dname></dept>",
+        )
+        .unwrap();
+        assert_eq!(parsed.doctype_name.as_deref(), Some("dept"));
+        assert!(parsed.internal_dtd.as_deref().unwrap().contains("<!ELEMENT dept"));
+        assert!(parsed.document.root_element().is_some());
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn trimmed_drops_whitespace_only_text() {
+        let d = parse_trimmed("<a>\n  <b>x</b>\n</a>").unwrap();
+        let a = d.root_element().unwrap();
+        assert_eq!(d.children(a).count(), 1);
+    }
+
+    #[test]
+    fn untrimmed_keeps_whitespace() {
+        let d = parse("<a>\n  <b>x</b>\n</a>").unwrap();
+        let a = d.root_element().unwrap();
+        assert_eq!(d.children(a).count(), 3);
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let d = parse(&s).unwrap();
+        assert_eq!(d.string_value(crate::model::NodeId::DOCUMENT), "x");
+    }
+}

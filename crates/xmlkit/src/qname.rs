@@ -1,0 +1,121 @@
+//! Qualified names with lexical prefix and resolved namespace URI.
+
+use std::fmt;
+
+/// The XSLT 1.0 namespace URI.
+pub const XSL_NS: &str = "http://www.w3.org/1999/XSL/Transform";
+/// The namespace used for structural annotations on sample documents
+/// (the paper's "special attribute belonging to predefined Oracle XDB
+/// namespace", section 4.2).
+pub const XDB_NS: &str = "http://xmlns.example.org/xdb-struct";
+
+/// A qualified XML name.
+///
+/// The `ns_uri` is resolved at parse time from the in-scope namespace
+/// declarations. Names built programmatically usually have no prefix and no
+/// namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// Lexical prefix (`xsl` in `xsl:template`), if any.
+    pub prefix: Option<Box<str>>,
+    /// Local part of the name.
+    pub local: Box<str>,
+    /// Resolved namespace URI, if the name is in a namespace.
+    pub ns_uri: Option<Box<str>>,
+}
+
+impl QName {
+    /// A name with no prefix and no namespace.
+    pub fn local(name: &str) -> Self {
+        QName { prefix: None, local: name.into(), ns_uri: None }
+    }
+
+    /// A name in a namespace, with a prefix.
+    pub fn prefixed(prefix: &str, local: &str, ns_uri: &str) -> Self {
+        QName { prefix: Some(prefix.into()), local: local.into(), ns_uri: Some(ns_uri.into()) }
+    }
+
+    /// Split a lexical QName into `(prefix, local)`.
+    pub fn split(lexical: &str) -> (Option<&str>, &str) {
+        match lexical.split_once(':') {
+            Some((p, l)) => (Some(p), l),
+            None => (None, lexical),
+        }
+    }
+
+    /// True when this name is in the XSLT namespace.
+    pub fn is_xsl(&self) -> bool {
+        self.ns_uri.as_deref() == Some(XSL_NS)
+    }
+
+    /// The lexical form (`prefix:local` or `local`).
+    pub fn lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{p}:{}", self.local),
+            None => self.local.to_string(),
+        }
+    }
+
+    /// Name comparison used by XPath node tests: local names must match and,
+    /// when both sides carry a namespace, the namespaces must match too. A
+    /// test written without a prefix matches nodes regardless of namespace
+    /// (a deliberate simplification of XPath 1.0's context-dependent
+    /// namespace resolution, documented in DESIGN.md).
+    pub fn matches_test(&self, test_prefix: Option<&str>, test_local: &str) -> bool {
+        if &*self.local != test_local {
+            return false;
+        }
+        match test_prefix {
+            None => true,
+            Some(p) => self.prefix.as_deref() == Some(p),
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => write!(f, "{}", self.local),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_plain() {
+        assert_eq!(QName::split("dept"), (None, "dept"));
+    }
+
+    #[test]
+    fn split_prefixed() {
+        assert_eq!(QName::split("xsl:template"), (Some("xsl"), "template"));
+    }
+
+    #[test]
+    fn lexical_roundtrip() {
+        let q = QName::prefixed("xsl", "template", XSL_NS);
+        assert_eq!(q.lexical(), "xsl:template");
+        assert!(q.is_xsl());
+        assert_eq!(q.to_string(), "xsl:template");
+    }
+
+    #[test]
+    fn matches_unprefixed_test_ignores_ns() {
+        let q = QName::prefixed("h", "table", "urn:html");
+        assert!(q.matches_test(None, "table"));
+        assert!(!q.matches_test(None, "tr"));
+    }
+
+    #[test]
+    fn matches_prefixed_test_requires_prefix() {
+        let q = QName::prefixed("h", "table", "urn:html");
+        assert!(q.matches_test(Some("h"), "table"));
+        assert!(!q.matches_test(Some("x"), "table"));
+        let plain = QName::local("table");
+        assert!(!plain.matches_test(Some("h"), "table"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Serialization of documents back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::model::{Document, NodeId, NodeKind};
+
+/// Serialization options.
+#[derive(Debug, Clone, Default)]
+pub struct SerializeOptions {
+    /// Indent nested elements with two spaces per level.
+    pub pretty: bool,
+    /// Emit an `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+}
+
+/// Serialize an entire document with default options.
+pub fn to_string(doc: &Document) -> String {
+    node_to_string(doc, NodeId::DOCUMENT)
+}
+
+/// Serialize with pretty-printing.
+pub fn to_pretty_string(doc: &Document) -> String {
+    serialize(doc, NodeId::DOCUMENT, &SerializeOptions { pretty: true, declaration: false })
+}
+
+/// Serialize the subtree rooted at `node`.
+pub fn node_to_string(doc: &Document, node: NodeId) -> String {
+    serialize(doc, node, &SerializeOptions::default())
+}
+
+/// Serialize the subtree rooted at `node` with explicit options.
+pub fn serialize(doc: &Document, node: NodeId, opts: &SerializeOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\"?>");
+        if opts.pretty {
+            out.push('\n');
+        }
+    }
+    write_node(doc, node, opts, 0, &mut out);
+    out
+}
+
+fn has_element_child(doc: &Document, id: NodeId) -> bool {
+    doc.children(id).any(|c| {
+        matches!(doc.kind(c), NodeKind::Element { .. } | NodeKind::Comment(_) | NodeKind::Pi { .. })
+    })
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &SerializeOptions, depth: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Document => {
+            let mut first = true;
+            for c in doc.children(id) {
+                if opts.pretty && !first {
+                    out.push('\n');
+                }
+                first = false;
+                write_node(doc, c, opts, depth, out);
+            }
+        }
+        NodeKind::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(&name.lexical());
+            for &a in attrs {
+                if let NodeKind::Attribute { name, value } = doc.kind(a) {
+                    out.push(' ');
+                    out.push_str(&name.lexical());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(value));
+                    out.push('"');
+                }
+            }
+            if doc.node(id).first_child.is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let indent_children = opts.pretty && has_element_child(doc, id);
+            for c in doc.children(id) {
+                if indent_children {
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str("  ");
+                    }
+                }
+                write_node(doc, c, opts, depth + 1, out);
+            }
+            if indent_children {
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+            }
+            out.push_str("</");
+            out.push_str(&name.lexical());
+            out.push('>');
+        }
+        NodeKind::Attribute { .. } => {
+            // Attribute nodes are serialized as part of their element; a
+            // bare attribute serializes as its value, matching how XSLT
+            // copies attribute nodes into text contexts.
+            if let Some(v) = doc.attr_value(id) {
+                out.push_str(&escape_text(v));
+            }
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc></dept>"#;
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let src = r#"<x a="&lt;v&gt;"/>"#;
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn text_escaped() {
+        let d = crate::builder::text_element("x", "a < b & c");
+        assert_eq!(to_string(&d), "<x>a &lt; b &amp; c</x>");
+    }
+
+    #[test]
+    fn self_closing_for_empty() {
+        let d = parse("<x></x>").unwrap();
+        assert_eq!(to_string(&d), "<x/>");
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let d = parse("<a><b><c>x</c></b></a>").unwrap();
+        let s = to_pretty_string(&d);
+        assert_eq!(s, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn pretty_keeps_text_only_inline() {
+        let d = parse("<a>hello</a>").unwrap();
+        assert_eq!(to_pretty_string(&d), "<a>hello</a>");
+    }
+
+    #[test]
+    fn roundtrip_comment_and_pi() {
+        let src = "<x><!--c--><?t d?></x>";
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d), src);
+    }
+
+    #[test]
+    fn declaration_option() {
+        let d = parse("<x/>").unwrap();
+        let s = serialize(&d, crate::model::NodeId::DOCUMENT, &SerializeOptions {
+            pretty: false,
+            declaration: true,
+        });
+        assert_eq!(s, "<?xml version=\"1.0\"?><x/>");
+    }
+
+    #[test]
+    fn reparse_of_serialized_equals_original_structure() {
+        let src = r#"<r a="1"><b>text &amp; more</b><c/><!--n--></r>"#;
+        let d1 = parse(src).unwrap();
+        let s = to_string(&d1);
+        let d2 = parse(&s).unwrap();
+        assert_eq!(to_string(&d2), s);
+    }
+}

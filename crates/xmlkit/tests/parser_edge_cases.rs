@@ -1,0 +1,94 @@
+//! Parser robustness: malformed inputs must fail with positioned errors,
+//! and unusual-but-legal inputs must parse.
+
+use xsltdb_xml::parse::{parse, parse_with_doctype};
+use xsltdb_xml::to_string;
+
+#[test]
+fn error_positions_are_reported() {
+    let err = parse("<a><b></a>").unwrap_err();
+    assert!(err.offset > 0);
+    assert!(err.to_string().contains("mismatched"));
+}
+
+#[test]
+fn rejects_malformed_inputs() {
+    for bad in [
+        "",
+        "just text",
+        "<a",
+        "<a href=>",
+        "<a href='x>",
+        "<a>&unknown;</a>",
+        "<a><!-- unterminated</a>",
+        "<a><![CDATA[never closed</a>",
+        "<?xml version='1.0'",
+        "<a/><a/>",
+        "<1badname/>",
+    ] {
+        assert!(parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn accepts_unusual_but_legal_inputs() {
+    for good in [
+        "<a.b-c_d/>",
+        "<_under/>",
+        "<a>&#x1F600;</a>",
+        "<a><![CDATA[]]></a>",
+        "<a\tb='1'\n/>",
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a/>",
+        "<!-- leading --><a/><!-- trailing -->",
+        "<?pi-before?><a/>",
+    ] {
+        assert!(parse(good).is_ok(), "rejected: {good}");
+    }
+}
+
+#[test]
+fn unicode_content_roundtrips() {
+    let src = "<msg lang=\"el\">γειά σου — 世界 🌍</msg>";
+    let doc = parse(src).unwrap();
+    assert_eq!(to_string(&doc), src);
+    assert_eq!(
+        doc.string_value(xsltdb_xml::NodeId::DOCUMENT),
+        "γειά σου — 世界 🌍"
+    );
+}
+
+#[test]
+fn doctype_without_internal_subset() {
+    let parsed = parse_with_doctype(r#"<!DOCTYPE html SYSTEM "x.dtd"><html/>"#).unwrap();
+    assert_eq!(parsed.doctype_name.as_deref(), Some("html"));
+    assert!(parsed.internal_dtd.is_none());
+}
+
+#[test]
+fn large_flat_document() {
+    let mut src = String::from("<r>");
+    for i in 0..5000 {
+        src.push_str(&format!("<i>{i}</i>"));
+    }
+    src.push_str("</r>");
+    let doc = parse(&src).unwrap();
+    let r = doc.root_element().unwrap();
+    assert_eq!(doc.children(r).count(), 5000);
+    assert_eq!(to_string(&doc), src);
+}
+
+#[test]
+fn attribute_entity_combinations() {
+    let doc = parse(r#"<a x="&amp;&lt;&gt;&quot;&apos;&#10;"/>"#).unwrap();
+    let a = doc.root_element().unwrap();
+    assert_eq!(doc.attribute(a, "x"), Some("&<>\"'\n"));
+}
+
+#[test]
+fn crlf_and_tabs_preserved_in_text() {
+    let doc = parse("<a>line1\nline2\tend</a>").unwrap();
+    assert_eq!(
+        doc.string_value(xsltdb_xml::NodeId::DOCUMENT),
+        "line1\nline2\tend"
+    );
+}

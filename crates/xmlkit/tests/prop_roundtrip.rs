@@ -1,0 +1,107 @@
+//! Property tests: serialize∘parse is the identity on the document model,
+//! for randomly generated trees and for randomly escaped text.
+
+use proptest::prelude::*;
+use xsltdb_xml::escape::{decode_entities, escape_attr, escape_text};
+use xsltdb_xml::{parse_xml, to_string, QName, TreeBuilder};
+
+/// A randomly generated element tree, rendered through the builder.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+/// Text without control characters (the parser normalises nothing else).
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^\u{0}]]{1,12}").expect("valid regex")
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..3))
+            .prop_map(|(name, attrs)| Tree::Element { name, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
+    })
+}
+
+fn build(tree: &Tree, b: &mut TreeBuilder) {
+    match tree {
+        Tree::Text(t) => b.text(t),
+        Tree::Element { name, attrs, children } => {
+            b.start_element(QName::local(name));
+            let mut seen = Vec::new();
+            for (n, v) in attrs {
+                if !seen.contains(n) {
+                    seen.push(n.clone());
+                    b.attribute(QName::local(n), v.clone());
+                }
+            }
+            for c in children {
+                build(c, b);
+            }
+            b.end_element();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(tree in tree_strategy()) {
+        // Wrap in a root element so text-only trees remain well-formed.
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("root"));
+        build(&tree, &mut b);
+        b.end_element();
+        let doc = b.finish();
+        let text = to_string(&doc);
+        let reparsed = parse_xml(&text)
+            .unwrap_or_else(|e| panic!("serialized form does not reparse: {text}\n{e}"));
+        prop_assert_eq!(to_string(&reparsed), text);
+    }
+
+    #[test]
+    fn text_escape_decode_roundtrip(s in text_strategy()) {
+        prop_assert_eq!(decode_entities(&escape_text(&s)).unwrap(), s.clone());
+        prop_assert_eq!(decode_entities(&escape_attr(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn string_value_survives_roundtrip(tree in tree_strategy()) {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("root"));
+        build(&tree, &mut b);
+        b.end_element();
+        let doc = b.finish();
+        let sv = doc.string_value(xsltdb_xml::NodeId::DOCUMENT);
+        let reparsed = parse_xml(&to_string(&doc)).unwrap();
+        prop_assert_eq!(reparsed.string_value(xsltdb_xml::NodeId::DOCUMENT), sv);
+    }
+
+    #[test]
+    fn node_ids_are_document_ordered(tree in tree_strategy()) {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("root"));
+        build(&tree, &mut b);
+        b.end_element();
+        let doc = b.finish();
+        let walk: Vec<_> = doc.descendants_or_self(xsltdb_xml::NodeId::DOCUMENT).collect();
+        let mut sorted = walk.clone();
+        sorted.sort();
+        prop_assert_eq!(walk, sorted);
+    }
+}

@@ -1,0 +1,212 @@
+//! Axis iteration and node tests over the arena document model.
+//!
+//! Each function returns candidates in *axis order* (reverse axes yield
+//! nearest-first), which is what predicate position numbering requires. The
+//! caller merges results back into document order.
+
+use crate::ast::{Axis, NodeTest};
+use xsltdb_xml::{Document, NodeId, NodeKind};
+
+/// Collect the nodes on `axis` from `node`, in axis order.
+pub fn axis_nodes(doc: &Document, node: NodeId, axis: Axis) -> Vec<NodeId> {
+    match axis {
+        Axis::Child => doc.children(node).collect(),
+        Axis::Descendant => doc.descendants(node).collect(),
+        Axis::DescendantOrSelf => doc.descendants_or_self(node).collect(),
+        Axis::Parent => doc.parent(node).into_iter().collect(),
+        Axis::Ancestor => doc.ancestors(node).collect(),
+        Axis::AncestorOrSelf => {
+            let mut v = vec![node];
+            v.extend(doc.ancestors(node));
+            v
+        }
+        Axis::SelfAxis => vec![node],
+        Axis::Attribute => doc.attributes(node).to_vec(),
+        Axis::FollowingSibling => {
+            let mut v = Vec::new();
+            let mut cur = doc.node(node).next_sibling;
+            while let Some(c) = cur {
+                v.push(c);
+                cur = doc.node(c).next_sibling;
+            }
+            v
+        }
+        Axis::PrecedingSibling => {
+            let mut v = Vec::new();
+            let mut cur = doc.node(node).prev_sibling;
+            while let Some(c) = cur {
+                v.push(c);
+                cur = doc.node(c).prev_sibling;
+            }
+            v
+        }
+        Axis::Following => {
+            // Document order: for self and each ancestor, every following
+            // sibling's subtree.
+            let mut v = Vec::new();
+            let mut chain = vec![node];
+            chain.extend(doc.ancestors(node));
+            // Nearer ancestors' following siblings come first in document
+            // order when starting from the node itself.
+            for anc in chain {
+                let mut sib = doc.node(anc).next_sibling;
+                while let Some(s) = sib {
+                    v.extend(doc.descendants_or_self(s));
+                    sib = doc.node(s).next_sibling;
+                }
+            }
+            v.sort();
+            v
+        }
+        Axis::Preceding => {
+            // Reverse document order, excluding ancestors.
+            let mut v = Vec::new();
+            let mut chain = vec![node];
+            chain.extend(doc.ancestors(node));
+            for anc in chain {
+                let mut sib = doc.node(anc).prev_sibling;
+                while let Some(s) = sib {
+                    v.extend(doc.descendants_or_self(s));
+                    sib = doc.node(s).prev_sibling;
+                }
+            }
+            v.sort();
+            v.reverse();
+            v
+        }
+    }
+}
+
+/// Does `node` pass `test` on `axis`? The principal node type is attribute
+/// for the attribute axis and element otherwise.
+pub fn test_matches(doc: &Document, node: NodeId, axis: Axis, test: &NodeTest) -> bool {
+    let kind = doc.kind(node);
+    let principal = if axis == Axis::Attribute {
+        matches!(kind, NodeKind::Attribute { .. })
+    } else {
+        matches!(kind, NodeKind::Element { .. })
+    };
+    match test {
+        NodeTest::Name { prefix, local } => {
+            principal
+                && doc
+                    .node_name(node)
+                    .is_some_and(|n| n.matches_test(prefix.as_deref(), local))
+        }
+        NodeTest::Star => principal,
+        NodeTest::PrefixStar(p) => {
+            principal
+                && doc
+                    .node_name(node)
+                    .is_some_and(|n| n.prefix.as_deref() == Some(p.as_str()))
+        }
+        NodeTest::Text => matches!(kind, NodeKind::Text(_)),
+        NodeTest::Comment => matches!(kind, NodeKind::Comment(_)),
+        NodeTest::Node => true,
+        NodeTest::Pi(target) => match kind {
+            NodeKind::Pi { target: t, .. } => {
+                target.as_ref().is_none_or(|want| want == t)
+            }
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_xml::parse::parse;
+
+    fn doc() -> Document {
+        parse(r#"<r a="1"><x>1</x><y><z/>text</y><x>2</x></r>"#).unwrap()
+    }
+
+    #[test]
+    fn child_axis() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let kids = axis_nodes(&d, r, Axis::Child);
+        assert_eq!(kids.len(), 3);
+    }
+
+    #[test]
+    fn attribute_axis_and_test() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let attrs = axis_nodes(&d, r, Axis::Attribute);
+        assert_eq!(attrs.len(), 1);
+        assert!(test_matches(
+            &d,
+            attrs[0],
+            Axis::Attribute,
+            &NodeTest::Name { prefix: None, local: "a".into() }
+        ));
+        assert!(test_matches(&d, attrs[0], Axis::Attribute, &NodeTest::Star));
+        // On the child axis, attribute nodes never pass name tests.
+        assert!(!test_matches(
+            &d,
+            attrs[0],
+            Axis::Child,
+            &NodeTest::Name { prefix: None, local: "a".into() }
+        ));
+    }
+
+    #[test]
+    fn following_and_preceding_siblings() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(r).collect();
+        let y = kids[1];
+        assert_eq!(axis_nodes(&d, y, Axis::FollowingSibling), vec![kids[2]]);
+        assert_eq!(axis_nodes(&d, y, Axis::PrecedingSibling), vec![kids[0]]);
+    }
+
+    #[test]
+    fn following_excludes_descendants() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(r).collect();
+        let y = kids[1];
+        let f = axis_nodes(&d, y, Axis::Following);
+        // following(y) = subtree of second <x> (element + its text child).
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&kids[2]));
+        assert!(!f.iter().any(|&n| d.descendants(y).any(|dn| dn == n)));
+    }
+
+    #[test]
+    fn preceding_is_reverse_doc_order() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let kids: Vec<_> = d.children(r).collect();
+        let second_x = kids[2];
+        let p = axis_nodes(&d, second_x, Axis::Preceding);
+        // Everything in <x>1</x> and <y><z/>text</y>: 2 + 3 nodes.
+        assert_eq!(p.len(), 5);
+        // Reverse document order: first entry is the last preceding node.
+        assert!(p[0] > p[p.len() - 1]);
+        // Ancestors excluded.
+        assert!(!p.contains(&r));
+    }
+
+    #[test]
+    fn ancestor_nearest_first() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let y = d.child_element(r, "y").unwrap();
+        let z = d.child_element(y, "z").unwrap();
+        let anc = axis_nodes(&d, z, Axis::Ancestor);
+        assert_eq!(anc, vec![y, r, NodeId::DOCUMENT]);
+    }
+
+    #[test]
+    fn node_type_tests() {
+        let d = doc();
+        let r = d.root_element().unwrap();
+        let y = d.child_element(r, "y").unwrap();
+        let text = d.children(y).nth(1).unwrap();
+        assert!(test_matches(&d, text, Axis::Child, &NodeTest::Text));
+        assert!(test_matches(&d, text, Axis::Child, &NodeTest::Node));
+        assert!(!test_matches(&d, text, Axis::Child, &NodeTest::Star));
+    }
+}

@@ -1,0 +1,414 @@
+//! The XPath 1.0 core function library, plus the XSLT additions the engine
+//! needs (`current()`, `generate-id()`).
+
+use crate::ast::Expr;
+use crate::eval::{evaluate, Ctx, XPathError};
+use crate::value::{num_to_string, str_to_num, Value};
+
+pub(crate) fn call(name: &str, args: &[Expr], ctx: &Ctx<'_>) -> Result<Value, XPathError> {
+    let arity = args.len();
+    let err_arity = |want: &str| {
+        Err(XPathError(format!("{name}() expects {want} argument(s), got {arity}")))
+    };
+    // Evaluate arguments eagerly; all XPath 1.0 functions are strict.
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(evaluate(a, ctx)?);
+    }
+    let doc = ctx.doc;
+    let str_arg = |i: usize| -> String { vals[i].string(doc) };
+    let num_arg = |i: usize| -> f64 { vals[i].number(doc) };
+
+    match name {
+        // --- Node-set functions ---
+        "position" => {
+            if arity != 0 {
+                return err_arity("no");
+            }
+            Ok(Value::Num(ctx.position as f64))
+        }
+        "last" => {
+            if arity != 0 {
+                return err_arity("no");
+            }
+            Ok(Value::Num(ctx.size as f64))
+        }
+        "count" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            let ns = vals.remove(0).into_nodeset("count()").map_err(XPathError)?;
+            Ok(Value::Num(ns.len() as f64))
+        }
+        "sum" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            let ns = vals.remove(0).into_nodeset("sum()").map_err(XPathError)?;
+            let total: f64 = ns.iter().map(|&n| str_to_num(&doc.string_value(n))).sum();
+            Ok(Value::Num(total))
+        }
+        "local-name" | "name" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            let node = if arity == 1 {
+                match &vals[0] {
+                    Value::NodeSet(ns) => ns.first().copied(),
+                    other => {
+                        return Err(XPathError(format!(
+                            "{name}(): expected a node-set, got {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            } else {
+                Some(ctx.node)
+            };
+            let s = node
+                .and_then(|n| doc.node_name(n))
+                .map(|q| {
+                    if name == "name" {
+                        q.lexical()
+                    } else {
+                        q.local.to_string()
+                    }
+                })
+                .unwrap_or_default();
+            Ok(Value::Str(s))
+        }
+        "namespace-uri" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            let node = if arity == 1 {
+                vals[0].as_nodeset().and_then(|ns| ns.first().copied())
+            } else {
+                Some(ctx.node)
+            };
+            let s = node
+                .and_then(|n| doc.node_name(n))
+                .and_then(|q| q.ns_uri.as_deref())
+                .unwrap_or_default();
+            Ok(Value::Str(s.to_string()))
+        }
+        "generate-id" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            let node = if arity == 1 {
+                vals[0].as_nodeset().and_then(|ns| ns.first().copied())
+            } else {
+                Some(ctx.node)
+            };
+            Ok(Value::Str(node.map(|n| format!("id{}", n.0)).unwrap_or_default()))
+        }
+        // --- String functions ---
+        "string" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            if arity == 0 {
+                Ok(Value::Str(doc.string_value(ctx.node)))
+            } else {
+                Ok(Value::Str(str_arg(0)))
+            }
+        }
+        "concat" => {
+            if arity < 2 {
+                return err_arity("2 or more");
+            }
+            let mut s = String::new();
+            for i in 0..arity {
+                s.push_str(&str_arg(i));
+            }
+            Ok(Value::Str(s))
+        }
+        "starts-with" => {
+            if arity != 2 {
+                return err_arity("2");
+            }
+            Ok(Value::Bool(str_arg(0).starts_with(&str_arg(1))))
+        }
+        "contains" => {
+            if arity != 2 {
+                return err_arity("2");
+            }
+            Ok(Value::Bool(str_arg(0).contains(&str_arg(1))))
+        }
+        "substring-before" => {
+            if arity != 2 {
+                return err_arity("2");
+            }
+            let s = str_arg(0);
+            let sub = str_arg(1);
+            Ok(Value::Str(
+                s.find(&sub).map(|i| s[..i].to_string()).unwrap_or_default(),
+            ))
+        }
+        "substring-after" => {
+            if arity != 2 {
+                return err_arity("2");
+            }
+            let s = str_arg(0);
+            let sub = str_arg(1);
+            Ok(Value::Str(
+                s.find(&sub)
+                    .map(|i| s[i + sub.len()..].to_string())
+                    .unwrap_or_default(),
+            ))
+        }
+        "substring" => {
+            if arity != 2 && arity != 3 {
+                return err_arity("2 or 3");
+            }
+            let s = str_arg(0);
+            let chars: Vec<char> = s.chars().collect();
+            let start = num_arg(1);
+            let len = if arity == 3 { num_arg(2) } else { f64::INFINITY };
+            Ok(Value::Str(xpath_substring(&chars, start, len)))
+        }
+        "string-length" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            let s = if arity == 0 { doc.string_value(ctx.node) } else { str_arg(0) };
+            Ok(Value::Num(s.chars().count() as f64))
+        }
+        "normalize-space" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            let s = if arity == 0 { doc.string_value(ctx.node) } else { str_arg(0) };
+            Ok(Value::Str(s.split_ascii_whitespace().collect::<Vec<_>>().join(" ")))
+        }
+        "translate" => {
+            if arity != 3 {
+                return err_arity("3");
+            }
+            let s = str_arg(0);
+            let from: Vec<char> = str_arg(1).chars().collect();
+            let to: Vec<char> = str_arg(2).chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Ok(Value::Str(out))
+        }
+        // --- Boolean functions ---
+        "boolean" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            Ok(Value::Bool(vals[0].boolean()))
+        }
+        "not" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            Ok(Value::Bool(!vals[0].boolean()))
+        }
+        "true" => {
+            if arity != 0 {
+                return err_arity("no");
+            }
+            Ok(Value::Bool(true))
+        }
+        "false" => {
+            if arity != 0 {
+                return err_arity("no");
+            }
+            Ok(Value::Bool(false))
+        }
+        // --- Number functions ---
+        "number" => {
+            if arity > 1 {
+                return err_arity("0 or 1");
+            }
+            if arity == 0 {
+                Ok(Value::Num(str_to_num(&doc.string_value(ctx.node))))
+            } else {
+                Ok(Value::Num(num_arg(0)))
+            }
+        }
+        "floor" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            Ok(Value::Num(num_arg(0).floor()))
+        }
+        "ceiling" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            Ok(Value::Num(num_arg(0).ceil()))
+        }
+        "round" => {
+            if arity != 1 {
+                return err_arity("1");
+            }
+            let n = num_arg(0);
+            // XPath rounds .5 towards positive infinity.
+            Ok(Value::Num(if n.is_nan() { n } else { (n + 0.5).floor() }))
+        }
+        // --- XSLT additions ---
+        "current" => {
+            if arity != 0 {
+                return err_arity("no");
+            }
+            let cur = ctx.env.current.ok_or_else(|| {
+                XPathError("current() is only available inside a stylesheet".into())
+            })?;
+            Ok(Value::NodeSet(vec![cur]))
+        }
+        "format-number" => {
+            // Minimal: format the number with the XPath rules, ignoring the
+            // picture string except for a `#.00`-style fraction count.
+            if arity < 2 {
+                return err_arity("2 or 3");
+            }
+            let n = num_arg(0);
+            let picture = str_arg(1);
+            let s = if let Some(frac) = picture.split('.').nth(1) {
+                format!("{:.*}", frac.len(), n)
+            } else {
+                num_to_string(n)
+            };
+            Ok(Value::Str(s))
+        }
+        _ => Err(XPathError(format!("unknown function {name}()"))),
+    }
+}
+
+/// XPath 1.0 `substring` semantics: 1-based, `round()` applied to both
+/// arguments, NaN anywhere selects nothing.
+fn xpath_substring(chars: &[char], start: f64, len: f64) -> String {
+    let round = |x: f64| if x.is_nan() { f64::NAN } else { (x + 0.5).floor() };
+    let start = round(start);
+    let end = if len.is_infinite() { f64::INFINITY } else { start + round(len) };
+    if start.is_nan() || end.is_nan() {
+        return String::new();
+    }
+    chars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let pos = (*i + 1) as f64;
+            pos >= start && pos < end
+        })
+        .map(|(_, c)| *c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::{evaluate_str, Ctx, Env};
+    use crate::value::Value;
+    use xsltdb_xml::parse::parse;
+    use xsltdb_xml::NodeId;
+
+    fn eval(src: &str) -> Value {
+        let doc = parse("<r><a>one</a><a>two</a><n>5</n></r>").unwrap();
+        let env = Env::default();
+        let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+        evaluate_str(src, &ctx).unwrap()
+    }
+
+    fn eval_s(src: &str) -> String {
+        match eval(src) {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_and_sum() {
+        assert_eq!(eval("count(//a)"), Value::Num(2.0));
+        assert_eq!(eval("sum(//n)"), Value::Num(5.0));
+        assert!(eval("sum(//a)").number(&parse("<x/>").unwrap()).is_nan());
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval_s("concat('a', 'b', 'c')"), "abc");
+        assert_eq!(eval("starts-with('hello', 'he')"), Value::Bool(true));
+        assert_eq!(eval("contains('hello', 'ell')"), Value::Bool(true));
+        assert_eq!(eval_s("substring-before('1999/04/01', '/')"), "1999");
+        assert_eq!(eval_s("substring-after('1999/04/01', '/')"), "04/01");
+        assert_eq!(eval_s("normalize-space('  a   b  ')"), "a b");
+        assert_eq!(eval_s("translate('bar', 'abc', 'ABC')"), "BAr");
+        assert_eq!(eval_s("translate('--aaa--', 'abc-', 'ABC')"), "AAA");
+    }
+
+    #[test]
+    fn substring_spec_examples() {
+        assert_eq!(eval_s("substring('12345', 2, 3)"), "234");
+        assert_eq!(eval_s("substring('12345', 2)"), "2345");
+        assert_eq!(eval_s("substring('12345', 1.5, 2.6)"), "234");
+        assert_eq!(eval_s("substring('12345', 0, 3)"), "12");
+        assert_eq!(eval_s("substring('12345', 0 div 0, 3)"), "");
+        assert_eq!(eval_s("substring('12345', -42, 1 div 0)"), "12345");
+    }
+
+    #[test]
+    fn number_functions() {
+        assert_eq!(eval("floor(2.6)"), Value::Num(2.0));
+        assert_eq!(eval("ceiling(2.1)"), Value::Num(3.0));
+        assert_eq!(eval("round(2.5)"), Value::Num(3.0));
+        assert_eq!(eval("round(-2.5)"), Value::Num(-2.0));
+        assert_eq!(eval("number('7')"), Value::Num(7.0));
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert_eq!(eval("not(false())"), Value::Bool(true));
+        assert_eq!(eval("boolean(//a)"), Value::Bool(true));
+        assert_eq!(eval("boolean(//zzz)"), Value::Bool(false));
+    }
+
+    #[test]
+    fn name_functions() {
+        assert_eq!(eval_s("name(//a)"), "a");
+        assert_eq!(eval_s("local-name(//a)"), "a");
+        assert_eq!(eval_s("name(//zzz)"), "");
+    }
+
+    #[test]
+    fn string_length_counts_chars() {
+        assert_eq!(eval("string-length('héllo')"), Value::Num(5.0));
+    }
+
+    #[test]
+    fn generate_id_unique_per_node() {
+        let a = eval_s("generate-id(//a[1])");
+        let b = eval_s("generate-id(//a[2])");
+        assert_ne!(a, b);
+        assert!(a.starts_with("id"));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let doc = parse("<x/>").unwrap();
+        let env = Env::default();
+        let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+        assert!(evaluate_str("bogus()", &ctx).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let doc = parse("<x/>").unwrap();
+        let env = Env::default();
+        let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+        assert!(evaluate_str("count()", &ctx).is_err());
+        assert!(evaluate_str("concat('a')", &ctx).is_err());
+    }
+
+    #[test]
+    fn format_number_minimal() {
+        assert_eq!(eval_s("format-number(2.345, '#.00')"), "2.35"); // rounded to 2 places
+        assert_eq!(eval_s("format-number(2, '#')"), "2");
+    }
+}

@@ -1,0 +1,447 @@
+//! XSLT 1.0 match patterns.
+//!
+//! A pattern is a restricted XPath (child/attribute axes, `/` and `//`
+//! separators, optional leading `/`), matched right-to-left against a node.
+//! Default priorities follow XSLT 1.0 §5.5.
+
+use crate::ast::{Axis, Expr, NodeTest};
+use crate::axes::test_matches;
+use crate::eval::{evaluate, Ctx, XPathError};
+use crate::lexer::{tokenize, Tok};
+use crate::parser::{XPathParseError, P};
+use crate::value::Value;
+use std::fmt;
+use xsltdb_xml::{Document, NodeId, NodeKind};
+
+/// How a pattern step relates to the step on its left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// `/` separator: the previous step must match the parent. For the
+    /// first step of an absolute pattern it anchors to the document root.
+    Child,
+    /// `//` separator: the previous step must match some ancestor. For the
+    /// first step it leaves the ancestry unconstrained.
+    Descendant,
+}
+
+/// One step of a path pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStep {
+    /// `Child` or `Attribute` only (enforced by the parser).
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+    pub link: Link,
+}
+
+/// A single alternative of a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    /// Anchored at the document root (`/...` or the bare `/`).
+    pub absolute: bool,
+    /// Steps in path order; empty only for the bare `/` root pattern.
+    pub steps: Vec<PatternStep>,
+}
+
+impl PathPattern {
+    /// Default priority per XSLT 1.0 §5.5.
+    pub fn default_priority(&self) -> f64 {
+        if self.steps.len() != 1 || self.absolute {
+            return 0.5;
+        }
+        let s = &self.steps[0];
+        if !s.predicates.is_empty() {
+            return 0.5;
+        }
+        match &s.test {
+            NodeTest::Name { .. } | NodeTest::Pi(Some(_)) => 0.0,
+            NodeTest::PrefixStar(_) => -0.25,
+            NodeTest::Star | NodeTest::Text | NodeTest::Comment | NodeTest::Node
+            | NodeTest::Pi(None) => -0.5,
+        }
+    }
+}
+
+/// A full match pattern: one or more `|`-separated alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    pub alternatives: Vec<PathPattern>,
+}
+
+impl Pattern {
+    /// Parse a pattern from its textual form.
+    pub fn parse(input: &str) -> Result<Pattern, XPathParseError> {
+        let toks = tokenize(input)?;
+        let mut p = P { toks, pos: 0 };
+        let mut alternatives = vec![parse_path_pattern(&mut p)?];
+        while p.eat(&Tok::Pipe) {
+            alternatives.push(parse_path_pattern(&mut p)?);
+        }
+        if p.pos != p.toks.len() {
+            return Err(p.err("unexpected trailing tokens in pattern"));
+        }
+        Ok(Pattern { alternatives })
+    }
+
+    /// Does `node` match this pattern? `env`/predicates are evaluated with
+    /// the node as context.
+    pub fn matches(&self, doc: &Document, node: NodeId, env: &crate::eval::Env<'_>) -> bool {
+        self.alternatives.iter().any(|pp| path_matches(pp, doc, node, env))
+    }
+
+    /// The highest default priority among matching alternatives would be the
+    /// fully correct answer; for whole-pattern priority (used when the
+    /// stylesheet does not split alternatives) we take the maximum.
+    pub fn default_priority(&self) -> f64 {
+        self.alternatives
+            .iter()
+            .map(|a| a.default_priority())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, alt) in self.alternatives.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            if alt.steps.is_empty() {
+                write!(f, "/")?;
+                continue;
+            }
+            for (j, s) in alt.steps.iter().enumerate() {
+                match (j, s.link, alt.absolute) {
+                    (0, Link::Child, true) => write!(f, "/")?,
+                    (0, Link::Descendant, true) => write!(f, "//")?,
+                    (0, _, false) => {}
+                    (_, Link::Child, _) => write!(f, "/")?,
+                    (_, Link::Descendant, _) => write!(f, "//")?,
+                }
+                if s.axis == Axis::Attribute {
+                    write!(f, "@")?;
+                }
+                write!(f, "{}", s.test)?;
+                for p in &s.predicates {
+                    write!(f, "[{p}]")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_path_pattern(p: &mut P) -> Result<PathPattern, XPathParseError> {
+    let mut absolute = false;
+    let mut first_link = Link::Descendant; // relative patterns are unanchored
+    if p.eat(&Tok::DSlash) {
+        absolute = true;
+        first_link = Link::Descendant;
+    } else if p.eat(&Tok::Slash) {
+        absolute = true;
+        first_link = Link::Child;
+        // Bare `/` pattern.
+        if !matches!(p.peek(), Some(Tok::Name(_) | Tok::Star | Tok::At)) {
+            return Ok(PathPattern { absolute: true, steps: Vec::new() });
+        }
+    }
+    let mut steps = Vec::new();
+    let step = p.step()?;
+    validate_pattern_axis(p, step.axis)?;
+    steps.push(PatternStep {
+        axis: step.axis,
+        test: step.test,
+        predicates: step.predicates,
+        link: first_link,
+    });
+    loop {
+        let link = if p.eat(&Tok::DSlash) {
+            Link::Descendant
+        } else if p.eat(&Tok::Slash) {
+            Link::Child
+        } else {
+            break;
+        };
+        let step = p.step()?;
+        validate_pattern_axis(p, step.axis)?;
+        steps.push(PatternStep {
+            axis: step.axis,
+            test: step.test,
+            predicates: step.predicates,
+            link,
+        });
+    }
+    Ok(PathPattern { absolute, steps })
+}
+
+fn validate_pattern_axis(p: &P, axis: Axis) -> Result<(), XPathParseError> {
+    match axis {
+        Axis::Child | Axis::Attribute => Ok(()),
+        // `.` inside compiled built-in patterns is tolerated as self.
+        other => Err(p.err(format!(
+            "axis `{}` is not allowed in a match pattern",
+            other.name()
+        ))),
+    }
+}
+
+fn path_matches(
+    pp: &PathPattern,
+    doc: &Document,
+    node: NodeId,
+    env: &crate::eval::Env<'_>,
+) -> bool {
+    if pp.steps.is_empty() {
+        // The `/` pattern matches the document node only.
+        return pp.absolute && node == NodeId::DOCUMENT;
+    }
+    match_from(pp, pp.steps.len() - 1, doc, node, env)
+}
+
+fn match_from(
+    pp: &PathPattern,
+    idx: usize,
+    doc: &Document,
+    node: NodeId,
+    env: &crate::eval::Env<'_>,
+) -> bool {
+    let step = &pp.steps[idx];
+    if !step_matches(doc, node, step, env) {
+        return false;
+    }
+    let parent = doc.parent(node);
+    if idx == 0 {
+        return match (pp.absolute, step.link) {
+            // `/name`: parent must be the document node.
+            (true, Link::Child) => parent == Some(NodeId::DOCUMENT),
+            // `//name` or relative pattern: anywhere.
+            _ => true,
+        };
+    }
+    match step.link {
+        Link::Child => match parent {
+            Some(par) => match_from(pp, idx - 1, doc, par, env),
+            None => false,
+        },
+        Link::Descendant => {
+            let mut cur = parent;
+            while let Some(a) = cur {
+                if match_from(pp, idx - 1, doc, a, env) {
+                    return true;
+                }
+                cur = doc.parent(a);
+            }
+            false
+        }
+    }
+}
+
+fn step_matches(
+    doc: &Document,
+    node: NodeId,
+    step: &PatternStep,
+    env: &crate::eval::Env<'_>,
+) -> bool {
+    // The node kind must suit the axis: attribute steps match attribute
+    // nodes, child steps match non-attribute, non-document nodes (per XSLT
+    // 1.0, `node()` as a pattern never matches the root — only the `/`
+    // pattern does).
+    match (step.axis, doc.kind(node)) {
+        (Axis::Attribute, NodeKind::Attribute { .. }) => {}
+        (Axis::Attribute, _) => return false,
+        (_, NodeKind::Attribute { .. }) => return false,
+        (_, NodeKind::Document) => return false,
+        _ => {}
+    }
+    if !test_matches(doc, node, step.axis, &step.test) {
+        return false;
+    }
+    if step.predicates.is_empty() {
+        return true;
+    }
+    if env.assume_predicates {
+        // Partial-evaluation mode: predicates are residual and assumed true.
+        return true;
+    }
+    // Predicate context: position among like-matching siblings in document
+    // order, size = number of such siblings.
+    let (position, size) = match doc.parent(node) {
+        Some(par) if step.axis == Axis::Child => {
+            let siblings: Vec<NodeId> = doc
+                .children(par)
+                .filter(|&c| test_matches(doc, c, step.axis, &step.test))
+                .collect();
+            let pos = siblings.iter().position(|&c| c == node).map(|i| i + 1).unwrap_or(1);
+            (pos, siblings.len())
+        }
+        _ => (1, 1),
+    };
+    let ctx = Ctx { doc, node, position, size, env };
+    step.predicates.iter().all(|pred| {
+        match evaluate(pred, &ctx) {
+            Ok(Value::Num(x)) => position as f64 == x,
+            Ok(v) => v.boolean(),
+            Err(XPathError(_)) => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Env;
+    use xsltdb_xml::parse::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<dept no="10"><dname>A</dname><employees>
+               <emp><empno>1</empno><sal>100</sal></emp>
+               <emp><empno>3456</empno><sal>900</sal></emp>
+               </employees></dept>"#,
+        )
+        .unwrap()
+    }
+
+    fn matches(pattern: &str, doc: &Document, node: NodeId) -> bool {
+        let p = Pattern::parse(pattern).unwrap();
+        p.matches(doc, node, &Env::default())
+    }
+
+    #[test]
+    fn name_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        assert!(matches("dept", &d, dept));
+        assert!(!matches("emp", &d, dept));
+    }
+
+    #[test]
+    fn root_pattern() {
+        let d = doc();
+        assert!(matches("/", &d, NodeId::DOCUMENT));
+        assert!(!matches("/", &d, d.root_element().unwrap()));
+    }
+
+    #[test]
+    fn absolute_pattern_anchors() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let dname = d.child_element(dept, "dname").unwrap();
+        assert!(matches("/dept", &d, dept));
+        assert!(!matches("/dname", &d, dname));
+        assert!(matches("/dept/dname", &d, dname));
+    }
+
+    #[test]
+    fn multi_step_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let emps = d.child_element(dept, "employees").unwrap();
+        let emp = d.child_element(emps, "emp").unwrap();
+        let empno = d.child_element(emp, "empno").unwrap();
+        assert!(matches("emp/empno", &d, empno));
+        assert!(!matches("dept/empno", &d, empno));
+        assert!(matches("dept//empno", &d, empno));
+        assert!(!matches("dname//empno", &d, empno));
+    }
+
+    #[test]
+    fn predicate_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let emps = d.child_element(dept, "employees").unwrap();
+        let all: Vec<NodeId> = d.child_elements(emps, "emp").collect();
+        let empno1 = d.child_element(all[0], "empno").unwrap();
+        let empno2 = d.child_element(all[1], "empno").unwrap();
+        assert!(!matches("emp/empno[. = 3456]", &d, empno1));
+        assert!(matches("emp/empno[. = 3456]", &d, empno2));
+    }
+
+    #[test]
+    fn positional_predicate_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let emps = d.child_element(dept, "employees").unwrap();
+        let all: Vec<NodeId> = d.child_elements(emps, "emp").collect();
+        assert!(matches("emp[1]", &d, all[0]));
+        assert!(!matches("emp[1]", &d, all[1]));
+        assert!(matches("emp[2]", &d, all[1]));
+    }
+
+    #[test]
+    fn attribute_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let attr = d.attributes(dept)[0];
+        assert!(matches("@no", &d, attr));
+        assert!(matches("dept/@no", &d, attr));
+        assert!(!matches("@other", &d, attr));
+        assert!(!matches("no", &d, attr));
+    }
+
+    #[test]
+    fn union_pattern() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let dname = d.child_element(dept, "dname").unwrap();
+        assert!(matches("dname | loc", &d, dname));
+        assert!(matches("loc | dname", &d, dname));
+        assert!(!matches("loc | x", &d, dname));
+    }
+
+    #[test]
+    fn text_and_wildcard_patterns() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let dname = d.child_element(dept, "dname").unwrap();
+        let text = d.children(dname).next().unwrap();
+        assert!(matches("text()", &d, text));
+        assert!(matches("*", &d, dname));
+        assert!(!matches("*", &d, text));
+        assert!(matches("node()", &d, text));
+    }
+
+    #[test]
+    fn default_priorities() {
+        let pri = |s: &str| Pattern::parse(s).unwrap().default_priority();
+        assert_eq!(pri("dept"), 0.0);
+        assert_eq!(pri("*"), -0.5);
+        assert_eq!(pri("text()"), -0.5);
+        assert_eq!(pri("node()"), -0.5);
+        assert_eq!(pri("h:*"), -0.25);
+        assert_eq!(pri("emp/empno"), 0.5);
+        assert_eq!(pri("emp[1]"), 0.5);
+        assert_eq!(pri("/"), 0.5);
+        assert_eq!(pri("dept | *"), 0.0); // max of alternatives
+    }
+
+    #[test]
+    fn pe_mode_assumes_pattern_predicates() {
+        let d = doc();
+        let dept = d.root_element().unwrap();
+        let emps = d.child_element(dept, "employees").unwrap();
+        let emp = d.child_element(emps, "emp").unwrap();
+        let empno = d.child_element(emp, "empno").unwrap();
+        let p = Pattern::parse("emp/empno[. = 999999]").unwrap();
+        let mut env = Env::default();
+        assert!(!p.matches(&d, empno, &env));
+        env.assume_predicates = true;
+        assert!(p.matches(&d, empno, &env));
+    }
+
+    #[test]
+    fn rejects_bad_axes() {
+        assert!(Pattern::parse("ancestor::x").is_err());
+        assert!(Pattern::parse("..").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["dept", "/", "/dept/dname", "emp/empno[. = 3456]", "a | b", "//emp", "@no", "dept/@no"] {
+            let p1 = Pattern::parse(s).unwrap();
+            let printed = p1.to_string();
+            let p2 = Pattern::parse(&printed).unwrap();
+            assert_eq!(p1, p2, "roundtrip failed for {s} -> {printed}");
+        }
+    }
+}

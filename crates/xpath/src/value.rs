@@ -1,0 +1,181 @@
+//! XPath 1.0 value types and conversions.
+
+use xsltdb_xml::{Document, NodeId};
+
+/// An XPath 1.0 value. Node-sets reference nodes of the context document and
+/// are kept sorted in document order with no duplicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    NodeSet(Vec<NodeId>),
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn empty_nodeset() -> Value {
+        Value::NodeSet(Vec::new())
+    }
+
+    /// XPath `boolean()` conversion.
+    pub fn boolean(&self) -> bool {
+        match self {
+            Value::NodeSet(ns) => !ns.is_empty(),
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// XPath `string()` conversion (node-sets use the first node in
+    /// document order).
+    pub fn string(&self, doc: &Document) -> String {
+        match self {
+            Value::NodeSet(ns) => ns
+                .first()
+                .map(|&n| doc.string_value(n))
+                .unwrap_or_default(),
+            Value::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+            Value::Num(n) => num_to_string(*n),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// XPath `number()` conversion.
+    pub fn number(&self, doc: &Document) -> f64 {
+        match self {
+            Value::NodeSet(_) => str_to_num(&self.string(doc)),
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => str_to_num(s),
+        }
+    }
+
+    pub fn as_nodeset(&self) -> Option<&[NodeId]> {
+        match self {
+            Value::NodeSet(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// Take the node-set out of the value, or error with `what` context.
+    pub fn into_nodeset(self, what: &str) -> Result<Vec<NodeId>, String> {
+        match self {
+            Value::NodeSet(ns) => Ok(ns),
+            other => Err(format!("{what}: expected a node-set, got {}", other.type_name())),
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::NodeSet(_) => "node-set",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+        }
+    }
+}
+
+/// XPath 1.0 number-to-string rules: integers print with no decimal point,
+/// NaN prints as `NaN`, infinities as `Infinity`/`-Infinity`.
+pub fn num_to_string(n: f64) -> String {
+    if n.is_nan() {
+        return "NaN".to_string();
+    }
+    if n.is_infinite() {
+        return if n > 0.0 { "Infinity" } else { "-Infinity" }.to_string();
+    }
+    if n == 0.0 {
+        return "0".to_string(); // covers -0.0
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        // Shortest representation that round-trips is what Rust's `{}`
+        // produces for f64.
+        format!("{n}")
+    }
+}
+
+/// XPath 1.0 string-to-number: optional whitespace, optional minus, digits
+/// with optional fraction; anything else is NaN.
+pub fn str_to_num(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return f64::NAN;
+    }
+    let core = t.strip_prefix('-').unwrap_or(t);
+    let valid = !core.is_empty()
+        && core.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && core.chars().filter(|&c| c == '.').count() <= 1
+        && core != ".";
+    if valid {
+        t.parse().unwrap_or(f64::NAN)
+    } else {
+        f64::NAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_xml::builder::text_element;
+
+    #[test]
+    fn boolean_rules() {
+        assert!(!Value::empty_nodeset().boolean());
+        assert!(Value::NodeSet(vec![NodeId(1)]).boolean());
+        assert!(!Value::Num(0.0).boolean());
+        assert!(!Value::Num(f64::NAN).boolean());
+        assert!(Value::Num(-1.0).boolean());
+        assert!(!Value::Str(String::new()).boolean());
+        assert!(Value::Str("false".into()).boolean()); // any non-empty string
+    }
+
+    #[test]
+    fn string_of_nodeset_uses_first_node() {
+        let d = text_element("x", "hello");
+        let root = d.root_element().unwrap();
+        let v = Value::NodeSet(vec![root]);
+        assert_eq!(v.string(&d), "hello");
+        assert_eq!(Value::empty_nodeset().string(&d), "");
+    }
+
+    #[test]
+    fn num_to_string_rules() {
+        assert_eq!(num_to_string(2000.0), "2000");
+        assert_eq!(num_to_string(-3.5), "-3.5");
+        assert_eq!(num_to_string(0.0), "0");
+        assert_eq!(num_to_string(-0.0), "0");
+        assert_eq!(num_to_string(f64::NAN), "NaN");
+        assert_eq!(num_to_string(f64::INFINITY), "Infinity");
+        assert_eq!(num_to_string(f64::NEG_INFINITY), "-Infinity");
+    }
+
+    #[test]
+    fn str_to_num_rules() {
+        assert_eq!(str_to_num(" 42 "), 42.0);
+        assert_eq!(str_to_num("-1.5"), -1.5);
+        assert!(str_to_num("abc").is_nan());
+        assert!(str_to_num("").is_nan());
+        assert!(str_to_num("1e3").is_nan()); // exponents are not XPath numbers
+        assert!(str_to_num("1.2.3").is_nan());
+        assert!(str_to_num(".").is_nan());
+        assert_eq!(str_to_num(".5"), 0.5);
+    }
+
+    #[test]
+    fn number_conversion() {
+        let d = text_element("x", "7");
+        let root = d.root_element().unwrap();
+        assert_eq!(Value::NodeSet(vec![root]).number(&d), 7.0);
+        assert_eq!(Value::Bool(true).number(&d), 1.0);
+        assert_eq!(Value::Str("3.5".into()).number(&d), 3.5);
+    }
+}

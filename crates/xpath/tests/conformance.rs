@@ -1,0 +1,185 @@
+//! XPath 1.0 conformance battery beyond the unit tests: axis interplay,
+//! predicate numbering on reverse axes, conversion edge cases and operator
+//! corner cases.
+
+use xsltdb_xml::parse::parse;
+use xsltdb_xml::NodeId;
+use xsltdb_xpath::eval::{evaluate_str, Ctx, Env};
+use xsltdb_xpath::Value;
+
+const DOC: &str = r#"<book>
+<chapter id="c1"><title>One</title><para>a</para><para>b</para></chapter>
+<chapter id="c2"><title>Two</title><para>c</para></chapter>
+<chapter id="c3"><title>Three</title></chapter>
+</book>"#;
+
+fn eval(src: &str) -> Value {
+    let doc = parse(DOC).unwrap();
+    let env = Env::default();
+    let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+    evaluate_str(src, &ctx).unwrap()
+}
+
+fn s(src: &str) -> String {
+    let doc = parse(DOC).unwrap();
+    let env = Env::default();
+    let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+    evaluate_str(src, &ctx).unwrap().string(&doc)
+}
+
+fn n(src: &str) -> f64 {
+    match eval(src) {
+        Value::Num(x) => x,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn count(src: &str) -> usize {
+    match eval(src) {
+        Value::NodeSet(v) => v.len(),
+        other => panic!("expected node-set, got {other:?}"),
+    }
+}
+
+#[test]
+fn reverse_axis_positions_count_from_nearest() {
+    // preceding-sibling::chapter[1] is the nearest preceding chapter.
+    assert_eq!(
+        s("//chapter[@id = 'c3']/preceding-sibling::chapter[1]/title"),
+        "Two"
+    );
+    assert_eq!(
+        s("//chapter[@id = 'c3']/preceding-sibling::chapter[2]/title"),
+        "One"
+    );
+}
+
+#[test]
+fn ancestor_or_self_includes_self() {
+    // para, its chapter, book.
+    assert_eq!(count("//chapter[1]/para[1]/ancestor-or-self::*"), 3);
+    // //para[1] selects the first para of each chapter (two nodes), so the
+    // merged ancestor-or-self set covers both chapters.
+    assert_eq!(count("//para[1]/ancestor-or-self::*"), 5);
+}
+
+#[test]
+fn following_axis_skips_descendants() {
+    // following of the first title: everything after it except its own
+    // (empty) subtree: 2 paras + 2 chapters + their content.
+    assert_eq!(count("//chapter[1]/title/following::para"), 3);
+    assert_eq!(count("//chapter[1]/title/following::chapter"), 2);
+}
+
+#[test]
+fn positional_predicate_binds_per_parent() {
+    // para[1] is the first para of EACH chapter.
+    assert_eq!(count("//chapter/para[1]"), 2);
+    // (//para)[1]-style global selection needs a filter expression; with
+    // the descendant shortcut, the predicate applies per context node.
+    assert_eq!(count("//para[1]"), 2);
+}
+
+#[test]
+fn last_in_predicate() {
+    assert_eq!(s("//chapter[last()]/@id"), "c3");
+    assert_eq!(s("//chapter[position() = last() - 1]/@id"), "c2");
+}
+
+#[test]
+fn string_number_boolean_conversions() {
+    assert_eq!(n("number(true())"), 1.0);
+    assert_eq!(n("number('  12  ')"), 12.0);
+    assert!(n("number('')").is_nan());
+    assert_eq!(s("string(0.5)"), "0.5");
+    assert_eq!(s("string(-0)"), "0");
+    assert_eq!(eval("boolean('0')"), Value::Bool(true)); // non-empty string
+    assert_eq!(eval("boolean(0)"), Value::Bool(false));
+}
+
+#[test]
+fn comparison_mixed_types() {
+    assert_eq!(eval("'2' = 2"), Value::Bool(true));
+    assert_eq!(eval("true() = 1"), Value::Bool(true));
+    assert_eq!(eval("true() = 'yes'"), Value::Bool(true)); // boolean('yes')
+    assert_eq!(eval("false() = ''"), Value::Bool(true));
+}
+
+#[test]
+fn arithmetic_with_nan_propagates() {
+    assert!(n("'abc' + 1").is_nan());
+    assert_eq!(eval("'abc' + 1 > 0"), Value::Bool(false));
+    assert_eq!(eval("'abc' + 1 < 0"), Value::Bool(false));
+}
+
+#[test]
+fn mod_follows_xpath_sign_rules() {
+    assert_eq!(n("5 mod 2"), 1.0);
+    assert_eq!(n("5 mod -2"), 1.0);
+    assert_eq!(n("-5 mod 2"), -1.0);
+}
+
+#[test]
+fn union_of_different_axes() {
+    assert_eq!(count("//title | //para | //chapter/@id"), 9);
+}
+
+#[test]
+fn wildcard_and_node_tests() {
+    assert_eq!(count("/book/*"), 3);
+    assert_eq!(count("/book/chapter/node()"), 6); // titles + paras
+    assert_eq!(count("//@*"), 3);
+}
+
+#[test]
+fn nested_predicates() {
+    assert_eq!(count("//chapter[para[. = 'c']]"), 1);
+    assert_eq!(s("//chapter[para]/title[. = 'One']"), "One");
+}
+
+#[test]
+fn filter_expression_positional() {
+    // A parenthesised node-set re-numbers positions globally.
+    assert_eq!(s("(//para)[3]"), "c");
+}
+
+#[test]
+fn starts_with_and_substring_interplay() {
+    assert_eq!(
+        eval("starts-with(substring('abcdef', 3), 'cd')"),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn count_of_empty_is_zero_sum_is_zero() {
+    assert_eq!(n("count(//nothing)"), 0.0);
+    assert_eq!(n("sum(//nothing)"), 0.0);
+}
+
+#[test]
+fn relative_path_from_element_context() {
+    let doc = parse(DOC).unwrap();
+    let book = doc.root_element().unwrap();
+    let env = Env::default();
+    let ctx = Ctx::new(&doc, book, &env);
+    let v = evaluate_str("chapter[2]/title", &ctx).unwrap();
+    assert_eq!(v.string(&doc), "Two");
+    // `.` is the context element.
+    let v = evaluate_str("name(.)", &ctx).unwrap();
+    assert_eq!(v.string(&doc), "book");
+}
+
+#[test]
+fn double_slash_midpath() {
+    assert_eq!(count("/book//para"), 3);
+    assert_eq!(count("//chapter//text()"), 6);
+}
+
+#[test]
+fn equality_between_nodesets() {
+    // Exists a title equal to some para? No.
+    assert_eq!(eval("//title = //para"), Value::Bool(false));
+    // Both chapters share no id, but any-pair inequality holds.
+    assert_eq!(eval("//chapter/@id != //chapter/@id"), Value::Bool(true));
+}

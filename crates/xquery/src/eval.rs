@@ -1,0 +1,978 @@
+//! Evaluator for the XQuery subset: sequences of items over shared
+//! immutable documents. Constructors copy content into fresh arenas, per
+//! XQuery semantics.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use xsltdb_xml::{DocRc, Document, NodeId, NodeKind, QName, TreeBuilder};
+use xsltdb_xpath::axes::{axis_nodes, test_matches};
+use xsltdb_xpath::value::{num_to_string, str_to_num};
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XqError(pub String);
+
+impl fmt::Display for XqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XqError {}
+
+/// A node in some document.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    pub doc: DocRc,
+    pub id: NodeId,
+}
+
+impl NodeHandle {
+    pub fn new(doc: DocRc, id: NodeId) -> Self {
+        NodeHandle { doc, id }
+    }
+
+    /// Wrap a document's root (document node).
+    pub fn document(doc: Document) -> Self {
+        NodeHandle { doc: Rc::new(doc), id: NodeId::DOCUMENT }
+    }
+
+    fn order_key(&self) -> (usize, NodeId) {
+        (Rc::as_ptr(&self.doc) as *const () as usize, self.id)
+    }
+
+    pub fn string_value(&self) -> String {
+        self.doc.string_value(self.id)
+    }
+}
+
+impl PartialEq for NodeHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.order_key() == other.order_key()
+    }
+}
+
+/// One XQuery item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Node(NodeHandle),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl Item {
+    /// Atomize: nodes become untyped (string) values.
+    pub fn atomize(&self) -> Item {
+        match self {
+            Item::Node(n) => Item::Str(n.string_value()),
+            other => other.clone(),
+        }
+    }
+
+    pub fn to_string_value(&self) -> String {
+        match self {
+            Item::Node(n) => n.string_value(),
+            Item::Str(s) => s.clone(),
+            Item::Num(n) => num_to_string(*n),
+            Item::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        }
+    }
+
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Item::Num(n) => *n,
+            Item::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            other => str_to_num(&other.to_string_value()),
+        }
+    }
+}
+
+/// A sequence of items.
+pub type Sequence = Vec<Item>;
+
+/// Effective boolean value.
+pub fn ebv(seq: &[Item]) -> Result<bool, XqError> {
+    match seq {
+        [] => Ok(false),
+        [Item::Node(_), ..] => Ok(true),
+        [single] => Ok(match single {
+            Item::Bool(b) => *b,
+            Item::Num(n) => *n != 0.0 && !n.is_nan(),
+            Item::Str(s) => !s.is_empty(),
+            Item::Node(_) => true,
+        }),
+        _ => Err(XqError(
+            "effective boolean value of a multi-item atomic sequence".into(),
+        )),
+    }
+}
+
+/// Serialize a result sequence the way `XMLQuery(... RETURNING CONTENT)`
+/// would: nodes serialize as XML, atomics as their string values separated
+/// by spaces.
+pub fn serialize_sequence(seq: &[Item]) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in seq {
+        match item {
+            Item::Node(n) => {
+                out.push_str(&xsltdb_xml::node_to_string(&n.doc, n.id));
+                prev_atomic = false;
+            }
+            other => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&other.to_string_value());
+                prev_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+/// Build a single document from a result sequence (the `RETURNING CONTENT`
+/// materialisation): nodes are deep-copied, atomics become text.
+pub fn sequence_to_document(seq: &[Item]) -> Document {
+    let mut b = TreeBuilder::new();
+    let mut prev_atomic = false;
+    for item in seq {
+        match item {
+            Item::Node(n) => {
+                b.copy_subtree(&n.doc, n.id);
+                prev_atomic = false;
+            }
+            other => {
+                if prev_atomic {
+                    b.text(" ");
+                }
+                b.text(&other.to_string_value());
+                prev_atomic = true;
+            }
+        }
+    }
+    b.finish_lenient()
+}
+
+/// Evaluate a full query against an optional input document (bound as the
+/// initial context item, like `XMLQuery(... PASSING doc)`).
+pub fn evaluate_query(q: &XQuery, input: Option<NodeHandle>) -> Result<Sequence, XqError> {
+    evaluate_query_with_vars(q, input, Vec::new())
+}
+
+/// Evaluate with additional externally bound variables (used by index-
+/// assisted execution, which binds pre-probed node sequences).
+pub fn evaluate_query_with_vars(
+    q: &XQuery,
+    input: Option<NodeHandle>,
+    extra_vars: Vec<(String, Sequence)>,
+) -> Result<Sequence, XqError> {
+    let functions: HashMap<String, &FunctionDecl> =
+        q.functions.iter().map(|f| (f.name.clone(), f)).collect();
+    let mut env = EvalEnv {
+        functions,
+        vars: extra_vars,
+        ctx: input.map(Item::Node),
+        pos: 1,
+        size: 1,
+        depth: 0,
+    };
+    for v in &q.variables {
+        let val = eval(&v.value, &mut env)?;
+        env.vars.push((v.name.clone(), val));
+    }
+    eval(&q.body, &mut env)
+}
+
+/// Evaluate a standalone expression with a context item.
+pub fn evaluate_expr(e: &XqExpr, input: Option<NodeHandle>) -> Result<Sequence, XqError> {
+    let mut env = EvalEnv {
+        functions: HashMap::new(),
+        vars: Vec::new(),
+        ctx: input.map(Item::Node),
+        pos: 1,
+        size: 1,
+        depth: 0,
+    };
+    eval(e, &mut env)
+}
+
+pub(crate) struct EvalEnv<'q> {
+    pub(crate) functions: HashMap<String, &'q FunctionDecl>,
+    pub(crate) vars: Vec<(String, Sequence)>,
+    pub(crate) ctx: Option<Item>,
+    pub(crate) pos: usize,
+    pub(crate) size: usize,
+    pub(crate) depth: usize,
+}
+
+const MAX_DEPTH: usize = 96;
+
+impl<'q> EvalEnv<'q> {
+    fn lookup(&self, name: &str) -> Result<Sequence, XqError> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| XqError(format!("undefined variable ${name}")))
+    }
+}
+
+pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqError> {
+    match e {
+        XqExpr::Empty => Ok(Vec::new()),
+        XqExpr::StrLit(s) => Ok(vec![Item::Str(s.clone())]),
+        XqExpr::TextContent(t) => Ok(vec![Item::Str(t.clone())]),
+        XqExpr::NumLit(n) => Ok(vec![Item::Num(*n)]),
+        XqExpr::VarRef(v) => env.lookup(v),
+        XqExpr::ContextItem => env
+            .ctx
+            .clone()
+            .map(|i| vec![i])
+            .ok_or_else(|| XqError("no context item".into())),
+        XqExpr::Annotated { expr, .. } => eval(expr, env),
+        XqExpr::Seq(es) => {
+            let mut out = Vec::new();
+            for sub in es {
+                out.extend(eval(sub, env)?);
+            }
+            Ok(out)
+        }
+        XqExpr::If { cond, then, els } => {
+            let c = eval(cond, env)?;
+            if ebv(&c)? {
+                eval(then, env)
+            } else {
+                eval(els, env)
+            }
+        }
+        XqExpr::Or(a, b) => {
+            let l = ebv(&eval(a, env)?)?;
+            if l {
+                return Ok(vec![Item::Bool(true)]);
+            }
+            Ok(vec![Item::Bool(ebv(&eval(b, env)?)?)])
+        }
+        XqExpr::And(a, b) => {
+            let l = ebv(&eval(a, env)?)?;
+            if !l {
+                return Ok(vec![Item::Bool(false)]);
+            }
+            Ok(vec![Item::Bool(ebv(&eval(b, env)?)?)])
+        }
+        XqExpr::Union(a, b) => {
+            let l = eval(a, env)?;
+            let r = eval(b, env)?;
+            let mut handles = Vec::with_capacity(l.len() + r.len());
+            for item in l.into_iter().chain(r) {
+                match item {
+                    Item::Node(n) => handles.push(n),
+                    other => {
+                        return Err(XqError(format!(
+                            "union operand must be nodes, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            handles.sort_by_key(|n| n.order_key());
+            handles.dedup_by_key(|n| n.order_key());
+            Ok(handles.into_iter().map(Item::Node).collect())
+        }
+        XqExpr::Compare(op, a, b) => {
+            let l = eval(a, env)?;
+            let r = eval(b, env)?;
+            Ok(vec![Item::Bool(general_compare(*op, &l, &r))])
+        }
+        XqExpr::Arith(op, a, b) => {
+            let l = eval(a, env)?;
+            let r = eval(b, env)?;
+            if l.is_empty() || r.is_empty() {
+                return Ok(Vec::new());
+            }
+            let x = l[0].to_number();
+            let y = r[0].to_number();
+            let n = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            };
+            Ok(vec![Item::Num(n)])
+        }
+        XqExpr::Neg(a) => {
+            let v = eval(a, env)?;
+            if v.is_empty() {
+                return Ok(Vec::new());
+            }
+            Ok(vec![Item::Num(-v[0].to_number())])
+        }
+        XqExpr::InstanceOf(a, t) => {
+            let v = eval(a, env)?;
+            let ok = v.len() == 1 && item_matches_type(&v[0], t);
+            Ok(vec![Item::Bool(ok)])
+        }
+        XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
+            eval_flwor(clauses, where_clause.as_deref(), order_by, ret, env)
+        }
+        XqExpr::Path { start, steps } => {
+            let start_seq: Sequence = match start {
+                PathStart::Root => {
+                    let ctx = env
+                        .ctx
+                        .clone()
+                        .ok_or_else(|| XqError("no context item for `/`".into()))?;
+                    match ctx {
+                        Item::Node(n) => {
+                            vec![Item::Node(NodeHandle::new(n.doc, NodeId::DOCUMENT))]
+                        }
+                        _ => return Err(XqError("`/` requires a node context".into())),
+                    }
+                }
+                PathStart::Context => vec![env
+                    .ctx
+                    .clone()
+                    .ok_or_else(|| XqError("no context item".into()))?],
+                PathStart::Expr(e) => eval(e, env)?,
+            };
+            eval_steps(start_seq, steps, env)
+        }
+        XqExpr::Filter { base, predicates } => {
+            let mut seq = eval(base, env)?;
+            for p in predicates {
+                seq = apply_predicate(seq, p, env)?;
+            }
+            Ok(seq)
+        }
+        XqExpr::Call { name, args } => eval_call(name, args, env),
+        XqExpr::DirectElem { name, attrs, content } => {
+            let mut b = TreeBuilder::new();
+            b.start_element(name.clone());
+            for (aname, parts) in attrs {
+                let mut val = String::new();
+                for p in parts {
+                    match p {
+                        AttrValuePart::Text(t) => val.push_str(t),
+                        AttrValuePart::Expr(e) => {
+                            let seq = eval(e, env)?;
+                            let strs: Vec<String> =
+                                seq.iter().map(|i| i.atomize().to_string_value()).collect();
+                            val.push_str(&strs.join(" "));
+                        }
+                    }
+                }
+                b.attribute(aname.clone(), val);
+            }
+            let mut items = Vec::new();
+            for c in content {
+                match c {
+                    XqExpr::TextContent(t) => items.push(ContentPiece::Text(t.clone())),
+                    other => items.push(ContentPiece::Items(eval(other, env)?)),
+                }
+            }
+            build_content(&mut b, items)?;
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let root = doc.root_element().expect("constructor built an element");
+            Ok(vec![Item::Node(NodeHandle::new(doc, root))])
+        }
+        XqExpr::CompElem { name, content } => {
+            let n = eval(name, env)?;
+            let lexical = n
+                .first()
+                .map(|i| i.to_string_value())
+                .ok_or_else(|| XqError("element constructor with empty name".into()))?;
+            let (prefix, local) = QName::split(&lexical);
+            let qname = QName { prefix: prefix.map(Into::into), local: local.into(), ns_uri: None };
+            let mut b = TreeBuilder::new();
+            b.start_element(qname);
+            let inner = eval(content, env)?;
+            build_content(&mut b, vec![ContentPiece::Items(inner)])?;
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let root = doc.root_element().expect("constructor built an element");
+            Ok(vec![Item::Node(NodeHandle::new(doc, root))])
+        }
+        XqExpr::CompAttr { name, value } => {
+            let n = eval(name, env)?;
+            let lexical = n
+                .first()
+                .map(|i| i.to_string_value())
+                .ok_or_else(|| XqError("attribute constructor with empty name".into()))?;
+            let v = eval(value, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            // A freestanding attribute node lives on a holder element.
+            let mut b = TreeBuilder::new();
+            b.start_element(QName::local("xq-attribute-holder"));
+            let (prefix, local) = QName::split(&lexical);
+            b.attribute(
+                QName { prefix: prefix.map(Into::into), local: local.into(), ns_uri: None },
+                strs.join(" "),
+            );
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let holder = doc.root_element().expect("built above");
+            let attr = doc.attributes(holder)[0];
+            Ok(vec![Item::Node(NodeHandle::new(doc, attr))])
+        }
+        XqExpr::CompText(e) => {
+            let v = eval(e, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            let mut b = TreeBuilder::new();
+            b.start_element(QName::local("xq-text-holder"));
+            b.text(&strs.join(" "));
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let holder = doc.root_element().expect("built above");
+            match doc.children(holder).next() {
+                Some(t) => Ok(vec![Item::Node(NodeHandle::new(doc, t))]),
+                None => Ok(Vec::new()),
+            }
+        }
+    }
+}
+
+enum ContentPiece {
+    Text(String),
+    Items(Sequence),
+}
+
+/// Append constructor content: nodes are deep-copied; adjacent atomics are
+/// joined with a single space; attribute-node items become attributes.
+fn build_content(b: &mut TreeBuilder, pieces: Vec<ContentPiece>) -> Result<(), XqError> {
+    // The "adjacent atomics are space-separated" rule applies across the
+    // whole flattened content sequence; literal text breaks adjacency.
+    let mut prev_atomic = false;
+    for piece in pieces {
+        match piece {
+            ContentPiece::Text(t) => {
+                b.text(&t);
+                prev_atomic = false;
+            }
+            ContentPiece::Items(items) => {
+                for item in items {
+                    match item {
+                        Item::Node(n) => {
+                            if n.doc.is_attribute(n.id) {
+                                if let NodeKind::Attribute { name, value } = n.doc.kind(n.id) {
+                                    b.try_attribute(name.clone(), value.clone())
+                                        .map_err(|m| XqError(m.to_string()))?;
+                                }
+                            } else {
+                                b.copy_subtree(&n.doc, n.id);
+                            }
+                            prev_atomic = false;
+                        }
+                        atomic => {
+                            if prev_atomic {
+                                b.text(" ");
+                            }
+                            b.text(&atomic.to_string_value());
+                            prev_atomic = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn item_matches_type(item: &Item, t: &SeqType) -> bool {
+    match (item, t) {
+        (Item::Node(n), SeqType::Element(name)) => match n.doc.kind(n.id) {
+            NodeKind::Element { name: en, .. } => {
+                name.as_ref().is_none_or(|want| {
+                    let (p, l) = QName::split(want);
+                    en.matches_test(p, l)
+                })
+            }
+            _ => false,
+        },
+        (Item::Node(n), SeqType::Attribute(name)) => match n.doc.kind(n.id) {
+            NodeKind::Attribute { name: an, .. } => {
+                name.as_ref().is_none_or(|want| {
+                    let (p, l) = QName::split(want);
+                    an.matches_test(p, l)
+                })
+            }
+            _ => false,
+        },
+        (Item::Node(n), SeqType::Text) => n.doc.is_text(n.id),
+        (Item::Node(_), SeqType::Node) => true,
+        (_, SeqType::Item) => true,
+        _ => false,
+    }
+}
+
+fn general_compare(op: CompOp, l: &[Item], r: &[Item]) -> bool {
+    l.iter().any(|a| {
+        let av = a.atomize();
+        r.iter().any(|b| {
+            let bv = b.atomize();
+            compare_atomics(op, &av, &bv)
+        })
+    })
+}
+
+fn compare_atomics(op: CompOp, a: &Item, b: &Item) -> bool {
+    let num_cmp = |x: f64, y: f64| match op {
+        CompOp::Eq => x == y,
+        CompOp::Ne => x != y,
+        CompOp::Lt => x < y,
+        CompOp::Le => x <= y,
+        CompOp::Gt => x > y,
+        CompOp::Ge => x >= y,
+    };
+    match (a, b) {
+        (Item::Num(_), _) | (_, Item::Num(_)) => num_cmp(a.to_number(), b.to_number()),
+        (Item::Bool(x), Item::Bool(y)) => num_cmp(*x as u8 as f64, *y as u8 as f64),
+        _ => {
+            let (x, y) = (a.to_string_value(), b.to_string_value());
+            match op {
+                CompOp::Eq => x == y,
+                CompOp::Ne => x != y,
+                CompOp::Lt => x < y,
+                CompOp::Le => x <= y,
+                CompOp::Gt => x > y,
+                CompOp::Ge => x >= y,
+            }
+        }
+    }
+}
+
+fn eval_flwor(
+    clauses: &[Clause],
+    where_clause: Option<&XqExpr>,
+    order_by: &[OrderSpec],
+    ret: &XqExpr,
+    env: &mut EvalEnv<'_>,
+) -> Result<Sequence, XqError> {
+    // Expand the tuple stream depth-first.
+    fn expand(
+        clauses: &[Clause],
+        where_clause: Option<&XqExpr>,
+        env: &mut EvalEnv<'_>,
+        tuples: &mut Vec<Vec<(String, Sequence)>>,
+        current: &mut Vec<(String, Sequence)>,
+    ) -> Result<(), XqError> {
+        match clauses.split_first() {
+            None => {
+                if let Some(w) = where_clause {
+                    let keep = {
+                        let v = eval(w, env)?;
+                        ebv(&v)?
+                    };
+                    if !keep {
+                        return Ok(());
+                    }
+                }
+                tuples.push(current.clone());
+                Ok(())
+            }
+            Some((Clause::Let { var, value }, rest)) => {
+                let v = eval(value, env)?;
+                env.vars.push((var.clone(), v.clone()));
+                current.push((var.clone(), v));
+                let r = expand(rest, where_clause, env, tuples, current);
+                env.vars.pop();
+                current.pop();
+                r
+            }
+            Some((Clause::For { var, source }, rest)) => {
+                let src = eval(source, env)?;
+                for item in src {
+                    let single = vec![item];
+                    env.vars.push((var.clone(), single.clone()));
+                    current.push((var.clone(), single));
+                    let r = expand(rest, where_clause, env, tuples, current);
+                    env.vars.pop();
+                    current.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    let mut tuples = Vec::new();
+    expand(clauses, where_clause, env, &mut tuples, &mut Vec::new())?;
+
+    if !order_by.is_empty() {
+        // Decorate each tuple with its keys.
+        type Tuple = Vec<(String, Sequence)>;
+        let mut decorated: Vec<(Vec<Item>, Tuple)> = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let depth = t.len();
+            for binding in &t {
+                env.vars.push(binding.clone());
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for o in order_by {
+                let k = eval(&o.key, env)?;
+                keys.push(k.first().map(|i| i.atomize()).unwrap_or(Item::Str(String::new())));
+            }
+            for _ in 0..depth {
+                env.vars.pop();
+            }
+            decorated.push((keys, t));
+        }
+        decorated.sort_by(|(ka, _), (kb, _)| {
+            use std::cmp::Ordering;
+            for (i, o) in order_by.iter().enumerate() {
+                let mut ord = if o.numeric
+                    || matches!(ka[i], Item::Num(_))
+                    || matches!(kb[i], Item::Num(_))
+                {
+                    ka[i]
+                        .to_number()
+                        .partial_cmp(&kb[i].to_number())
+                        .unwrap_or(Ordering::Equal)
+                } else {
+                    ka[i].to_string_value().cmp(&kb[i].to_string_value())
+                };
+                if o.descending {
+                    ord = ord.reverse();
+                }
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let mut out = Vec::new();
+        for (_, t) in decorated {
+            let depth = t.len();
+            for binding in t {
+                env.vars.push(binding);
+            }
+            out.extend(eval(ret, env)?);
+            for _ in 0..depth {
+                env.vars.pop();
+            }
+        }
+        return Ok(out);
+    }
+
+    let mut out = Vec::new();
+    for t in tuples {
+        let depth = t.len();
+        for binding in t {
+            env.vars.push(binding);
+        }
+        out.extend(eval(ret, env)?);
+        for _ in 0..depth {
+            env.vars.pop();
+        }
+    }
+    Ok(out)
+}
+
+fn eval_steps(
+    start: Sequence,
+    steps: &[XqStep],
+    env: &mut EvalEnv<'_>,
+) -> Result<Sequence, XqError> {
+    let mut current: Vec<NodeHandle> = Vec::with_capacity(start.len());
+    for item in start {
+        match item {
+            Item::Node(n) => current.push(n),
+            other => {
+                if steps.is_empty() {
+                    // No steps: atomic passthrough handled by caller.
+                    continue;
+                }
+                return Err(XqError(format!(
+                    "path step applied to an atomic value {other:?}"
+                )));
+            }
+        }
+    }
+    for step in steps {
+        let mut next: Vec<NodeHandle> = Vec::new();
+        for nh in &current {
+            let candidates: Vec<NodeId> = axis_nodes(&nh.doc, nh.id, step.axis)
+                .into_iter()
+                .filter(|&c| test_matches(&nh.doc, c, step.axis, &step.test))
+                .collect();
+            let mut kept: Vec<NodeHandle> = candidates
+                .into_iter()
+                .map(|c| NodeHandle::new(Rc::clone(&nh.doc), c))
+                .collect();
+            for p in &step.predicates {
+                kept = filter_nodes(kept, p, env)?;
+            }
+            next.extend(kept);
+        }
+        next.sort_by_key(|n| n.order_key());
+        next.dedup_by_key(|n| n.order_key());
+        current = next;
+    }
+    Ok(current.into_iter().map(Item::Node).collect())
+}
+
+fn filter_nodes(
+    nodes: Vec<NodeHandle>,
+    pred: &XqExpr,
+    env: &mut EvalEnv<'_>,
+) -> Result<Vec<NodeHandle>, XqError> {
+    let size = nodes.len();
+    let mut out = Vec::with_capacity(nodes.len());
+    for (i, n) in nodes.into_iter().enumerate() {
+        let saved_ctx = env.ctx.replace(Item::Node(n.clone()));
+        let (saved_pos, saved_size) = (env.pos, env.size);
+        env.pos = i + 1;
+        env.size = size;
+        let v = eval(pred, env);
+        env.ctx = saved_ctx;
+        env.pos = saved_pos;
+        env.size = saved_size;
+        let v = v?;
+        let keep = match v.as_slice() {
+            [Item::Num(x)] => (i + 1) as f64 == *x,
+            other => ebv(other)?,
+        };
+        if keep {
+            out.push(n);
+        }
+    }
+    Ok(out)
+}
+
+fn apply_predicate(
+    seq: Sequence,
+    pred: &XqExpr,
+    env: &mut EvalEnv<'_>,
+) -> Result<Sequence, XqError> {
+    let size = seq.len();
+    let mut out = Vec::with_capacity(seq.len());
+    for (i, item) in seq.into_iter().enumerate() {
+        let saved_ctx = env.ctx.replace(item.clone());
+        let (saved_pos, saved_size) = (env.pos, env.size);
+        env.pos = i + 1;
+        env.size = size;
+        let v = eval(pred, env);
+        env.ctx = saved_ctx;
+        env.pos = saved_pos;
+        env.size = saved_size;
+        let v = v?;
+        let keep = match v.as_slice() {
+            [Item::Num(x)] => (i + 1) as f64 == *x,
+            other => ebv(other)?,
+        };
+        if keep {
+            out.push(item);
+        }
+    }
+    Ok(out)
+}
+
+fn eval_call(name: &str, args: &[XqExpr], env: &mut EvalEnv<'_>) -> Result<Sequence, XqError> {
+    // User-defined functions are looked up with their full prefixed name.
+    if env.functions.contains_key(name) {
+        let decl = env.functions[name];
+        if decl.params.len() != args.len() {
+            return Err(XqError(format!(
+                "{name}() expects {} arguments, got {}",
+                decl.params.len(),
+                args.len()
+            )));
+        }
+        if env.depth + 1 > MAX_DEPTH {
+            return Err(XqError(format!(
+                "function recursion deeper than {MAX_DEPTH} (infinite recursion?)"
+            )));
+        }
+        let mut bound = Vec::with_capacity(args.len());
+        for (p, a) in decl.params.iter().zip(args) {
+            bound.push((p.clone(), eval(a, env)?));
+        }
+        // Functions see only their parameters (and other functions).
+        let saved_vars = std::mem::take(&mut env.vars);
+        let saved_ctx = env.ctx.take();
+        env.vars = bound;
+        env.depth += 1;
+        let r = eval(&decl.body, env);
+        env.depth -= 1;
+        env.vars = saved_vars;
+        env.ctx = saved_ctx;
+        return r;
+    }
+    let plain = name.strip_prefix("fn:").unwrap_or(name);
+    crate::functions::call_builtin(plain, args, env)
+}
+
+// The functions module needs access to the evaluator internals.
+pub(crate) mod internal {
+    pub(crate) use super::{ebv, eval, EvalEnv, Item, Sequence, XqError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn input(xml: &str) -> NodeHandle {
+        NodeHandle::document(xsltdb_xml::parse::parse(xml).unwrap())
+    }
+
+    fn run(src: &str, xml: &str) -> String {
+        let q = parse_query(src).unwrap();
+        let seq = evaluate_query(&q, Some(input(xml))).unwrap();
+        serialize_sequence(&seq)
+    }
+
+    #[test]
+    fn simple_path_and_constructor() {
+        assert_eq!(
+            run("<p>{fn:string(/dept/dname)}</p>", "<dept><dname>A</dname></dept>"),
+            "<p>A</p>"
+        );
+    }
+
+    #[test]
+    fn flwor_over_emps() {
+        let xml = "<dept><emp><sal>100</sal></emp><emp><sal>300</sal></emp></dept>";
+        assert_eq!(
+            run(
+                "for $e in /dept/emp where $e/sal > 200 return <hi>{fn:string($e/sal)}</hi>",
+                xml
+            ),
+            "<hi>300</hi>"
+        );
+    }
+
+    #[test]
+    fn let_binding_and_sequence() {
+        assert_eq!(
+            run("let $x := 2 return ($x, $x * 3)", "<r/>"),
+            "2 6"
+        );
+    }
+
+    #[test]
+    fn prolog_variable_is_context() {
+        assert_eq!(
+            run(
+                "declare variable $var000 := .; fn:string($var000/r/v)",
+                "<r><v>9</v></r>"
+            ),
+            "9"
+        );
+    }
+
+    #[test]
+    fn user_function_call() {
+        assert_eq!(
+            run(
+                "declare function local:wrap($n) { <w>{fn:string($n)}</w> }; local:wrap(/r/v)",
+                "<r><v>q</v></r>"
+            ),
+            "<w>q</w>"
+        );
+    }
+
+    #[test]
+    fn recursive_function_detected() {
+        let q = parse_query("declare function local:f($n) { local:f($n) }; local:f(1)").unwrap();
+        let r = evaluate_query(&q, Some(input("<r/>")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn predicates_positional_and_value() {
+        let xml = "<r><i>a</i><i>b</i><i>c</i></r>";
+        assert_eq!(run("fn:string(/r/i[2])", xml), "b");
+        assert_eq!(run("fn:string(/r/i[. = 'c'])", xml), "c");
+    }
+
+    #[test]
+    fn instance_of_checks() {
+        let xml = "<r><a>1</a></r>";
+        assert_eq!(run("for $n in /r/node() return ($n instance of element(a))", xml), "true");
+        assert_eq!(run("(/r/a instance of element(b))", xml), "false");
+        assert_eq!(run("(/r/a/text() instance of text())", xml), "true");
+    }
+
+    #[test]
+    fn constructor_copies_nodes() {
+        let xml = "<r><a k=\"1\">x</a></r>";
+        assert_eq!(run("<out>{/r/a}</out>", xml), "<out><a k=\"1\">x</a></out>");
+    }
+
+    #[test]
+    fn adjacent_atomics_get_space() {
+        assert_eq!(run("<o>{1, 2, 'x'}</o>", "<r/>"), "<o>1 2 x</o>");
+    }
+
+    #[test]
+    fn attribute_avt_in_constructor() {
+        assert_eq!(
+            run("<t border=\"{1 + 1}\"/>", "<r/>"),
+            "<t border=\"2\"/>"
+        );
+    }
+
+    #[test]
+    fn computed_constructors_work() {
+        assert_eq!(run("element {'e'} {attribute {'k'} {'v'}, 'body'}", "<r/>"), "<e k=\"v\">body</e>");
+        assert_eq!(run("text {'plain'}", "<r/>"), "plain");
+    }
+
+    #[test]
+    fn empty_and_arith_propagation() {
+        assert_eq!(run("()", "<r/>"), "");
+        assert_eq!(run("1 + 2 * 3", "<r/>"), "7");
+        assert_eq!(run("/r/nothing + 1", "<r/>"), "");
+    }
+
+    #[test]
+    fn general_comparison_existential() {
+        let xml = "<r><s>100</s><s>300</s></r>";
+        assert_eq!(run("/r/s > 200", xml), "true");
+        assert_eq!(run("/r/s > 400", xml), "false");
+    }
+
+    #[test]
+    fn order_by_sorts_tuples() {
+        let xml = "<r><e><n>b</n></e><e><n>a</n></e></r>";
+        assert_eq!(
+            run("for $e in /r/e order by $e/n return fn:string($e/n)", xml),
+            "a b"
+        );
+        assert_eq!(
+            run("for $e in /r/e order by $e/n descending return fn:string($e/n)", xml),
+            "b a"
+        );
+    }
+
+    #[test]
+    fn double_slash_descendants() {
+        let xml = "<a><b><c>1</c></b><c>2</c></a>";
+        assert_eq!(run("fn:count(//c)", xml), "2");
+    }
+
+    #[test]
+    fn sequence_to_document_materialises() {
+        let q = parse_query("(<a/>, 'x', <b/>)").unwrap();
+        let seq = evaluate_query(&q, Some(input("<r/>"))).unwrap();
+        let doc = sequence_to_document(&seq);
+        assert_eq!(xsltdb_xml::to_string(&doc), "<a/>x<b/>");
+    }
+
+    #[test]
+    fn undefined_variable_is_error() {
+        let q = parse_query("$nope").unwrap();
+        assert!(evaluate_query(&q, Some(input("<r/>"))).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # xsltdb-xquery
+//!
+//! The XQuery subset that serves as the paper's *intermediate language*
+//! (§3, §6): XSLT stylesheets are rewritten into these queries, which are
+//! then either rewritten further into SQL/XML over relational storage or
+//! evaluated directly over materialised documents.
+//!
+//! Provides the AST ([`ast`]), a parser ([`parser`]), a Table-8-style
+//! pretty-printer ([`pretty`]), a sequence-semantics evaluator ([`eval`])
+//! with the `fn:` library ([`functions`]), and static structural typing
+//! ([`typing`]) used when a transformation consumes the output of another
+//! query (paper Example 2).
+//!
+//! ```
+//! use xsltdb_xquery::{parse_query, evaluate_query, serialize_sequence, NodeHandle};
+//!
+//! let q = parse_query("for $e in /dept/emp where $e/sal > 2000 return <hi>{fn:string($e/sal)}</hi>").unwrap();
+//! let doc = xsltdb_xml::parse::parse("<dept><emp><sal>2450</sal></emp><emp><sal>1300</sal></emp></dept>").unwrap();
+//! let out = evaluate_query(&q, Some(NodeHandle::document(doc))).unwrap();
+//! assert_eq!(serialize_sequence(&out), "<hi>2450</hi>");
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod functions;
+pub mod parser;
+pub mod pretty;
+pub mod typing;
+
+pub use ast::{
+    ArithOp, AttrValuePart, Clause, CompOp, FunctionDecl, OrderSpec, PathStart, SeqType, VarDecl,
+    XQuery, XqExpr, XqStep,
+};
+pub use eval::{
+    ebv, evaluate_expr, evaluate_query, evaluate_query_with_vars, sequence_to_document,
+    serialize_sequence, Item, NodeHandle, Sequence, XqError,
+};
+pub use parser::{parse_expr as parse_xq_expr, parse_query, XqParseError};
+pub use pretty::{pretty, pretty_query};

@@ -1,0 +1,200 @@
+//! Static structural typing of XQuery results (paper §3.2, fourth bullet):
+//! when the input `XMLType` of a transformation is itself *computed from
+//! another XQuery* — e.g. an XSLT view wrapped by a further query as in
+//! Example 2 — the structural information of that input is derived from the
+//! static type of the producing query.
+//!
+//! The shapes inferred here cover the subset the XSLT rewrite emits:
+//! constructors with known names, sequences, FLWOR (for ⇒ repetition,
+//! let ⇒ passthrough), conditionals (⇒ optionality), and atomic/opaque
+//! expressions (⇒ text content).
+
+use crate::ast::{Clause, XqExpr};
+
+/// One possible child of a constructed node, with cardinality flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occurs {
+    pub shape: Shape,
+    /// May repeat (under a `for`).
+    pub many: bool,
+    /// May be absent (under an `if` or a FLWOR that can yield nothing).
+    pub optional: bool,
+}
+
+/// Structural shape of one constructed item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A constructed element with a statically known name.
+    Element { name: String, attrs: Vec<String>, children: Vec<Occurs> },
+    /// Text or atomic content.
+    Text,
+    /// Content we cannot see through (paths into the input, variables,
+    /// user-function calls).
+    Opaque,
+}
+
+impl Shape {
+    /// Find a child element shape by name, searching one level.
+    pub fn child_element(&self, name: &str) -> Option<&Occurs> {
+        match self {
+            Shape::Element { children, .. } => children.iter().find(|o| {
+                matches!(&o.shape, Shape::Element { name: n, .. } if n == name)
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Infer the shape sequence of an expression's result.
+pub fn infer(e: &XqExpr) -> Vec<Occurs> {
+    match e {
+        XqExpr::Empty => Vec::new(),
+        XqExpr::Seq(es) => es.iter().flat_map(infer).collect(),
+        XqExpr::Annotated { expr, .. } => infer(expr),
+        XqExpr::DirectElem { name, attrs, content } => {
+            let children = content.iter().flat_map(infer).collect();
+            vec![Occurs {
+                shape: Shape::Element {
+                    name: name.local.to_string(),
+                    attrs: attrs.iter().map(|(n, _)| n.local.to_string()).collect(),
+                    children,
+                },
+                many: false,
+                optional: false,
+            }]
+        }
+        XqExpr::CompElem { name, content } => {
+            let n = match name.as_ref() {
+                XqExpr::StrLit(s) => s.clone(),
+                _ => return vec![opaque()],
+            };
+            vec![Occurs {
+                shape: Shape::Element {
+                    name: n,
+                    attrs: Vec::new(),
+                    children: infer(content),
+                },
+                many: false,
+                optional: false,
+            }]
+        }
+        XqExpr::Flwor { clauses, where_clause, ret, .. } => {
+            let repeats = clauses.iter().any(|c| matches!(c, Clause::For { .. }));
+            let conditional = where_clause.is_some() || repeats;
+            infer(ret)
+                .into_iter()
+                .map(|mut o| {
+                    o.many |= repeats;
+                    o.optional |= conditional;
+                    o
+                })
+                .collect()
+        }
+        XqExpr::If { then, els, .. } => {
+            let mut out: Vec<Occurs> = infer(then)
+                .into_iter()
+                .map(|mut o| {
+                    o.optional = true;
+                    o
+                })
+                .collect();
+            out.extend(infer(els).into_iter().map(|mut o| {
+                o.optional = true;
+                o
+            }));
+            out
+        }
+        XqExpr::TextContent(_)
+        | XqExpr::StrLit(_)
+        | XqExpr::NumLit(_)
+        | XqExpr::CompText(_)
+        | XqExpr::Arith(..)
+        | XqExpr::Neg(_) => vec![Occurs { shape: Shape::Text, many: false, optional: false }],
+        XqExpr::Call { name, .. } => {
+            // String-producing builtins yield text; anything else is opaque.
+            let plain = name.strip_prefix("fn:").unwrap_or(name);
+            if matches!(
+                plain,
+                "string"
+                    | "concat"
+                    | "string-join"
+                    | "substring"
+                    | "normalize-space"
+                    | "translate"
+                    | "count"
+                    | "sum"
+                    | "avg"
+                    | "min"
+                    | "max"
+                    | "number"
+            ) {
+                vec![Occurs { shape: Shape::Text, many: false, optional: false }]
+            } else {
+                vec![opaque()]
+            }
+        }
+        XqExpr::Union(..) => vec![opaque()],
+        _ => vec![opaque()],
+    }
+}
+
+fn opaque() -> Occurs {
+    Occurs { shape: Shape::Opaque, many: false, optional: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn constructor_shape() {
+        let e = parse_expr(r#"<table border="2"><tr><td>{1}</td></tr></table>"#).unwrap();
+        let shapes = infer(&e);
+        assert_eq!(shapes.len(), 1);
+        match &shapes[0].shape {
+            Shape::Element { name, attrs, children } => {
+                assert_eq!(name, "table");
+                assert_eq!(attrs, &["border"]);
+                assert_eq!(children.len(), 1);
+                assert!(shapes[0].shape.child_element("tr").is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn for_marks_many() {
+        let e = parse_expr("for $e in $x/emp return <tr/>").unwrap();
+        let shapes = infer(&e);
+        assert!(shapes[0].many);
+        assert!(shapes[0].optional);
+    }
+
+    #[test]
+    fn let_does_not_mark_many() {
+        let e = parse_expr("let $a := 1 return <tr/>").unwrap();
+        let shapes = infer(&e);
+        assert!(!shapes[0].many);
+    }
+
+    #[test]
+    fn if_marks_optional() {
+        let e = parse_expr("if (1) then <a/> else <b/>").unwrap();
+        let shapes = infer(&e);
+        assert_eq!(shapes.len(), 2);
+        assert!(shapes.iter().all(|s| s.optional));
+    }
+
+    #[test]
+    fn string_calls_are_text() {
+        let e = parse_expr("fn:string($x)").unwrap();
+        assert_eq!(infer(&e)[0].shape, Shape::Text);
+    }
+
+    #[test]
+    fn paths_are_opaque() {
+        let e = parse_expr("$x/emp").unwrap();
+        assert_eq!(infer(&e)[0].shape, Shape::Opaque);
+    }
+}

@@ -1,0 +1,107 @@
+//! XQuery parser robustness: errors with positions, odd-but-legal inputs,
+//! and whitespace/comment tolerance everywhere.
+
+use xsltdb_xquery::{parse_query, parse_xq_expr};
+
+#[test]
+fn rejects_malformed_queries() {
+    for bad in [
+        "",
+        "for $x return 1",
+        "let $x = 1 return $x",      // `=` instead of `:=`
+        "if (1) then 2",             // missing else
+        "<a>{1</a>",                 // unterminated enclosed expr
+        "<a><b/>",                   // unterminated constructor
+        "declare variable $x := 1",  // missing `;`
+        "declare function f() { 1 }", // missing `;`
+        "1 +",
+        "fn:string(",
+        "$",
+    ] {
+        assert!(parse_query(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn error_carries_offset() {
+    let e = parse_xq_expr("fn:string(").unwrap_err();
+    assert!(e.offset > 0);
+    assert!(e.to_string().contains("byte"));
+}
+
+#[test]
+fn accepts_unusual_whitespace_and_comments() {
+    for good in [
+        "  (:c:)  1  (:d:)  ",
+        "for(:a:)$x(:b:)in(:c:)/r return $x",
+        "<a   b = \"1\"   />",
+        "declare variable\n$v := .;\n$v",
+        "element(:between:){'e'}{()}",
+    ] {
+        assert!(parse_query(good).is_ok(), "rejected: {good}");
+    }
+}
+
+#[test]
+fn quote_doubling_in_literals_and_attrs() {
+    let q = parse_xq_expr(r#""say ""hi""""#).unwrap();
+    assert_eq!(q, xsltdb_xquery::XqExpr::StrLit("say \"hi\"".into()));
+    let q = parse_xq_expr(r#"<a t="x""y"/>"#).unwrap();
+    match q {
+        xsltdb_xquery::XqExpr::DirectElem { attrs, .. } => {
+            match &attrs[0].1[0] {
+                xsltdb_xquery::AttrValuePart::Text(t) => assert_eq!(t, "x\"y"),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn entities_in_constructor_content() {
+    let q = parse_xq_expr("<a>&lt;&amp;&gt;</a>").unwrap();
+    match q {
+        xsltdb_xquery::XqExpr::DirectElem { content, .. } => {
+            assert_eq!(content.len(), 1);
+            assert!(matches!(&content[0], xsltdb_xquery::XqExpr::TextContent(t) if t == "<&>"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn brace_escapes_in_content_and_attrs() {
+    let q = parse_xq_expr("<a b=\"{{x}}\">{{literal}}</a>").unwrap();
+    match q {
+        xsltdb_xquery::XqExpr::DirectElem { attrs, content, .. } => {
+            assert!(matches!(&attrs[0].1[0], xsltdb_xquery::AttrValuePart::Text(t) if t == "{x}"));
+            assert!(
+                matches!(&content[0], xsltdb_xquery::XqExpr::TextContent(t) if t == "{literal}")
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn keywords_usable_as_element_names_in_paths() {
+    // `if`, `for`, `return` are fine as step names when not in keyword
+    // position.
+    for src in ["/r/if", "/r/return", "$x/for"] {
+        assert!(parse_xq_expr(src).is_ok(), "rejected: {src}");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut src = String::new();
+    for _ in 0..40 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..40 {
+        src.push(')');
+    }
+    assert!(parse_xq_expr(&src).is_ok());
+}

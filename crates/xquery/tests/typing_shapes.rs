@@ -1,0 +1,71 @@
+//! Static typing over realistic generated-query shapes — the structures
+//! Example 2's composition depends on.
+
+use xsltdb_xquery::parse_xq_expr;
+use xsltdb_xquery::typing::{infer, Shape};
+
+fn elem<'a>(shapes: &'a [xsltdb_xquery::typing::Occurs], name: &str) -> &'a Shape {
+    shapes
+        .iter()
+        .find(|o| matches!(&o.shape, Shape::Element { name: n, .. } if n == name))
+        .map(|o| &o.shape)
+        .unwrap_or_else(|| panic!("no element {name} in {shapes:?}"))
+}
+
+#[test]
+fn table8_full_shape() {
+    let q = parse_xq_expr(
+        r#"(
+            <H1>HIGHLY PAID DEPT EMPLOYEES</H1>,
+            let $d := $var000/dept return (
+              <H2>{fn:concat("Department name: ", fn:string($d/dname))}</H2>,
+              <table border="2">{
+                (<td><b>EmpNo</b></td>,
+                 for $e in $d/employees/emp[sal > 2000] return
+                   <tr><td>{fn:string($e/empno)}</td></tr>)
+              }</table>
+            )
+        )"#,
+    )
+    .unwrap();
+    let shapes = infer(&q);
+    // Top level: H1 plus the let's results (H2, table).
+    assert!(matches!(elem(&shapes, "H1"), Shape::Element { .. }));
+    let table = elem(&shapes, "table");
+    let Shape::Element { attrs, children, .. } = table else { unreachable!() };
+    assert_eq!(attrs, &["border"]);
+    let tr = children
+        .iter()
+        .find(|o| matches!(&o.shape, Shape::Element { name, .. } if name == "tr"))
+        .expect("tr under table");
+    assert!(tr.many, "for-bound tr repeats");
+    assert!(tr.optional, "predicate makes tr optional");
+}
+
+#[test]
+fn let_preserves_cardinality_for_marks_many() {
+    let q = parse_xq_expr("let $a := 1 return for $b in $x/y return <row/>").unwrap();
+    let shapes = infer(&q);
+    assert!(shapes[0].many);
+}
+
+#[test]
+fn sequences_concatenate_shapes_in_order() {
+    let q = parse_xq_expr("(<a/>, <b/>, <c/>)").unwrap();
+    let names: Vec<String> = infer(&q)
+        .iter()
+        .map(|o| match &o.shape {
+            Shape::Element { name, .. } => name.clone(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(names, ["a", "b", "c"]);
+}
+
+#[test]
+fn opaque_content_marks_text_presence() {
+    let q = parse_xq_expr("<w>{$anything}</w>").unwrap();
+    let shapes = infer(&q);
+    let Shape::Element { children, .. } = &shapes[0].shape else { unreachable!() };
+    assert!(children.iter().any(|c| matches!(c.shape, Shape::Opaque)));
+}

@@ -1,0 +1,173 @@
+//! Compiled stylesheet representation.
+//!
+//! Parsing (`crate::parse`) turns a stylesheet document into this compiled
+//! form: XPath expressions and match patterns are parsed, attribute value
+//! templates are split, and every `<xsl:apply-templates>` instruction gets a
+//! unique [`SiteId`] — the hook on which the paper's partial evaluator
+//! (§4.3) builds its trace table and template execution graph.
+
+use crate::avt::Avt;
+use xsltdb_xml::QName;
+use xsltdb_xpath::{Expr, Pattern};
+
+/// Identifies one `<xsl:apply-templates>` or `<xsl:call-template>` call site
+/// within a stylesheet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+/// Index of a template in [`Stylesheet::templates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplateId(pub u32);
+
+/// A sort key from `<xsl:sort>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub select: Expr,
+    pub data_type_number: bool,
+    pub descending: bool,
+}
+
+/// An evaluated-at-call-time parameter binding (`<xsl:with-param>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithParam {
+    pub name: String,
+    pub value: VarValueSource,
+}
+
+/// Where a variable/param value comes from: a `select` expression or a
+/// content body producing a result-tree fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarValueSource {
+    Select(Expr),
+    Body(Vec<Op>),
+    /// Neither select nor content: the empty string.
+    Empty,
+}
+
+/// Compiled stylesheet operations — the instruction set of the XSLTVM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A literal result element with AVT attributes.
+    LiteralElement { name: QName, attrs: Vec<(QName, Avt)>, body: Vec<Op> },
+    /// Literal text (from text nodes and `<xsl:text>`).
+    Text(String),
+    /// `<xsl:value-of select>`.
+    ValueOf(Expr),
+    /// `<xsl:apply-templates>`; `select: None` means `child::node()`.
+    ApplyTemplates {
+        site: SiteId,
+        select: Option<Expr>,
+        mode: Option<String>,
+        sorts: Vec<SortKey>,
+        with_params: Vec<WithParam>,
+    },
+    /// `<xsl:call-template>`.
+    CallTemplate { site: SiteId, name: String, with_params: Vec<WithParam> },
+    /// `<xsl:for-each>`.
+    ForEach { select: Expr, sorts: Vec<SortKey>, body: Vec<Op> },
+    /// `<xsl:if>`.
+    If { test: Expr, body: Vec<Op> },
+    /// `<xsl:choose>`.
+    Choose { whens: Vec<(Expr, Vec<Op>)>, otherwise: Vec<Op> },
+    /// `<xsl:variable>`.
+    Variable { name: String, value: VarValueSource },
+    /// `<xsl:element>` (computed name).
+    Element { name: Avt, body: Vec<Op> },
+    /// `<xsl:attribute>` (computed name, content captured as text).
+    Attribute { name: Avt, body: Vec<Op> },
+    /// `<xsl:comment>`.
+    Comment { body: Vec<Op> },
+    /// `<xsl:processing-instruction>`.
+    Pi { name: Avt, body: Vec<Op> },
+    /// `<xsl:copy>` — shallow copy of the current node.
+    Copy { body: Vec<Op> },
+    /// `<xsl:copy-of select>` — deep copy.
+    CopyOf(Expr),
+    /// `<xsl:message>` — collected, not printed.
+    Message { body: Vec<Op> },
+}
+
+/// A compiled template rule.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// `match` pattern, absent for purely named templates.
+    pub pattern: Option<Pattern>,
+    /// `name` attribute for `<xsl:call-template>` dispatch.
+    pub name: Option<String>,
+    pub mode: Option<String>,
+    /// Explicit `priority` or the pattern's default priority.
+    pub priority: f64,
+    /// Declared `<xsl:param>`s with their default values.
+    pub params: Vec<(String, VarValueSource)>,
+    pub body: Vec<Op>,
+}
+
+/// Output method requested by `<xsl:output>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMethod {
+    #[default]
+    Xml,
+    Html,
+    Text,
+}
+
+/// A compiled stylesheet.
+#[derive(Debug, Clone)]
+pub struct Stylesheet {
+    pub templates: Vec<Template>,
+    pub output: OutputMethod,
+    /// Total number of call sites allocated (`SiteId`s are `0..site_count`).
+    pub site_count: u32,
+    /// Top-level `<xsl:variable>`s, evaluated once with the document root as
+    /// context before any template runs.
+    pub global_vars: Vec<(String, VarValueSource)>,
+}
+
+impl Stylesheet {
+    /// Templates with a `match` pattern, as `(id, template)` pairs.
+    pub fn match_templates(&self) -> impl Iterator<Item = (TemplateId, &Template)> {
+        self.templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.pattern.is_some())
+            .map(|(i, t)| (TemplateId(i as u32), t))
+    }
+
+    /// Find a named template.
+    pub fn named_template(&self, name: &str) -> Option<TemplateId> {
+        self.templates
+            .iter()
+            .position(|t| t.name.as_deref() == Some(name))
+            .map(|i| TemplateId(i as u32))
+    }
+
+    pub fn template(&self, id: TemplateId) -> &Template {
+        &self.templates[id.0 as usize]
+    }
+}
+
+/// Walk every `Op` in a body tree, depth-first.
+pub fn walk_ops<'a>(body: &'a [Op], f: &mut impl FnMut(&'a Op)) {
+    for op in body {
+        f(op);
+        match op {
+            Op::LiteralElement { body, .. }
+            | Op::ForEach { body, .. }
+            | Op::If { body, .. }
+            | Op::Element { body, .. }
+            | Op::Attribute { body, .. }
+            | Op::Comment { body }
+            | Op::Pi { body, .. }
+            | Op::Copy { body }
+            | Op::Message { body } => walk_ops(body, f),
+            Op::Choose { whens, otherwise } => {
+                for (_, b) in whens {
+                    walk_ops(b, f);
+                }
+                walk_ops(otherwise, f);
+            }
+            Op::Variable { value: VarValueSource::Body(b), .. } => walk_ops(b, f),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Attribute value templates: `border="{1+1}"`.
+
+use std::fmt;
+use xsltdb_xpath::{parse_expr, Expr, XPathParseError};
+
+/// One segment of an attribute value template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvtPart {
+    Text(String),
+    Expr(Expr),
+}
+
+/// A parsed attribute value template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Avt(pub Vec<AvtPart>);
+
+impl Avt {
+    /// Parse an AVT string. `{{` and `}}` are literal braces.
+    pub fn parse(input: &str) -> Result<Avt, XPathParseError> {
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        let mut chars = input.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '{' if chars.peek() == Some(&'{') => {
+                    chars.next();
+                    text.push('{');
+                }
+                '}' if chars.peek() == Some(&'}') => {
+                    chars.next();
+                    text.push('}');
+                }
+                '{' => {
+                    if !text.is_empty() {
+                        parts.push(AvtPart::Text(std::mem::take(&mut text)));
+                    }
+                    let mut expr_src = String::new();
+                    let mut closed = false;
+                    // Braces cannot nest in XSLT 1.0 AVTs, but string
+                    // literals inside the expression may contain `}`.
+                    let mut quote: Option<char> = None;
+                    for c2 in chars.by_ref() {
+                        match quote {
+                            Some(q) => {
+                                expr_src.push(c2);
+                                if c2 == q {
+                                    quote = None;
+                                }
+                            }
+                            None => match c2 {
+                                '}' => {
+                                    closed = true;
+                                    break;
+                                }
+                                '\'' | '"' => {
+                                    quote = Some(c2);
+                                    expr_src.push(c2);
+                                }
+                                _ => expr_src.push(c2),
+                            },
+                        }
+                    }
+                    if !closed {
+                        return Err(XPathParseError {
+                            message: format!("unterminated `{{` in AVT `{input}`"),
+                        });
+                    }
+                    parts.push(AvtPart::Expr(parse_expr(&expr_src)?));
+                }
+                '}' => {
+                    return Err(XPathParseError {
+                        message: format!("unmatched `}}` in AVT `{input}`"),
+                    })
+                }
+                _ => text.push(c),
+            }
+        }
+        if !text.is_empty() {
+            parts.push(AvtPart::Text(text));
+        }
+        Ok(Avt(parts))
+    }
+
+    /// A constant AVT.
+    pub fn literal(s: &str) -> Avt {
+        if s.is_empty() {
+            Avt(Vec::new())
+        } else {
+            Avt(vec![AvtPart::Text(s.to_string())])
+        }
+    }
+
+    /// The constant string value, if the AVT has no expression parts.
+    pub fn as_constant(&self) -> Option<String> {
+        let mut out = String::new();
+        for p in &self.0 {
+            match p {
+                AvtPart::Text(t) => out.push_str(t),
+                AvtPart::Expr(_) => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Avt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.0 {
+            match p {
+                AvtPart::Text(t) => {
+                    write!(f, "{}", t.replace('{', "{{").replace('}', "}}"))?
+                }
+                AvtPart::Expr(e) => write!(f, "{{{e}}}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text() {
+        let a = Avt::parse("hello").unwrap();
+        assert_eq!(a.as_constant().as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn single_expr() {
+        let a = Avt::parse("{1 + 1}").unwrap();
+        assert_eq!(a.0.len(), 1);
+        assert!(a.as_constant().is_none());
+    }
+
+    #[test]
+    fn mixed() {
+        let a = Avt::parse("emp-{@id}-x").unwrap();
+        assert_eq!(a.0.len(), 3);
+        assert!(matches!(&a.0[0], AvtPart::Text(t) if t == "emp-"));
+        assert!(matches!(&a.0[2], AvtPart::Text(t) if t == "-x"));
+    }
+
+    #[test]
+    fn escaped_braces() {
+        let a = Avt::parse("a{{b}}c").unwrap();
+        assert_eq!(a.as_constant().as_deref(), Some("a{b}c"));
+    }
+
+    #[test]
+    fn brace_inside_string_literal() {
+        let a = Avt::parse("{concat('}', name())}").unwrap();
+        assert_eq!(a.0.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Avt::parse("{unclosed").is_err());
+        assert!(Avt::parse("}stray").is_err());
+        assert!(Avt::parse("{1 +}").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["hello", "emp-{@id}", "a{{b}}"] {
+            let a = Avt::parse(s).unwrap();
+            let printed = a.to_string();
+            assert_eq!(Avt::parse(&printed).unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type shared by stylesheet compilation and execution.
+
+use std::fmt;
+
+/// An XSLT compilation or runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XsltError(pub String);
+
+impl XsltError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        XsltError(msg.into())
+    }
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XSLT error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XsltError {}
+
+impl From<xsltdb_xpath::XPathParseError> for XsltError {
+    fn from(e: xsltdb_xpath::XPathParseError) -> Self {
+        XsltError(e.to_string())
+    }
+}
+
+impl From<xsltdb_xpath::XPathError> for XsltError {
+    fn from(e: xsltdb_xpath::XPathError) -> Self {
+        XsltError(e.to_string())
+    }
+}
+
+impl From<xsltdb_xml::ParseError> for XsltError {
+    fn from(e: xsltdb_xml::ParseError) -> Self {
+        XsltError(e.to_string())
+    }
+}

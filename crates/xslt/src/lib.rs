@@ -1,0 +1,49 @@
+//! # xsltdb-xslt
+//!
+//! An XSLT 1.0 processor (the "XSLTVM") over the `xsltdb-xml` /
+//! `xsltdb-xpath` substrate. In the reproduced paper this engine plays two
+//! roles:
+//!
+//! * **No-rewrite baseline**: the functional evaluation of
+//!   `XMLTransform()` — materialise the input XML as a DOM and interpret the
+//!   stylesheet over it (paper §1 and the "No-Rewrite" series of Figures
+//!   2–3);
+//! * **Partial-evaluation tracer** (paper §4.3): run over an annotated
+//!   sample document with [`TransformOptions::assume_predicates`] and a
+//!   [`trace::TraceSink`], it reports which templates every
+//!   `<xsl:apply-templates>` site instantiates, feeding the template
+//!   execution graph in the `xsltdb` core crate.
+//!
+//! Supported: template rules with match patterns, modes and priorities,
+//! named templates with parameters, `apply-templates` / `call-template` /
+//! `for-each` (with `xsl:sort`), `value-of`, `if` / `choose`, variables and
+//! result-tree fragments, `copy` / `copy-of`, computed elements/attributes,
+//! comments/PIs, attribute value templates, and the built-in template
+//! rules. Not supported (rejected at compile time): `xsl:import/include`,
+//! `xsl:key`, `xsl:number`, attribute sets.
+//!
+//! ```
+//! let out = xsltdb_xslt::transform_str(
+//!     r#"<xsl:stylesheet version="1.0"
+//!          xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+//!          <xsl:template match="greeting"><p><xsl:value-of select="."/></p></xsl:template>
+//!        </xsl:stylesheet>"#,
+//!     "<greeting>hello</greeting>",
+//! ).unwrap();
+//! assert_eq!(out, "<p>hello</p>");
+//! ```
+
+pub mod ast;
+pub mod avt;
+pub mod error;
+pub mod parse;
+pub mod sort;
+pub mod trace;
+pub mod vm;
+
+pub use ast::{Op, OutputMethod, SiteId, Stylesheet, Template, TemplateId, VarValueSource};
+pub use avt::{Avt, AvtPart};
+pub use error::XsltError;
+pub use parse::{compile, compile_str};
+pub use trace::{NoTrace, RecordingTrace, TraceSink, Via, BUILTIN_SITE};
+pub use vm::{candidate_templates, serialize_result, template_is_conditional, transform, transform_str, transform_with, TransformOptions, XsltValue};

@@ -1,0 +1,615 @@
+//! Stylesheet compilation: XML document → [`Stylesheet`].
+
+use crate::ast::{
+    Op, OutputMethod, SiteId, SortKey, Stylesheet, Template, VarValueSource, WithParam,
+};
+use crate::avt::Avt;
+use crate::error::XsltError;
+use xsltdb_xml::{Document, NodeId, NodeKind};
+use xsltdb_xpath::{parse_expr, Pattern};
+
+/// Compile a stylesheet from its XML text.
+pub fn compile_str(src: &str) -> Result<Stylesheet, XsltError> {
+    let doc = xsltdb_xml::parse::parse(src)?;
+    compile(&doc)
+}
+
+/// Compile a stylesheet from a parsed document.
+pub fn compile(doc: &Document) -> Result<Stylesheet, XsltError> {
+    let root = doc
+        .root_element()
+        .ok_or_else(|| XsltError::new("empty stylesheet document"))?;
+    let root_name = doc.element_name(root).expect("root is an element");
+    if !(root_name.is_xsl()
+        && (&*root_name.local == "stylesheet" || &*root_name.local == "transform"))
+    {
+        return Err(XsltError::new(format!(
+            "expected <xsl:stylesheet> or <xsl:transform> root, found <{root_name}>"
+        )));
+    }
+
+    let mut c = Compiler { doc, next_site: 0 };
+    let mut templates = Vec::new();
+    let mut output = OutputMethod::default();
+    let mut global_vars = Vec::new();
+
+    for child in doc.children(root) {
+        let (name, is_xsl) = match doc.kind(child) {
+            NodeKind::Element { name, .. } => (name.clone(), name.is_xsl()),
+            NodeKind::Text(t) if t.trim().is_empty() => continue,
+            NodeKind::Comment(_) | NodeKind::Pi { .. } => continue,
+            other => {
+                return Err(XsltError::new(format!(
+                    "unexpected top-level content in stylesheet: {other:?}"
+                )))
+            }
+        };
+        if !is_xsl {
+            return Err(XsltError::new(format!(
+                "unexpected non-XSLT top-level element <{name}>"
+            )));
+        }
+        match &*name.local {
+            "template" => templates.push(c.compile_template(child)?),
+            "output" => {
+                output = match doc.attribute(child, "method") {
+                    Some("html") => OutputMethod::Html,
+                    Some("text") => OutputMethod::Text,
+                    _ => OutputMethod::Xml,
+                };
+            }
+            "variable" | "param" => {
+                let var_name = doc
+                    .attribute(child, "name")
+                    .ok_or_else(|| XsltError::new("top-level xsl:variable without name"))?
+                    .to_string();
+                global_vars.push((var_name, c.var_value_source(child)?));
+            }
+            "strip-space" | "preserve-space" => {
+                // Whitespace control is a no-op: inputs are parsed with the
+                // whitespace policy the caller chose.
+            }
+            "decimal-format" | "namespace-alias" | "attribute-set" => {
+                return Err(XsltError::new(format!(
+                    "unsupported top-level instruction xsl:{}",
+                    name.local
+                )))
+            }
+            "import" | "include" => {
+                return Err(XsltError::new(
+                    "xsl:import/xsl:include are not supported (single-document stylesheets only)",
+                ))
+            }
+            "key" => return Err(XsltError::new("xsl:key is not supported")),
+            other => {
+                return Err(XsltError::new(format!(
+                    "unknown top-level instruction xsl:{other}"
+                )))
+            }
+        }
+    }
+
+    Ok(Stylesheet { templates, output, site_count: c.next_site, global_vars })
+}
+
+/// `(sorts, with-params, remaining children)` of an instruction element.
+type SortsParamsRest = (Vec<SortKey>, Vec<WithParam>, Vec<NodeId>);
+
+struct Compiler<'a> {
+    doc: &'a Document,
+    next_site: u32,
+}
+
+impl<'a> Compiler<'a> {
+    fn site(&mut self) -> SiteId {
+        let s = SiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    fn attr(&self, node: NodeId, name: &str) -> Option<&'a str> {
+        self.doc.attribute(node, name)
+    }
+
+    fn compile_template(&mut self, node: NodeId) -> Result<Template, XsltError> {
+        let pattern = match self.attr(node, "match") {
+            Some(m) => Some(
+                Pattern::parse(m)
+                    .map_err(|e| XsltError::new(format!("in match=\"{m}\": {e}")))?,
+            ),
+            None => None,
+        };
+        let name = self.attr(node, "name").map(str::to_string);
+        if pattern.is_none() && name.is_none() {
+            return Err(XsltError::new("xsl:template needs `match` or `name`"));
+        }
+        let mode = self.attr(node, "mode").map(str::to_string);
+        let priority = match self.attr(node, "priority") {
+            Some(p) => p
+                .parse()
+                .map_err(|_| XsltError::new(format!("bad priority `{p}`")))?,
+            None => pattern.as_ref().map(|p| p.default_priority()).unwrap_or(0.0),
+        };
+
+        // Leading xsl:param children declare parameters.
+        let mut params = Vec::new();
+        let mut body_nodes = Vec::new();
+        let mut in_params = true;
+        for child in self.doc.children(node) {
+            if in_params {
+                if let NodeKind::Element { name, .. } = self.doc.kind(child) {
+                    if name.is_xsl() && &*name.local == "param" {
+                        let pname = self
+                            .attr(child, "name")
+                            .ok_or_else(|| XsltError::new("xsl:param without name"))?
+                            .to_string();
+                        params.push((pname, self.var_value_source(child)?));
+                        continue;
+                    }
+                }
+                if let NodeKind::Text(t) = self.doc.kind(child) {
+                    if t.trim().is_empty() {
+                        continue;
+                    }
+                }
+                in_params = false;
+            }
+            body_nodes.push(child);
+        }
+        let body = self.compile_body(&body_nodes)?;
+        Ok(Template { pattern, name, mode, priority, params, body })
+    }
+
+    fn var_value_source(&mut self, node: NodeId) -> Result<VarValueSource, XsltError> {
+        if let Some(sel) = self.attr(node, "select") {
+            let e = parse_expr(sel)
+                .map_err(|e| XsltError::new(format!("in select=\"{sel}\": {e}")))?;
+            return Ok(VarValueSource::Select(e));
+        }
+        let children: Vec<NodeId> = self.doc.children(node).collect();
+        let body = self.compile_body(&children)?;
+        if body.is_empty() {
+            Ok(VarValueSource::Empty)
+        } else {
+            Ok(VarValueSource::Body(body))
+        }
+    }
+
+    fn compile_body(&mut self, nodes: &[NodeId]) -> Result<Vec<Op>, XsltError> {
+        let mut ops = Vec::new();
+        for &n in nodes {
+            match self.doc.kind(n) {
+                NodeKind::Text(t) => {
+                    // Stylesheet whitespace stripping: whitespace-only text
+                    // nodes are dropped (xsl:text preserves, handled below).
+                    if !t.trim().is_empty() {
+                        ops.push(Op::Text(t.clone()));
+                    }
+                }
+                NodeKind::Comment(_) | NodeKind::Pi { .. } => {}
+                NodeKind::Element { name, .. } => {
+                    if name.is_xsl() {
+                        self.compile_instruction(n, &name.local.clone(), &mut ops)?;
+                    } else {
+                        ops.push(self.compile_literal_element(n)?);
+                    }
+                }
+                other => {
+                    return Err(XsltError::new(format!(
+                        "unexpected node in template body: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(ops)
+    }
+
+    fn compile_children(&mut self, node: NodeId) -> Result<Vec<Op>, XsltError> {
+        let children: Vec<NodeId> = self.doc.children(node).collect();
+        self.compile_body(&children)
+    }
+
+    fn compile_literal_element(&mut self, node: NodeId) -> Result<Op, XsltError> {
+        let name = self.doc.element_name(node).expect("literal element").clone();
+        let mut attrs = Vec::new();
+        for &a in self.doc.attributes(node) {
+            if let NodeKind::Attribute { name: aname, value } = self.doc.kind(a) {
+                // Namespace declarations for the XSLT namespace itself are
+                // noise in the output; drop them. Other xmlns attrs pass
+                // through literally.
+                if value == xsltdb_xml::XSL_NS
+                    && (&*aname.local == "xmlns" || aname.local.starts_with("xmlns:"))
+                {
+                    continue;
+                }
+                let avt = Avt::parse(value)
+                    .map_err(|e| XsltError::new(format!("in AVT `{value}`: {e}")))?;
+                attrs.push((aname.clone(), avt));
+            }
+        }
+        let body = self.compile_children(node)?;
+        Ok(Op::LiteralElement { name, attrs, body })
+    }
+
+    fn required_attr(&self, node: NodeId, name: &str, instr: &str) -> Result<&'a str, XsltError> {
+        self.attr(node, name)
+            .ok_or_else(|| XsltError::new(format!("xsl:{instr} requires `{name}`")))
+    }
+
+    fn parse_select(&self, node: NodeId, instr: &str) -> Result<xsltdb_xpath::Expr, XsltError> {
+        let s = self.required_attr(node, "select", instr)?;
+        parse_expr(s).map_err(|e| XsltError::new(format!("in select=\"{s}\": {e}")))
+    }
+
+    fn collect_sorts_and_params(
+        &mut self,
+        node: NodeId,
+    ) -> Result<SortsParamsRest, XsltError> {
+        let mut sorts = Vec::new();
+        let mut with_params = Vec::new();
+        let mut rest = Vec::new();
+        for child in self.doc.children(node) {
+            if let NodeKind::Element { name, .. } = self.doc.kind(child) {
+                if name.is_xsl() && &*name.local == "sort" {
+                    let select = match self.attr(child, "select") {
+                        Some(s) => parse_expr(s)
+                            .map_err(|e| XsltError::new(format!("in sort select: {e}")))?,
+                        None => parse_expr(".").expect("constant"),
+                    };
+                    sorts.push(SortKey {
+                        select,
+                        data_type_number: self.attr(child, "data-type") == Some("number"),
+                        descending: self.attr(child, "order") == Some("descending"),
+                    });
+                    continue;
+                }
+                if name.is_xsl() && &*name.local == "with-param" {
+                    let pname = self
+                        .required_attr(child, "name", "with-param")?
+                        .to_string();
+                    with_params.push(WithParam {
+                        name: pname,
+                        value: self.var_value_source(child)?,
+                    });
+                    continue;
+                }
+            }
+            rest.push(child);
+        }
+        Ok((sorts, with_params, rest))
+    }
+
+    fn compile_instruction(
+        &mut self,
+        node: NodeId,
+        local: &str,
+        ops: &mut Vec<Op>,
+    ) -> Result<(), XsltError> {
+        match local {
+            "apply-templates" => {
+                let select = match self.attr(node, "select") {
+                    Some(s) => Some(
+                        parse_expr(s)
+                            .map_err(|e| XsltError::new(format!("in select=\"{s}\": {e}")))?,
+                    ),
+                    None => None,
+                };
+                let mode = self.attr(node, "mode").map(str::to_string);
+                let (sorts, with_params, rest) = self.collect_sorts_and_params(node)?;
+                for r in rest {
+                    if let NodeKind::Text(t) = self.doc.kind(r) {
+                        if t.trim().is_empty() {
+                            continue;
+                        }
+                    }
+                    return Err(XsltError::new(
+                        "xsl:apply-templates allows only xsl:sort/xsl:with-param children",
+                    ));
+                }
+                ops.push(Op::ApplyTemplates {
+                    site: self.site(),
+                    select,
+                    mode,
+                    sorts,
+                    with_params,
+                });
+            }
+            "call-template" => {
+                let name = self.required_attr(node, "name", "call-template")?.to_string();
+                let (_sorts, with_params, _rest) = self.collect_sorts_and_params(node)?;
+                ops.push(Op::CallTemplate { site: self.site(), name, with_params });
+            }
+            "value-of" => {
+                ops.push(Op::ValueOf(self.parse_select(node, "value-of")?));
+            }
+            "for-each" => {
+                let select = self.parse_select(node, "for-each")?;
+                let (sorts, _params, rest) = self.collect_sorts_and_params(node)?;
+                let body = self.compile_body(&rest)?;
+                ops.push(Op::ForEach { select, sorts, body });
+            }
+            "if" => {
+                let t = self.required_attr(node, "test", "if")?;
+                let test = parse_expr(t)
+                    .map_err(|e| XsltError::new(format!("in test=\"{t}\": {e}")))?;
+                let body = self.compile_children(node)?;
+                ops.push(Op::If { test, body });
+            }
+            "choose" => {
+                let mut whens = Vec::new();
+                let mut otherwise = Vec::new();
+                for child in self.doc.children(node) {
+                    match self.doc.kind(child) {
+                        NodeKind::Element { name, .. } if name.is_xsl() => {
+                            match &*name.local {
+                                "when" => {
+                                    let t = self.required_attr(child, "test", "when")?;
+                                    let test = parse_expr(t).map_err(|e| {
+                                        XsltError::new(format!("in test=\"{t}\": {e}"))
+                                    })?;
+                                    whens.push((test, self.compile_children(child)?));
+                                }
+                                "otherwise" => {
+                                    otherwise = self.compile_children(child)?;
+                                }
+                                other => {
+                                    return Err(XsltError::new(format!(
+                                        "unexpected xsl:{other} inside xsl:choose"
+                                    )))
+                                }
+                            }
+                        }
+                        NodeKind::Text(t) if t.trim().is_empty() => {}
+                        NodeKind::Comment(_) => {}
+                        _ => {
+                            return Err(XsltError::new(
+                                "xsl:choose allows only xsl:when/xsl:otherwise",
+                            ))
+                        }
+                    }
+                }
+                if whens.is_empty() {
+                    return Err(XsltError::new("xsl:choose without xsl:when"));
+                }
+                ops.push(Op::Choose { whens, otherwise });
+            }
+            "variable" => {
+                let name = self.required_attr(node, "name", "variable")?.to_string();
+                ops.push(Op::Variable { name, value: self.var_value_source(node)? });
+            }
+            "text" => {
+                let mut s = String::new();
+                for child in self.doc.children(node) {
+                    match self.doc.kind(child) {
+                        NodeKind::Text(t) => s.push_str(t),
+                        _ => return Err(XsltError::new("xsl:text allows only text")),
+                    }
+                }
+                if !s.is_empty() {
+                    ops.push(Op::Text(s));
+                }
+            }
+            "element" => {
+                let name = self.required_attr(node, "name", "element")?;
+                let avt = Avt::parse(name)
+                    .map_err(|e| XsltError::new(format!("in name AVT: {e}")))?;
+                let body = self.compile_children(node)?;
+                ops.push(Op::Element { name: avt, body });
+            }
+            "attribute" => {
+                let name = self.required_attr(node, "name", "attribute")?;
+                let avt = Avt::parse(name)
+                    .map_err(|e| XsltError::new(format!("in name AVT: {e}")))?;
+                let body = self.compile_children(node)?;
+                ops.push(Op::Attribute { name: avt, body });
+            }
+            "comment" => {
+                ops.push(Op::Comment { body: self.compile_children(node)? });
+            }
+            "processing-instruction" => {
+                let name = self.required_attr(node, "name", "processing-instruction")?;
+                let avt = Avt::parse(name)
+                    .map_err(|e| XsltError::new(format!("in name AVT: {e}")))?;
+                ops.push(Op::Pi { name: avt, body: self.compile_children(node)? });
+            }
+            "copy" => {
+                ops.push(Op::Copy { body: self.compile_children(node)? });
+            }
+            "copy-of" => {
+                ops.push(Op::CopyOf(self.parse_select(node, "copy-of")?));
+            }
+            "message" => {
+                ops.push(Op::Message { body: self.compile_children(node)? });
+            }
+            "number" | "apply-imports" | "fallback" => {
+                return Err(XsltError::new(format!("unsupported instruction xsl:{local}")))
+            }
+            other => {
+                return Err(XsltError::new(format!("unknown instruction xsl:{other}")))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Op;
+
+    const SHEET: &str = r#"<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="dept">
+    <H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+    <xsl:apply-templates/>
+  </xsl:template>
+  <xsl:template match="dname">
+    <H2>Department name: <xsl:value-of select="."/></H2>
+  </xsl:template>
+  <xsl:template match="employees">
+    <table border="2">
+      <xsl:apply-templates select="emp[sal > 2000]"/>
+    </table>
+  </xsl:template>
+  <xsl:template match="text()">
+    <xsl:value-of select="."/>
+  </xsl:template>
+</xsl:stylesheet>"#;
+
+    #[test]
+    fn compiles_paper_stylesheet() {
+        let s = compile_str(SHEET).unwrap();
+        assert_eq!(s.templates.len(), 4);
+        assert_eq!(s.site_count, 2);
+        let t0 = &s.templates[0];
+        assert_eq!(t0.pattern.as_ref().unwrap().to_string(), "dept");
+        assert_eq!(t0.body.len(), 2);
+        assert!(matches!(t0.body[0], Op::LiteralElement { .. }));
+        assert!(matches!(t0.body[1], Op::ApplyTemplates { select: None, .. }));
+    }
+
+    #[test]
+    fn literal_element_attrs_are_avts() {
+        let s = compile_str(SHEET).unwrap();
+        match &s.templates[2].body[0] {
+            Op::LiteralElement { name, attrs, body } => {
+                assert_eq!(&*name.local, "table");
+                assert_eq!(attrs.len(), 1);
+                assert_eq!(attrs[0].1.as_constant().as_deref(), Some("2"));
+                assert!(matches!(body[0], Op::ApplyTemplates { select: Some(_), .. }));
+            }
+            other => panic!("expected literal element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_between_instructions_is_stripped() {
+        let s = compile_str(SHEET).unwrap();
+        // Template for dname mixes literal text and value-of.
+        match &s.templates[1].body[0] {
+            Op::LiteralElement { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[0], Op::Text(t) if t == "Department name: "));
+                assert!(matches!(body[1], Op::ValueOf(_)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_stylesheet_compiles() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0"
+                 xmlns:xsl="http://www.w3.org/1999/XSL/Transform"/>"#,
+        )
+        .unwrap();
+        assert!(s.templates.is_empty());
+    }
+
+    #[test]
+    fn named_template_and_params() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template name="fmt">
+                <xsl:param name="x" select="1"/>
+                <xsl:value-of select="$x"/>
+              </xsl:template>
+              <xsl:template match="/">
+                <xsl:call-template name="fmt">
+                  <xsl:with-param name="x" select="2"/>
+                </xsl:call-template>
+              </xsl:template>
+            </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(s.named_template("fmt").is_some());
+        let t = s.template(s.named_template("fmt").unwrap());
+        assert_eq!(t.params.len(), 1);
+    }
+
+    #[test]
+    fn choose_structure() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template match="/">
+                <xsl:choose>
+                  <xsl:when test="1 = 1">a</xsl:when>
+                  <xsl:when test="2 = 2">b</xsl:when>
+                  <xsl:otherwise>c</xsl:otherwise>
+                </xsl:choose>
+              </xsl:template>
+            </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        match &s.templates[0].body[0] {
+            Op::Choose { whens, otherwise } => {
+                assert_eq!(whens.len(), 2);
+                assert_eq!(otherwise.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_instruction() {
+        let r = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template match="/"><xsl:frobnicate/></xsl:template>
+            </xsl:stylesheet>"#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_import() {
+        let r = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:import href="x.xsl"/>
+            </xsl:stylesheet>"#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn template_without_match_or_name_rejected() {
+        let r = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template>x</xsl:template>
+            </xsl:stylesheet>"#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn explicit_priority_parsed() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template match="a" priority="3.5">x</xsl:template>
+            </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(s.templates[0].priority, 3.5);
+    }
+
+    #[test]
+    fn xsl_text_preserves_whitespace() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:template match="/"><xsl:text>  </xsl:text></xsl:template>
+            </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert!(matches!(&s.templates[0].body[0], Op::Text(t) if t == "  "));
+    }
+
+    #[test]
+    fn output_method_parsed() {
+        let s = compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+              <xsl:output method="html"/>
+            </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(s.output, OutputMethod::Html);
+    }
+}

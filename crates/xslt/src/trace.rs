@@ -1,0 +1,64 @@
+//! Trace instrumentation for the partial evaluator (paper §4.3).
+//!
+//! When the XSLTVM runs with a trace sink attached, it reports every
+//! template instantiation together with the call site that caused it. The
+//! partial evaluator in `xsltdb` (core) runs the VM over an annotated
+//! *sample document* and turns this event stream into the trace table and
+//! template execution graph from which the XQuery is generated.
+
+use crate::ast::{SiteId, TemplateId};
+use xsltdb_xml::NodeId;
+
+/// The pseudo call site used for the implicit `apply-templates` performed
+/// by the built-in template rule for elements and the root.
+pub const BUILTIN_SITE: SiteId = SiteId(u32::MAX);
+
+/// How a template instantiation was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Via {
+    /// The initial instantiation at the document root.
+    Root,
+    /// Through an `<xsl:apply-templates>` at this site (or [`BUILTIN_SITE`]).
+    Apply(SiteId),
+    /// Through an `<xsl:call-template>` at this site.
+    Call(SiteId),
+}
+
+/// Receives template instantiation events from the VM.
+pub trait TraceSink {
+    /// A template (`Some`) or the built-in rule (`None`) starts executing
+    /// with `node` as the current node.
+    fn enter_template(&mut self, template: Option<TemplateId>, node: NodeId, via: Via);
+    /// The most recently entered template finished.
+    fn leave_template(&mut self);
+}
+
+/// A sink that discards all events.
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    fn enter_template(&mut self, _t: Option<TemplateId>, _n: NodeId, _v: Via) {}
+    fn leave_template(&mut self) {}
+}
+
+/// A sink that records the raw event stream; useful in tests.
+#[derive(Default)]
+pub struct RecordingTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    Enter { template: Option<TemplateId>, node: NodeId, via: Via },
+    Leave,
+}
+
+impl TraceSink for RecordingTrace {
+    fn enter_template(&mut self, template: Option<TemplateId>, node: NodeId, via: Via) {
+        self.events.push(TraceEvent::Enter { template, node, via });
+    }
+    fn leave_template(&mut self) {
+        self.events.push(TraceEvent::Leave);
+    }
+}

@@ -1,0 +1,1100 @@
+//! The XSLTVM: executes a compiled [`Stylesheet`] over an input document.
+//!
+//! This engine serves two roles from the paper:
+//!
+//! * the **no-rewrite baseline** — the functional evaluation of
+//!   `XMLTransform()` that materialises the input XML as a DOM and runs the
+//!   template interpreter over it (§1, §5);
+//! * the **partial-evaluation tracer** (§4.3) — run over an annotated sample
+//!   document with [`TransformOptions::assume_predicates`] set and a
+//!   [`TraceSink`] attached, it reports which templates each
+//!   `<xsl:apply-templates>` site instantiates.
+
+use crate::ast::{Op, SortKey, Stylesheet, Template, TemplateId, VarValueSource, WithParam};
+use crate::avt::{Avt, AvtPart};
+use crate::error::XsltError;
+use crate::sort::sort_nodes;
+use crate::trace::{TraceSink, Via, BUILTIN_SITE};
+use std::rc::Rc;
+use xsltdb_xml::{DocRc, Document, NodeId, NodeKind, QName, TreeBuilder};
+use xsltdb_xpath::eval::{Ctx, Env, VarResolver};
+use xsltdb_xpath::{evaluate, Expr, Value};
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct TransformOptions {
+    /// Partial-evaluation mode: value predicates in patterns and selects are
+    /// assumed true; both branches of conditionals execute (so the trace
+    /// covers every potentially instantiated template).
+    pub assume_predicates: bool,
+    /// Recursion limit (template call depth). The default is conservative
+    /// because each template level costs several interpreter stack frames;
+    /// raise it (on a thread with a larger stack) for deeply recursive
+    /// stylesheets.
+    pub max_depth: usize,
+}
+
+impl Default for TransformOptions {
+    fn default() -> Self {
+        TransformOptions { assume_predicates: false, max_depth: 128 }
+    }
+}
+
+/// A value bound to an XSLT variable or parameter.
+#[derive(Debug, Clone)]
+pub enum XsltValue {
+    XPath(Value),
+    /// A result-tree fragment built from a variable body.
+    Fragment(DocRc),
+}
+
+impl XsltValue {
+    fn as_xpath_value(&self) -> Value {
+        match self {
+            XsltValue::XPath(v) => v.clone(),
+            XsltValue::Fragment(f) => {
+                Value::Str(f.string_value(NodeId::DOCUMENT))
+            }
+        }
+    }
+}
+
+/// Lexically scoped variable bindings. Template invocations push a barrier:
+/// resolution inside a template sees the template's own frames plus the
+/// globals, never the caller's locals.
+#[derive(Default)]
+struct VarScopes {
+    frames: Vec<Frame>,
+}
+
+struct Frame {
+    barrier: bool,
+    vars: Vec<(String, XsltValue)>,
+}
+
+impl VarScopes {
+    fn push(&mut self, barrier: bool) {
+        self.frames.push(Frame { barrier, vars: Vec::new() });
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn bind(&mut self, name: String, value: XsltValue) {
+        self.frames
+            .last_mut()
+            .expect("a frame is always open during execution")
+            .vars
+            .push((name, value));
+    }
+
+    fn get(&self, name: &str) -> Option<&XsltValue> {
+        for (i, f) in self.frames.iter().enumerate().rev() {
+            if let Some((_, v)) = f.vars.iter().rev().find(|(n, _)| n == name) {
+                return Some(v);
+            }
+            if f.barrier && i > 0 {
+                // Jump to the globals frame (index 0).
+                let globals = &self.frames[0];
+                return globals
+                    .vars
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v);
+            }
+        }
+        None
+    }
+}
+
+impl VarResolver for VarScopes {
+    fn resolve(&self, name: &str) -> Option<Value> {
+        self.get(name).map(|v| v.as_xpath_value())
+    }
+}
+
+/// Where output currently goes: the result tree / a fragment under
+/// construction, or a text capture for attribute/comment/PI content.
+enum Sink {
+    Tree(TreeBuilder),
+    Text(String),
+}
+
+/// Transform `doc` with a compiled stylesheet. Returns the result tree.
+pub fn transform(sheet: &Stylesheet, doc: &Document) -> Result<Document, XsltError> {
+    transform_with(sheet, doc, &TransformOptions::default(), &mut crate::trace::NoTrace)
+}
+
+/// Transform with explicit options and a trace sink.
+pub fn transform_with(
+    sheet: &Stylesheet,
+    doc: &Document,
+    opts: &TransformOptions,
+    trace: &mut dyn TraceSink,
+) -> Result<Document, XsltError> {
+    let mut engine = Engine {
+        sheet,
+        doc,
+        opts,
+        trace,
+        vars: VarScopes::default(),
+        sinks: vec![Sink::Tree(TreeBuilder::new())],
+        depth: 0,
+        messages: Vec::new(),
+    };
+    engine.vars.push(false); // globals frame
+    for (name, src) in &sheet.global_vars {
+        let v = engine.eval_var_source(src, NodeId::DOCUMENT, 1, 1)?;
+        engine.vars.bind(name.clone(), v);
+    }
+    engine.apply_to_nodes(vec![NodeId::DOCUMENT], None, &[], Via::Root)?;
+    match engine.sinks.pop() {
+        Some(Sink::Tree(b)) => Ok(b.finish_lenient()),
+        _ => unreachable!("root sink is a tree"),
+    }
+}
+
+/// Convenience: parse + compile + transform, serialize result.
+pub fn transform_str(stylesheet: &str, input: &str) -> Result<String, XsltError> {
+    let sheet = crate::parse::compile_str(stylesheet)?;
+    let doc = xsltdb_xml::parse::parse(input)?;
+    let out = transform(&sheet, &doc)?;
+    Ok(xsltdb_xml::to_string(&out))
+}
+
+struct Engine<'a> {
+    sheet: &'a Stylesheet,
+    doc: &'a Document,
+    opts: &'a TransformOptions,
+    trace: &'a mut dyn TraceSink,
+    vars: VarScopes,
+    sinks: Vec<Sink>,
+    depth: usize,
+    messages: Vec<String>,
+}
+
+impl<'a> Engine<'a> {
+    // ----- expression evaluation -----
+
+    fn eval(&self, e: &Expr, node: NodeId, pos: usize, size: usize) -> Result<Value, XsltError> {
+        let env = Env {
+            vars: &self.vars,
+            current: Some(node),
+            assume_predicates: self.opts.assume_predicates,
+        };
+        let ctx = Ctx { doc: self.doc, node, position: pos, size, env: &env };
+        evaluate(e, &ctx).map_err(Into::into)
+    }
+
+    fn eval_string(&self, e: &Expr, node: NodeId, pos: usize, size: usize) -> Result<String, XsltError> {
+        Ok(self.eval(e, node, pos, size)?.string(self.doc))
+    }
+
+    fn eval_avt(&self, avt: &Avt, node: NodeId, pos: usize, size: usize) -> Result<String, XsltError> {
+        let mut out = String::new();
+        for part in &avt.0 {
+            match part {
+                AvtPart::Text(t) => out.push_str(t),
+                AvtPart::Expr(e) => out.push_str(&self.eval_string(e, node, pos, size)?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_var_source(
+        &mut self,
+        src: &VarValueSource,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<XsltValue, XsltError> {
+        match src {
+            VarValueSource::Select(e) => Ok(XsltValue::XPath(self.eval(e, node, pos, size)?)),
+            VarValueSource::Empty => Ok(XsltValue::XPath(Value::Str(String::new()))),
+            VarValueSource::Body(body) => {
+                self.sinks.push(Sink::Tree(TreeBuilder::new()));
+                self.exec_block(body, node, pos, size)?;
+                match self.sinks.pop() {
+                    Some(Sink::Tree(b)) => {
+                        Ok(XsltValue::Fragment(Rc::new(b.finish_lenient())))
+                    }
+                    _ => unreachable!("pushed a tree sink above"),
+                }
+            }
+        }
+    }
+
+    // ----- output -----
+
+    fn out_text(&mut self, s: &str) {
+        match self.sinks.last_mut().expect("a sink is always open") {
+            Sink::Tree(b) => b.text(s),
+            Sink::Text(t) => t.push_str(s),
+        }
+    }
+
+    fn tree_sink(&mut self, what: &str) -> Result<&mut TreeBuilder, XsltError> {
+        match self.sinks.last_mut().expect("a sink is always open") {
+            Sink::Tree(b) => Ok(b),
+            Sink::Text(_) => Err(XsltError::new(format!(
+                "cannot create {what} inside attribute/comment/PI content"
+            ))),
+        }
+    }
+
+    fn capture_text(
+        &mut self,
+        body: &[Op],
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<String, XsltError> {
+        self.sinks.push(Sink::Text(String::new()));
+        let r = self.exec_block(body, node, pos, size);
+        let captured = match self.sinks.pop() {
+            Some(Sink::Text(t)) => t,
+            _ => unreachable!("pushed a text sink above"),
+        };
+        r?;
+        Ok(captured)
+    }
+
+    // ----- template dispatch -----
+
+    fn select_template(&self, node: NodeId, mode: Option<&str>) -> Option<TemplateId> {
+        let env = Env {
+            vars: &self.vars,
+            current: Some(node),
+            assume_predicates: self.opts.assume_predicates,
+        };
+        let mut best: Option<(f64, TemplateId)> = None;
+        for (tid, t) in self.sheet.match_templates() {
+            if t.mode.as_deref() != mode {
+                continue;
+            }
+            let pattern = t.pattern.as_ref().expect("match_templates filters");
+            if !pattern.matches(self.doc, node, &env) {
+                continue;
+            }
+            // Highest priority wins; later templates beat earlier on ties.
+            match best {
+                Some((p, _)) if p > t.priority => {}
+                _ => best = Some((t.priority, tid)),
+            }
+        }
+        best.map(|(_, tid)| tid)
+    }
+
+    fn apply_to_nodes(
+        &mut self,
+        nodes: Vec<NodeId>,
+        mode: Option<&str>,
+        params: &[(String, XsltValue)],
+        via: Via,
+    ) -> Result<(), XsltError> {
+        let size = nodes.len();
+        for (i, n) in nodes.into_iter().enumerate() {
+            if self.opts.assume_predicates {
+                // Partial-evaluation mode: every candidate down to the first
+                // unconditional one may fire at run time (the predicates are
+                // residual), so instantiate them all to trace them all
+                // (paper Tables 18/19).
+                let candidates =
+                    candidate_templates(self.sheet, self.doc, n, mode, &self.vars, true);
+                if candidates.is_empty() {
+                    self.trace.enter_template(None, n, via);
+                    let r = self.builtin_rule(n, mode, i + 1, size);
+                    self.trace.leave_template();
+                    r?;
+                    continue;
+                }
+                let needs_builtin_fallback = {
+                    let last = *candidates.last().expect("non-empty");
+                    template_is_conditional(self.sheet.template(last))
+                };
+                for tid in &candidates {
+                    self.trace.enter_template(Some(*tid), n, via);
+                    let r = self.instantiate(*tid, n, i + 1, size, params);
+                    self.trace.leave_template();
+                    r?;
+                }
+                if needs_builtin_fallback {
+                    self.trace.enter_template(None, n, via);
+                    let r = self.builtin_rule(n, mode, i + 1, size);
+                    self.trace.leave_template();
+                    r?;
+                }
+                continue;
+            }
+            match self.select_template(n, mode) {
+                Some(tid) => {
+                    self.trace.enter_template(Some(tid), n, via);
+                    let r = self.instantiate(tid, n, i + 1, size, params);
+                    self.trace.leave_template();
+                    r?;
+                }
+                None => {
+                    self.trace.enter_template(None, n, via);
+                    let r = self.builtin_rule(n, mode, i + 1, size);
+                    self.trace.leave_template();
+                    r?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The XSLT built-in template rules.
+    fn builtin_rule(
+        &mut self,
+        node: NodeId,
+        mode: Option<&str>,
+        _pos: usize,
+        _size: usize,
+    ) -> Result<(), XsltError> {
+        match self.doc.kind(node) {
+            NodeKind::Document | NodeKind::Element { .. } => {
+                let children: Vec<NodeId> = self.doc.children(node).collect();
+                self.apply_to_nodes(children, mode, &[], Via::Apply(BUILTIN_SITE))
+            }
+            NodeKind::Text(t) => {
+                let t = t.clone();
+                self.out_text(&t);
+                Ok(())
+            }
+            NodeKind::Attribute { value, .. } => {
+                let v = value.clone();
+                self.out_text(&v);
+                Ok(())
+            }
+            NodeKind::Comment(_) | NodeKind::Pi { .. } => Ok(()),
+        }
+    }
+
+    fn instantiate(
+        &mut self,
+        tid: TemplateId,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+        params: &[(String, XsltValue)],
+    ) -> Result<(), XsltError> {
+        self.depth += 1;
+        if self.depth > self.opts.max_depth {
+            self.depth -= 1;
+            return Err(XsltError::new(format!(
+                "template recursion deeper than {} (infinite recursion?)",
+                self.opts.max_depth
+            )));
+        }
+        let template: &Template = self.sheet.template(tid);
+        // Evaluate declared-param defaults before pushing the barrier, so
+        // defaults see the caller's context node but not its locals; in
+        // practice defaults are simple selects.
+        self.vars.push(true);
+        for (pname, default) in &template.params {
+            let value = match params.iter().find(|(n, _)| n == pname) {
+                Some((_, v)) => v.clone(),
+                None => self.eval_var_source(default, node, pos, size)?,
+            };
+            self.vars.bind(pname.clone(), value);
+        }
+        let body = &template.body;
+        let r = self.exec_block(body, node, pos, size);
+        self.vars.pop();
+        self.depth -= 1;
+        r
+    }
+
+    // ----- instruction execution -----
+
+    /// Execute a body in a fresh variable scope.
+    fn exec_block(
+        &mut self,
+        ops: &[Op],
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<(), XsltError> {
+        self.vars.push(false);
+        let r = self.exec_ops(ops, node, pos, size);
+        self.vars.pop();
+        r
+    }
+
+    fn exec_ops(
+        &mut self,
+        ops: &[Op],
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<(), XsltError> {
+        for op in ops {
+            self.exec_op(op, node, pos, size)?;
+        }
+        Ok(())
+    }
+
+    fn exec_op(&mut self, op: &Op, node: NodeId, pos: usize, size: usize) -> Result<(), XsltError> {
+        match op {
+            Op::Text(t) => self.out_text(t),
+            Op::ValueOf(e) => {
+                let s = self.eval_string(e, node, pos, size)?;
+                self.out_text(&s);
+            }
+            Op::LiteralElement { name, attrs, body } => {
+                self.tree_sink("an element")?.start_element(name.clone());
+                for (aname, avt) in attrs {
+                    let v = self.eval_avt(avt, node, pos, size)?;
+                    self.tree_sink("an attribute")?
+                        .try_attribute(aname.clone(), v)
+                        .map_err(XsltError::new)?;
+                }
+                self.exec_block(body, node, pos, size)?;
+                self.tree_sink("an element")?.end_element();
+            }
+            Op::Element { name, body } => {
+                let lexical = self.eval_avt(name, node, pos, size)?;
+                let (prefix, local) = QName::split(&lexical);
+                let qname = QName {
+                    prefix: prefix.map(Into::into),
+                    local: local.into(),
+                    ns_uri: None,
+                };
+                self.tree_sink("an element")?.start_element(qname);
+                self.exec_block(body, node, pos, size)?;
+                self.tree_sink("an element")?.end_element();
+            }
+            Op::Attribute { name, body } => {
+                let lexical = self.eval_avt(name, node, pos, size)?;
+                let value = self.capture_text(body, node, pos, size)?;
+                let (prefix, local) = QName::split(&lexical);
+                let qname = QName {
+                    prefix: prefix.map(Into::into),
+                    local: local.into(),
+                    ns_uri: None,
+                };
+                self.tree_sink("an attribute")?
+                    .try_attribute(qname, value)
+                    .map_err(XsltError::new)?;
+            }
+            Op::Comment { body } => {
+                let text = self.capture_text(body, node, pos, size)?;
+                self.tree_sink("a comment")?.comment(text);
+            }
+            Op::Pi { name, body } => {
+                let target = self.eval_avt(name, node, pos, size)?;
+                let data = self.capture_text(body, node, pos, size)?;
+                self.tree_sink("a processing instruction")?.pi(target, data);
+            }
+            Op::If { test, body } => {
+                let take = self.opts.assume_predicates
+                    || self.eval(test, node, pos, size)?.boolean();
+                if take {
+                    self.exec_block(body, node, pos, size)?;
+                }
+            }
+            Op::Choose { whens, otherwise } => {
+                if self.opts.assume_predicates {
+                    // PE mode: run every branch so the trace covers all
+                    // potentially instantiated templates.
+                    for (_, b) in whens {
+                        self.exec_block(b, node, pos, size)?;
+                    }
+                    self.exec_block(otherwise, node, pos, size)?;
+                } else {
+                    let mut taken = false;
+                    for (test, b) in whens {
+                        if self.eval(test, node, pos, size)?.boolean() {
+                            self.exec_block(b, node, pos, size)?;
+                            taken = true;
+                            break;
+                        }
+                    }
+                    if !taken {
+                        self.exec_block(otherwise, node, pos, size)?;
+                    }
+                }
+            }
+            Op::Variable { name, value } => {
+                let v = self.eval_var_source(value, node, pos, size)?;
+                self.vars.bind(name.clone(), v);
+            }
+            Op::ForEach { select, sorts, body } => {
+                let mut nodes = self.nodeset(select, node, pos, size)?;
+                self.sort(&mut nodes, sorts)?;
+                let len = nodes.len();
+                for (i, n) in nodes.into_iter().enumerate() {
+                    self.exec_block(body, n, i + 1, len)?;
+                }
+            }
+            Op::ApplyTemplates { site, select, mode, sorts, with_params } => {
+                let mut nodes = match select {
+                    Some(e) => self.nodeset(e, node, pos, size)?,
+                    None => self.doc.children(node).collect(),
+                };
+                self.sort(&mut nodes, sorts)?;
+                let params = self.eval_with_params(with_params, node, pos, size)?;
+                self.apply_to_nodes(nodes, mode.as_deref(), &params, Via::Apply(*site))?;
+            }
+            Op::CallTemplate { site, name, with_params } => {
+                let tid = self.sheet.named_template(name).ok_or_else(|| {
+                    XsltError::new(format!("no template named `{name}`"))
+                })?;
+                let params = self.eval_with_params(with_params, node, pos, size)?;
+                self.trace.enter_template(Some(tid), node, Via::Call(*site));
+                let r = self.instantiate(tid, node, pos, size, &params);
+                self.trace.leave_template();
+                r?;
+            }
+            Op::Copy { body } => match self.doc.kind(node).clone() {
+                NodeKind::Document => self.exec_block(body, node, pos, size)?,
+                NodeKind::Element { name, .. } => {
+                    self.tree_sink("an element")?.start_element(name);
+                    self.exec_block(body, node, pos, size)?;
+                    self.tree_sink("an element")?.end_element();
+                }
+                NodeKind::Attribute { name, value } => {
+                    self.tree_sink("an attribute")?
+                        .try_attribute(name, value)
+                        .map_err(XsltError::new)?;
+                }
+                NodeKind::Text(t) => self.out_text(&t),
+                NodeKind::Comment(t) => self.tree_sink("a comment")?.comment(t),
+                NodeKind::Pi { target, data } => {
+                    self.tree_sink("a processing instruction")?.pi(target, data)
+                }
+            },
+            Op::CopyOf(e) => self.exec_copy_of(e, node, pos, size)?,
+            Op::Message { body } => {
+                let text = self.capture_text(body, node, pos, size)?;
+                self.messages.push(text);
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_copy_of(
+        &mut self,
+        e: &Expr,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<(), XsltError> {
+        // `copy-of select="$frag"` copies the fragment tree.
+        if let Expr::Var(name) = e {
+            if let Some(XsltValue::Fragment(frag)) = self.vars.get(name) {
+                let frag = Rc::clone(frag);
+                match self.sinks.last_mut().expect("a sink is always open") {
+                    Sink::Tree(b) => b.copy_subtree(&frag, NodeId::DOCUMENT),
+                    Sink::Text(t) => t.push_str(&frag.string_value(NodeId::DOCUMENT)),
+                }
+                return Ok(());
+            }
+        }
+        match self.eval(e, node, pos, size)? {
+            Value::NodeSet(ns) => {
+                for n in ns {
+                    match self.sinks.last_mut().expect("a sink is always open") {
+                        Sink::Tree(b) => b.copy_subtree(self.doc, n),
+                        Sink::Text(t) => t.push_str(&self.doc.string_value(n)),
+                    }
+                }
+            }
+            other => {
+                let s = other.string(self.doc);
+                self.out_text(&s);
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_with_params(
+        &mut self,
+        with_params: &[WithParam],
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<Vec<(String, XsltValue)>, XsltError> {
+        let mut out = Vec::with_capacity(with_params.len());
+        for wp in with_params {
+            let v = self.eval_var_source(&wp.value, node, pos, size)?;
+            out.push((wp.name.clone(), v));
+        }
+        Ok(out)
+    }
+
+    fn nodeset(
+        &self,
+        e: &Expr,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<Vec<NodeId>, XsltError> {
+        self.eval(e, node, pos, size)?
+            .into_nodeset("select expression")
+            .map_err(XsltError::new)
+    }
+
+    fn sort(&mut self, nodes: &mut Vec<NodeId>, sorts: &[SortKey]) -> Result<(), XsltError> {
+        if sorts.is_empty() {
+            return Ok(());
+        }
+        // Work around the borrow of `self` inside the closure: evaluate via
+        // an immutable reference.
+        let this: &Engine<'a> = self;
+        let mut result: Result<(), XsltError> = Ok(());
+        let mut nodes2 = std::mem::take(nodes);
+        let r = sort_nodes(&mut nodes2, sorts, |k, n, p, s| {
+            this.eval_string(&k.select, n, p, s)
+        });
+        if let Err(e) = r {
+            result = Err(e);
+        }
+        *nodes = nodes2;
+        result
+    }
+
+    #[allow(dead_code)]
+    fn take_messages(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.messages)
+    }
+}
+
+
+/// Does a template's match pattern carry predicates — i.e. can it fail at
+/// run time even though the partial evaluator assumed it matched?
+pub fn template_is_conditional(t: &Template) -> bool {
+    t.pattern
+        .as_ref()
+        .is_some_and(|p| p.alternatives.iter().any(|a| {
+            a.steps.iter().any(|s| !s.predicates.is_empty())
+        }))
+}
+
+/// The candidate templates for `node` in priority order (best first).
+///
+/// With `assume_predicates`, pattern predicates are treated as residual:
+/// the list contains every matching candidate down to and including the
+/// first *unconditional* one — the chain the generated XQuery must test at
+/// run time. Without it, only the winner is returned.
+pub fn candidate_templates(
+    sheet: &Stylesheet,
+    doc: &Document,
+    node: NodeId,
+    mode: Option<&str>,
+    vars: &dyn VarResolver,
+    assume_predicates: bool,
+) -> Vec<TemplateId> {
+    let env = Env { vars, current: Some(node), assume_predicates };
+    let mut matching: Vec<(f64, u32, TemplateId)> = sheet
+        .match_templates()
+        .filter(|(_, t)| t.mode.as_deref() == mode)
+        .filter(|(_, t)| {
+            t.pattern
+                .as_ref()
+                .expect("match_templates filters")
+                .matches(doc, node, &env)
+        })
+        .map(|(tid, t)| (t.priority, tid.0, tid))
+        .collect();
+    // Best first: priority desc, then later-declared first.
+    matching.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.1.cmp(&a.1))
+    });
+    if !assume_predicates {
+        matching.truncate(1);
+        return matching.into_iter().map(|(_, _, tid)| tid).collect();
+    }
+    let mut out = Vec::new();
+    for (_, _, tid) in matching {
+        let conditional = template_is_conditional(sheet.template(tid));
+        out.push(tid);
+        if !conditional {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sheet: &str, input: &str) -> String {
+        transform_str(sheet, input).unwrap()
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+        )
+    }
+
+    #[test]
+    fn identityish_value_of() {
+        let sheet = wrap(r#"<xsl:template match="/"><out><xsl:value-of select="//b"/></out></xsl:template>"#);
+        assert_eq!(run(&sheet, "<a><b>hi</b></a>"), "<out>hi</out>");
+    }
+
+    #[test]
+    fn paper_example_1_structure() {
+        let sheet = wrap(
+            r#"
+            <xsl:template match="dept">
+              <H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+              <xsl:apply-templates/>
+            </xsl:template>
+            <xsl:template match="dname">
+              <H2>Department name: <xsl:value-of select="."/></H2>
+            </xsl:template>
+            <xsl:template match="loc">
+              <H2>Department location: <xsl:value-of select="."/></H2>
+            </xsl:template>
+            <xsl:template match="employees">
+              <H2>Employees Table</H2>
+              <table border="2">
+                <td><b>EmpNo</b></td>
+                <td><b>Name</b></td>
+                <td><b>Weekly Salary</b></td>
+                <xsl:apply-templates select="emp[sal &gt; 2000]"/>
+              </table>
+            </xsl:template>
+            <xsl:template match="emp">
+              <tr>
+                <td><xsl:value-of select="empno"/></td>
+                <td><xsl:value-of select="ename"/></td>
+                <td><xsl:value-of select="sal"/></td>
+              </tr>
+            </xsl:template>
+            <xsl:template match="text()"><xsl:value-of select="."/></xsl:template>
+            "#,
+        );
+        let input = "<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees>\
+            <emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp>\
+            <emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp>\
+            </employees></dept>";
+        let out = run(&sheet, input);
+        assert!(out.contains("<H1>HIGHLY PAID DEPT EMPLOYEES</H1>"));
+        assert!(out.contains("<H2>Department name: ACCOUNTING</H2>"));
+        assert!(out.contains("<td>7782</td>"));
+        assert!(!out.contains("7934"), "low-paid employee filtered out: {out}");
+        assert!(out.contains(r#"<table border="2">"#));
+    }
+
+    #[test]
+    fn builtin_templates_copy_text() {
+        let sheet = wrap("");
+        assert_eq!(run(&sheet, "<a><b>x</b><c>y</c></a>"), "xy");
+    }
+
+    #[test]
+    fn for_each_with_sort() {
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:for-each select="//n">
+                 <xsl:sort select="." data-type="number" order="descending"/>
+                 <v><xsl:value-of select="."/></v>
+               </xsl:for-each></xsl:template>"#,
+        );
+        assert_eq!(
+            run(&sheet, "<r><n>5</n><n>100</n><n>9</n></r>"),
+            "<v>100</v><v>9</v><v>5</v>"
+        );
+    }
+
+    #[test]
+    fn apply_templates_with_sort() {
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:apply-templates select="//n">
+                 <xsl:sort select="."/>
+               </xsl:apply-templates></xsl:template>
+               <xsl:template match="n"><v><xsl:value-of select="."/></v></xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r><n>b</n><n>a</n></r>"), "<v>a</v><v>b</v>");
+    }
+
+    #[test]
+    fn choose_branches() {
+        let sheet = wrap(
+            r#"<xsl:template match="n">
+                 <xsl:choose>
+                   <xsl:when test=". &gt; 10">big</xsl:when>
+                   <xsl:when test=". &gt; 5">mid</xsl:when>
+                   <xsl:otherwise>small</xsl:otherwise>
+                 </xsl:choose>
+               </xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(run(&sheet, "<r><n>20</n><n>7</n><n>1</n></r>"), "bigmidsmall");
+    }
+
+    #[test]
+    fn variables_and_params() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:variable name="x" select="2 + 3"/>
+                 <xsl:call-template name="show">
+                   <xsl:with-param name="v" select="$x * 2"/>
+                 </xsl:call-template>
+               </xsl:template>
+               <xsl:template name="show">
+                 <xsl:param name="v" select="0"/>
+                 <out><xsl:value-of select="$v"/></out>
+               </xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r/>"), "<out>10</out>");
+    }
+
+    #[test]
+    fn param_default_used_when_not_passed() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:call-template name="show"/>
+               </xsl:template>
+               <xsl:template name="show">
+                 <xsl:param name="v" select="41 + 1"/>
+                 <out><xsl:value-of select="$v"/></out>
+               </xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r/>"), "<out>42</out>");
+    }
+
+    #[test]
+    fn variable_fragment_and_copy_of() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:variable name="f"><x>1</x><y>2</y></xsl:variable>
+                 <out><xsl:copy-of select="$f"/></out>
+                 <s><xsl:value-of select="$f"/></s>
+               </xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r/>"), "<out><x>1</x><y>2</y></out><s>12</s>");
+    }
+
+    #[test]
+    fn attribute_value_templates() {
+        let sheet = wrap(
+            r#"<xsl:template match="item">
+                 <row id="r-{@n}"><xsl:value-of select="."/></row>
+               </xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(
+            run(&sheet, r#"<r><item n="1">a</item><item n="2">b</item></r>"#),
+            r#"<row id="r-1">a</row><row id="r-2">b</row>"#
+        );
+    }
+
+    #[test]
+    fn xsl_element_and_attribute() {
+        let sheet = wrap(
+            r#"<xsl:template match="item">
+                 <xsl:element name="{@kind}">
+                   <xsl:attribute name="v"><xsl:value-of select="."/></xsl:attribute>
+                 </xsl:element>
+               </xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(
+            run(&sheet, r#"<r><item kind="alpha">x</item></r>"#),
+            r#"<alpha v="x"/>"#
+        );
+    }
+
+    #[test]
+    fn copy_identity_transform() {
+        let sheet = wrap(
+            r#"<xsl:template match="@*|node()">
+                 <xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy>
+               </xsl:template>"#,
+        );
+        let input = r#"<a k="1"><b>x</b><!--c--></a>"#;
+        assert_eq!(run(&sheet, input), input);
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:apply-templates select="//n"/>
+                 <xsl:apply-templates select="//n" mode="loud"/>
+               </xsl:template>
+               <xsl:template match="n"><q><xsl:value-of select="."/></q></xsl:template>
+               <xsl:template match="n" mode="loud"><Q><xsl:value-of select="."/></Q></xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r><n>x</n></r>"), "<q>x</q><Q>x</Q>");
+    }
+
+    #[test]
+    fn priority_tiebreak_prefers_later() {
+        let sheet = wrap(
+            r#"<xsl:template match="n">first</xsl:template>
+               <xsl:template match="n">second</xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(run(&sheet, "<r><n>x</n></r>"), "second");
+    }
+
+    #[test]
+    fn explicit_priority_wins() {
+        let sheet = wrap(
+            r#"<xsl:template match="n" priority="2">hi</xsl:template>
+               <xsl:template match="n">lo</xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(run(&sheet, "<r><n>x</n></r>"), "hi");
+    }
+
+    #[test]
+    fn comment_and_pi_output() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:comment>note</xsl:comment>
+                 <xsl:processing-instruction name="target">data</xsl:processing-instruction>
+               </xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r/>"), "<!--note--><?target data?>");
+    }
+
+    #[test]
+    fn infinite_recursion_detected() {
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>
+               <xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>"#,
+        );
+        let r = transform_str(&sheet, "<r/>");
+        assert!(r.is_err());
+        assert!(r.unwrap_err().0.contains("recursion"));
+    }
+
+    #[test]
+    fn element_inside_attribute_errors() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <e><xsl:attribute name="a"><x/></xsl:attribute></e>
+               </xsl:template>"#,
+        );
+        assert!(transform_str(&sheet, "<r/>").is_err());
+    }
+
+    #[test]
+    fn global_variables_visible_in_templates() {
+        let sheet = wrap(
+            r#"<xsl:variable name="g" select="'GG'"/>
+               <xsl:template match="/"><o><xsl:value-of select="$g"/></o></xsl:template>"#,
+        );
+        assert_eq!(run(&sheet, "<r/>"), "<o>GG</o>");
+    }
+
+    #[test]
+    fn caller_locals_invisible_in_called_template() {
+        let sheet = wrap(
+            r#"<xsl:template match="/">
+                 <xsl:variable name="secret" select="'s'"/>
+                 <xsl:call-template name="t"/>
+               </xsl:template>
+               <xsl:template name="t"><o><xsl:value-of select="$secret"/></o></xsl:template>"#,
+        );
+        assert!(transform_str(&sheet, "<r/>").is_err());
+    }
+
+    #[test]
+    fn trace_records_instantiations() {
+        use crate::trace::{RecordingTrace, TraceEvent};
+        let sheet = crate::parse::compile_str(&wrap(
+            r#"<xsl:template match="a"><xsl:apply-templates/></xsl:template>
+               <xsl:template match="b">B</xsl:template>"#,
+        ))
+        .unwrap();
+        let doc = xsltdb_xml::parse::parse("<a><b/></a>").unwrap();
+        let mut trace = RecordingTrace::default();
+        transform_with(&sheet, &doc, &TransformOptions::default(), &mut trace).unwrap();
+        let enters = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Enter { .. }))
+            .count();
+        // root (builtin), template a, template b.
+        assert_eq!(enters, 3);
+    }
+
+    #[test]
+    fn pe_mode_executes_all_branches() {
+        let sheet = crate::parse::compile_str(&wrap(
+            r#"<xsl:template match="n">
+                 <xsl:choose>
+                   <xsl:when test=". &gt; 10"><big/></xsl:when>
+                   <xsl:otherwise><small/></xsl:otherwise>
+                 </xsl:choose>
+               </xsl:template>
+               <xsl:template match="text()"/>"#,
+        ))
+        .unwrap();
+        let doc = xsltdb_xml::parse::parse("<r><n>1</n></r>").unwrap();
+        let opts = TransformOptions { assume_predicates: true, ..Default::default() };
+        let out = transform_with(&sheet, &doc, &opts, &mut crate::trace::NoTrace).unwrap();
+        let s = xsltdb_xml::to_string(&out);
+        assert!(s.contains("<big/>") && s.contains("<small/>"));
+    }
+
+    #[test]
+    fn position_and_last_in_templates() {
+        let sheet = wrap(
+            r#"<xsl:template match="n"><i p="{position()}" l="{last()}"/></xsl:template>
+               <xsl:template match="text()"/>"#,
+        );
+        assert_eq!(
+            run(&sheet, "<r><n/><n/></r>"),
+            r#"<i p="1" l="2"/><i p="2" l="2"/>"#
+        );
+    }
+}
+
+/// Serialize a transformation result according to the stylesheet's
+/// `<xsl:output method>`: `text` emits the string value (no markup),
+/// `html`/`xml` emit markup (HTML differs only in not self-closing empty
+/// elements, which our serializer never needs for the supported output).
+pub fn serialize_result(sheet: &Stylesheet, result: &Document) -> String {
+    match sheet.output {
+        crate::ast::OutputMethod::Text => result.string_value(NodeId::DOCUMENT),
+        crate::ast::OutputMethod::Xml | crate::ast::OutputMethod::Html => {
+            xsltdb_xml::to_string(result)
+        }
+    }
+}
+
+#[cfg(test)]
+mod output_tests {
+    use super::*;
+
+    #[test]
+    fn text_method_emits_no_markup() {
+        let sheet = crate::parse::compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+               <xsl:output method="text"/>
+               <xsl:template match="r"><x>A&amp;B</x></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let doc = xsltdb_xml::parse::parse("<r/>").unwrap();
+        let out = transform(&sheet, &doc).unwrap();
+        assert_eq!(serialize_result(&sheet, &out), "A&B");
+    }
+
+    #[test]
+    fn xml_method_escapes() {
+        let sheet = crate::parse::compile_str(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+               <xsl:template match="r"><x>A&amp;B</x></xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let doc = xsltdb_xml::parse::parse("<r/>").unwrap();
+        let out = transform(&sheet, &doc).unwrap();
+        assert_eq!(serialize_result(&sheet, &out), "<x>A&amp;B</x>");
+    }
+}

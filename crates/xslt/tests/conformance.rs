@@ -1,0 +1,328 @@
+//! XSLT 1.0 conformance battery for the XSLTVM beyond the unit tests:
+//! whitespace rules, dispatch subtleties, result-tree-fragment semantics,
+//! numeric formatting, and error behaviour.
+
+use xsltdb_xslt::transform_str;
+
+fn wrap(body: &str) -> String {
+    format!(
+        r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+    )
+}
+
+fn run(body: &str, input: &str) -> String {
+    transform_str(&wrap(body), input).unwrap()
+}
+
+#[test]
+fn number_formatting_integers_without_point() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:value-of select="1 + 2"/>,<xsl:value-of select="10 div 4"/>,<xsl:value-of select="1 div 0"/></o></xsl:template>"#,
+            "<r/>"
+        ),
+        "<o>3,2.5,Infinity</o>"
+    );
+}
+
+#[test]
+fn nan_stringifies() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:value-of select="number('zzz')"/></o></xsl:template>"#,
+            "<r/>"
+        ),
+        "<o>NaN</o>"
+    );
+}
+
+#[test]
+fn value_of_nodeset_takes_first_in_doc_order() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:value-of select="//x"/></o></xsl:template>"#,
+            "<r><x>first</x><x>second</x></r>"
+        ),
+        "<o>first</o>"
+    );
+}
+
+#[test]
+fn copy_of_nodeset_copies_all_in_doc_order() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:copy-of select="//x"/></o></xsl:template>"#,
+            "<r><x>1</x><y/><x>2</x></r>"
+        ),
+        "<o><x>1</x><x>2</x></o>"
+    );
+}
+
+#[test]
+fn choose_without_otherwise_yields_nothing() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:choose><xsl:when test="false()">x</xsl:when></xsl:choose></o></xsl:template>"#,
+            "<r/>"
+        ),
+        "<o/>"
+    );
+}
+
+#[test]
+fn sort_is_stable_on_equal_keys() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><xsl:for-each select="//i">
+                 <xsl:sort select="@k"/>
+                 <v><xsl:value-of select="."/></v>
+               </xsl:for-each></xsl:template>"#,
+            r#"<r><i k="b">1</i><i k="a">2</i><i k="b">3</i><i k="a">4</i></r>"#
+        ),
+        "<v>2</v><v>4</v><v>1</v><v>3</v>"
+    );
+}
+
+#[test]
+fn two_sort_keys_nested_order() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><xsl:for-each select="//i">
+                 <xsl:sort select="@g"/>
+                 <xsl:sort select="." data-type="number" order="descending"/>
+                 <v><xsl:value-of select="."/></v>
+               </xsl:for-each></xsl:template>"#,
+            r#"<r><i g="b">5</i><i g="a">1</i><i g="a">9</i><i g="b">7</i></r>"#
+        ),
+        "<v>9</v><v>1</v><v>7</v><v>5</v>"
+    );
+}
+
+#[test]
+fn rtf_variable_number_context() {
+    // Arithmetic over an RTF's string value.
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/">
+                 <xsl:variable name="n"><x>4</x></xsl:variable>
+                 <o><xsl:value-of select="$n * 2"/></o>
+               </xsl:template>"#,
+            "<r/>"
+        ),
+        "<o>8</o>"
+    );
+}
+
+#[test]
+fn variable_shadowing_inner_scope_wins() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/">
+                 <xsl:variable name="v" select="'outer'"/>
+                 <xsl:for-each select="//i">
+                   <xsl:variable name="v" select="'inner'"/>
+                   <a><xsl:value-of select="$v"/></a>
+                 </xsl:for-each>
+                 <b><xsl:value-of select="$v"/></b>
+               </xsl:template>"#,
+            "<r><i/></r>"
+        ),
+        "<a>inner</a><b>outer</b>"
+    );
+}
+
+#[test]
+fn attribute_value_template_escaping() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o a="{{literal}}" b="{1+1}"/></xsl:template>"#,
+            "<r/>"
+        ),
+        r#"<o a="{literal}" b="2"/>"#
+    );
+}
+
+#[test]
+fn later_attribute_instruction_overrides_literal() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/">
+                 <o a="first"><xsl:attribute name="a">second</xsl:attribute></o>
+               </xsl:template>"#,
+            "<r/>"
+        ),
+        r#"<o a="second"/>"#
+    );
+}
+
+#[test]
+fn builtin_rule_skips_comments_and_pis() {
+    assert_eq!(run("", "<r>a<!--x--><?p d?>b</r>"), "ab");
+}
+
+#[test]
+fn apply_templates_on_attributes_via_select() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="r"><o><xsl:apply-templates select="@*"/></o></xsl:template>
+               <xsl:template match="@k">[<xsl:value-of select="."/>]</xsl:template>"#,
+            r#"<r k="v" other="w"/>"#
+        ),
+        "<o>[v]w</o>" // @other falls to the built-in attribute rule
+    );
+}
+
+#[test]
+fn current_vs_context_in_predicates() {
+    // current() stays the template's node while `.` is the predicate node.
+    assert_eq!(
+        run(
+            r#"<xsl:template match="i">
+                 <n><xsl:value-of select="count(//i[@g = current()/@g])"/></n>
+               </xsl:template>
+               <xsl:template match="text()"/>"#,
+            r#"<r><i g="a"/><i g="b"/><i g="a"/></r>"#
+        ),
+        "<n>2</n><n>1</n><n>2</n>"
+    );
+}
+
+#[test]
+fn global_param_behaves_like_variable() {
+    assert_eq!(
+        run(
+            r#"<xsl:param name="p" select="'dflt'"/>
+               <xsl:template match="/"><o><xsl:value-of select="$p"/></o></xsl:template>"#,
+            "<r/>"
+        ),
+        "<o>dflt</o>"
+    );
+}
+
+#[test]
+fn empty_apply_templates_leafs_to_builtin_text() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="r"><o><xsl:apply-templates/></o></xsl:template>"#,
+            "<r>hello</r>"
+        ),
+        "<o>hello</o>"
+    );
+}
+
+#[test]
+fn boolean_string_conversion_in_output() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="/"><o><xsl:value-of select="1 &lt; 2"/>-<xsl:value-of select="2 &lt; 1"/></o></xsl:template>"#,
+            "<r/>"
+        ),
+        "<o>true-false</o>"
+    );
+}
+
+#[test]
+fn deep_input_document_transform() {
+    let mut input = String::new();
+    for _ in 0..60 {
+        input.push_str("<d>");
+    }
+    input.push('x');
+    for _ in 0..60 {
+        input.push_str("</d>");
+    }
+    // Built-in rules recurse through all levels.
+    assert_eq!(run("", &input), "x");
+}
+
+#[test]
+fn error_no_template_named() {
+    let r = transform_str(
+        &wrap(r#"<xsl:template match="/"><xsl:call-template name="missing"/></xsl:template>"#),
+        "<r/>",
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn error_select_yields_non_nodeset() {
+    let r = transform_str(
+        &wrap(r#"<xsl:template match="/"><xsl:apply-templates select="1 + 1"/></xsl:template>"#),
+        "<r/>",
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn whitespace_only_text_in_stylesheet_dropped_but_input_kept() {
+    assert_eq!(
+        run(
+            r#"<xsl:template match="r">
+                 <o>
+                   <xsl:apply-templates/>
+                 </o>
+               </xsl:template>"#,
+            "<r> spaced </r>"
+        ),
+        "<o> spaced </o>"
+    );
+}
+
+#[test]
+fn prefixed_literal_elements_keep_their_namespace_declarations() {
+    let out = run(
+        r#"<xsl:template match="/">
+             <h:table xmlns:h="urn:html"><h:tr/></h:table>
+           </xsl:template>"#,
+        "<r/>",
+    );
+    assert_eq!(out, r#"<h:table xmlns:h="urn:html"><h:tr/></h:table>"#);
+}
+
+#[test]
+fn xsl_namespace_declarations_are_stripped_from_output() {
+    // A literal element re-declaring the XSLT namespace must not leak it.
+    let out = run(
+        r#"<xsl:template match="/">
+             <o xmlns:xsl="http://www.w3.org/1999/XSL/Transform">x</o>
+           </xsl:template>"#,
+        "<r/>",
+    );
+    assert_eq!(out, "<o>x</o>");
+}
+
+#[test]
+fn stylesheet_matching_prefixed_input() {
+    let out = run(
+        r#"<xsl:template match="item"><hit><xsl:value-of select="."/></hit></xsl:template>
+           <xsl:template match="text()"/>"#,
+        r#"<inv:list xmlns:inv="urn:inv"><item>widget</item></inv:list>"#,
+    );
+    assert_eq!(out, "<hit>widget</hit>");
+}
+
+#[test]
+fn sort_lang_independent_byte_order() {
+    // Documented behaviour: text sorts are byte-wise (no collations).
+    let out = run(
+        r#"<xsl:template match="/"><xsl:for-each select="//w">
+             <xsl:sort select="."/>
+             <v><xsl:value-of select="."/></v>
+           </xsl:for-each></xsl:template>"#,
+        "<r><w>b</w><w>B</w><w>a</w></r>",
+    );
+    assert_eq!(out, "<v>B</v><v>a</v><v>b</v>");
+}
+
+#[test]
+fn for_each_changes_context_for_relative_paths() {
+    let out = run(
+        r#"<xsl:template match="r">
+             <xsl:for-each select="grp">
+               <g n="{@id}"><xsl:value-of select="count(item)"/></g>
+             </xsl:for-each>
+           </xsl:template>"#,
+        r#"<r><grp id="a"><item/><item/></grp><grp id="b"><item/></grp></r>"#,
+    );
+    assert_eq!(out, r#"<g n="a">2</g><g n="b">1</g>"#);
+}

@@ -1,0 +1,18 @@
+//! # xsltdb-xsltmark
+//!
+//! The benchmark workload of the paper's evaluation (§5): forty stylesheets
+//! re-authored after the XSLTMark suite's case list and functional areas
+//! (the original DataPower distribution is no longer available — see
+//! DESIGN.md for the substitution note), plus deterministic generators for
+//! the `db` document family both as XML text and as relationally backed
+//! publishing views.
+
+pub mod cases;
+pub mod docgen;
+pub mod suite;
+
+pub use cases::{all_cases, case, Area, Case};
+pub use docgen::{
+    db_catalog, db_rows, db_struct_info, db_xml, existing_id, DbRow, DB_DTD,
+};
+pub use suite::{dbonerow_stylesheet, inline_statistics, run_case, run_suite, tier_statistics, CaseRun};

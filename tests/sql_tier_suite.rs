@@ -1,0 +1,75 @@
+//! Executable equivalence at the SQL tier across the whole benchmark
+//! suite: every XSLTMark case the planner pushes down to SQL/XML must
+//! produce byte-identical output to the functional (no-rewrite) baseline
+//! over the relationally backed db view.
+
+use xsltdb::pipeline::{no_rewrite_transform, plan_transform, Tier};
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb_relstore::ExecStats;
+use xsltdb_xml::to_string;
+use xsltdb_xsltmark::{all_cases, db_catalog};
+
+/// Planning partially evaluates recursive cases to their depth limit, which
+/// needs more stack than the default 2 MiB test threads provide.
+fn on_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("suite thread panicked")
+}
+
+#[test]
+fn every_sql_planned_case_matches_baseline() {
+    on_big_stack(every_sql_planned_case_matches_baseline_inner)
+}
+
+fn every_sql_planned_case_matches_baseline_inner() {
+    let rows = 40;
+    let (catalog, view) = db_catalog(rows, 0xBEEF);
+    let stats = ExecStats::new();
+    let mut sql_cases = 0;
+    for case in all_cases() {
+        let plan = plan_transform(&view, &case.stylesheet, &RewriteOptions::default())
+            .unwrap_or_else(|e| panic!("{} fails to plan: {e}", case.name));
+        if plan.tier != Tier::Sql {
+            continue;
+        }
+        sql_cases += 1;
+        let baseline = no_rewrite_transform(&catalog, &view, &plan.sheet, &stats)
+            .unwrap_or_else(|e| panic!("{} baseline fails: {e}", case.name));
+        let docs = plan
+            .execute(&catalog, &stats)
+            .unwrap_or_else(|e| panic!("{} SQL plan fails: {e}", case.name));
+        let got: Vec<String> = docs.iter().map(to_string).collect();
+        let expected: Vec<String> = baseline.documents.iter().map(to_string).collect();
+        assert_eq!(got, expected, "SQL tier diverges for case {}", case.name);
+    }
+    assert!(sql_cases >= 18, "only {sql_cases} cases reached the SQL tier");
+}
+
+#[test]
+fn xquery_planned_cases_match_baseline_too() {
+    on_big_stack(xquery_planned_cases_match_baseline_too_inner)
+}
+
+fn xquery_planned_cases_match_baseline_too_inner() {
+    let rows = 40;
+    let (catalog, view) = db_catalog(rows, 0xBEEF);
+    let stats = ExecStats::new();
+    for case in all_cases() {
+        let plan = plan_transform(&view, &case.stylesheet, &RewriteOptions::default())
+            .unwrap_or_else(|e| panic!("{} fails to plan: {e}", case.name));
+        if plan.tier != Tier::XQuery {
+            continue;
+        }
+        let baseline = no_rewrite_transform(&catalog, &view, &plan.sheet, &stats).unwrap();
+        let docs = plan
+            .execute(&catalog, &stats)
+            .unwrap_or_else(|e| panic!("{} XQuery plan fails: {e}", case.name));
+        let got: Vec<String> = docs.iter().map(to_string).collect();
+        let expected: Vec<String> = baseline.documents.iter().map(to_string).collect();
+        assert_eq!(got, expected, "XQuery tier diverges for case {}", case.name);
+    }
+}
