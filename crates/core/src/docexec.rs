@@ -212,7 +212,7 @@ pub fn execute_indexed(
                 let mut n = h.node;
                 for _ in 0..spec.ascend {
                     n = tree.parent(n).ok_or_else(|| {
-                        PipelineError("index hit above the document root".into())
+                        PipelineError::internal("index hit above the document root")
                     })?;
                 }
                 nodes.push(Item::Node(NodeHandle::new(Rc::clone(&tree), n)));

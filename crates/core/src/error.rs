@@ -1,6 +1,14 @@
 //! Error types for the rewrite pipeline.
+//!
+//! [`PipelineError`] is a typed enum whose variants keep the originating
+//! engine error intact (`source()` walks to it), instead of flattening
+//! everything to a string at the tier boundary. [`RewriteError`] stays a
+//! lightweight newtype — rewrite failures are expected and non-fatal (the
+//! pipeline degrades to the next tier), so all they need to carry is the
+//! reason used for `fallback_reason` reporting.
 
 use std::fmt;
+use xsltdb_xml::GuardExceeded;
 
 /// An error during XSLT→XQuery or XQuery→SQL/XML rewriting. Rewrite errors
 /// are not fatal to a transformation: the pipeline falls back to the next
@@ -22,38 +30,174 @@ impl fmt::Display for RewriteError {
 
 impl std::error::Error for RewriteError {}
 
-/// A fatal pipeline error (storage failures, malformed stylesheets, …).
+/// One failed execution attempt in the fallback lattice: which tier ran
+/// and why it gave up.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PipelineError(pub String);
+pub struct TierFailure {
+    /// `"sql"`, `"xquery"` or `"vm"`.
+    pub tier: &'static str,
+    /// The failure as reported at that tier boundary.
+    pub reason: String,
+    /// True when the tier died by panic (contained with `catch_unwind`)
+    /// rather than by returning an error.
+    pub panicked: bool,
+}
 
-impl fmt::Display for PipelineError {
+impl fmt::Display for TierFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pipeline error: {}", self.0)
+        if self.panicked {
+            write!(f, "{} tier panicked: {}", self.tier, self.reason)
+        } else {
+            write!(f, "{} tier failed: {}", self.tier, self.reason)
+        }
     }
 }
 
-impl std::error::Error for PipelineError {}
+/// A pipeline error. Variants preserve the source error of the layer that
+/// raised them; `source()` exposes it for error-chain walking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Stylesheet compilation or VM-tier execution failed.
+    Xslt(xsltdb_xslt::XsltError),
+    /// The relational storage layer / SQL tier failed.
+    Store(xsltdb_relstore::StoreError),
+    /// The XQuery tier failed.
+    XQuery(xsltdb_xquery::XqError),
+    /// A rewrite step failed where no lower tier was available.
+    Rewrite(RewriteError),
+    /// A resource budget tripped. Guard trips are terminal: the work would
+    /// exhaust the same shared budget on any tier, so there is no fallback.
+    Guard(GuardExceeded),
+    /// An engine panicked and the panic was contained at the tier
+    /// boundary, with no lower tier left to fall back to.
+    Panic {
+        /// `"sql"`, `"xquery"` or `"vm"`.
+        tier: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Every tier in the fallback lattice failed; `attempts` records the
+    /// whole chain in the order it was tried.
+    TiersExhausted { attempts: Vec<TierFailure> },
+    /// Pipeline-internal invariant violations (index probes out of range,
+    /// malformed plans, …).
+    Internal(String),
+}
+
+impl PipelineError {
+    /// Shorthand for [`PipelineError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        PipelineError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Xslt(e) => write!(f, "pipeline error: {e}"),
+            PipelineError::Store(e) => write!(f, "pipeline error: {e}"),
+            PipelineError::XQuery(e) => write!(f, "pipeline error: {e}"),
+            PipelineError::Rewrite(e) => write!(f, "pipeline error: {e}"),
+            PipelineError::Guard(e) => write!(f, "pipeline error: {e}"),
+            PipelineError::Panic { tier, message } => {
+                write!(f, "pipeline error: {tier} tier panicked: {message}")
+            }
+            PipelineError::TiersExhausted { attempts } => {
+                write!(f, "pipeline error: every tier failed (")?;
+                for (i, a) in attempts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            PipelineError::Internal(msg) => write!(f, "pipeline error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Xslt(e) => Some(e),
+            PipelineError::Store(e) => Some(e),
+            PipelineError::XQuery(e) => Some(e),
+            PipelineError::Rewrite(e) => Some(e),
+            PipelineError::Guard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<xsltdb_xslt::XsltError> for PipelineError {
     fn from(e: xsltdb_xslt::XsltError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError::Xslt(e)
     }
 }
 
 impl From<xsltdb_relstore::StoreError> for PipelineError {
     fn from(e: xsltdb_relstore::StoreError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError::Store(e)
     }
 }
 
 impl From<xsltdb_xquery::XqError> for PipelineError {
     fn from(e: xsltdb_xquery::XqError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError::XQuery(e)
     }
 }
 
 impl From<RewriteError> for PipelineError {
     fn from(e: RewriteError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError::Rewrite(e)
+    }
+}
+
+impl From<GuardExceeded> for PipelineError {
+    fn from(e: GuardExceeded) -> Self {
+        PipelineError::Guard(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn source_preserved_through_conversion() {
+        let e: PipelineError = xsltdb_xslt::XsltError::new("boom").into();
+        assert!(matches!(&e, PipelineError::Xslt(inner) if inner.0 == "boom"));
+        assert_eq!(e.source().unwrap().to_string(), "XSLT error: boom");
+    }
+
+    #[test]
+    fn tiers_exhausted_formats_chain_in_order() {
+        let e = PipelineError::TiersExhausted {
+            attempts: vec![
+                TierFailure { tier: "sql", reason: "scan failed".into(), panicked: false },
+                TierFailure { tier: "vm", reason: "oops".into(), panicked: true },
+            ],
+        };
+        let s = e.to_string();
+        let sql = s.find("sql tier failed").unwrap();
+        let vm = s.find("vm tier panicked").unwrap();
+        assert!(sql < vm, "{s}");
+    }
+
+    #[test]
+    fn guard_trip_converts_with_evidence_intact() {
+        use xsltdb_xml::{Guard, Limits};
+        let g = Guard::new(Limits::UNLIMITED.with_fuel(1));
+        let trip = g.charge(5).unwrap_err();
+        let e: PipelineError = trip.into();
+        match e {
+            PipelineError::Guard(t) => {
+                assert_eq!(t.limit, 1);
+                assert_eq!(t.spent, 5);
+            }
+            other => panic!("expected Guard variant, got {other:?}"),
+        }
     }
 }

@@ -50,17 +50,22 @@
 pub mod combined;
 pub mod docexec;
 pub mod error;
+pub mod guard;
 pub mod pe;
 pub mod pipeline;
 pub mod sqlrewrite;
 pub mod translate;
 pub mod xqgen;
 
-pub use error::{PipelineError, RewriteError};
+pub use error::{PipelineError, RewriteError, TierFailure};
+pub use guard::{
+    DegradePolicy, FaultKind, FaultPoint, Guard, GuardExceeded, Limits, Resource,
+};
 pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
 pub use pe::{partial_evaluate, ExecGraph, PeResult};
 pub use pipeline::{
-    no_rewrite_transform, plan_transform, BaselineRun, Tier, TransformPlan,
+    no_rewrite_transform, no_rewrite_transform_guarded, plan_transform, BaselineRun, GuardedRun,
+    Tier, TransformPlan,
 };
 pub use sqlrewrite::rewrite_to_sql;
 pub use xqgen::{rewrite, rewrite_straightforward, RewriteMode, RewriteOptions, RewriteOutcome};

@@ -78,7 +78,7 @@ pub fn partial_evaluate(
         recursive: false,
         instantiated: BTreeSet::new(),
     };
-    let opts = TransformOptions { assume_predicates: true, max_depth: 96 };
+    let opts = TransformOptions { assume_predicates: true, max_depth: 96, ..Default::default() };
     transform_with(sheet, &sample.doc, &opts, &mut builder).map_err(|e| {
         RewriteError::new(format!(
             "partial evaluation failed (falling back to straightforward translation): {e}"

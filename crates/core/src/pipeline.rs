@@ -12,16 +12,24 @@
 //! 3. **VM tier** — the functional evaluation (materialise + XSLTVM), which
 //!    is also the *no-rewrite baseline* of the paper's Figures 2 and 3.
 
-use crate::error::PipelineError;
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use crate::error::{PipelineError, TierFailure};
+use crate::guard::{DegradePolicy, Guard};
 use crate::sqlrewrite::rewrite_to_sql;
 use crate::xqgen::{rewrite, RewriteOptions, RewriteOutcome};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use xsltdb_relstore::pubexpr::SqlXmlQuery;
 use xsltdb_relstore::{Catalog, ExecStats, XmlView};
 use xsltdb_structinfo::{struct_of_view, StructInfo};
 use xsltdb_xml::Document;
-use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
-use xsltdb_xslt::{compile_str, transform, Stylesheet};
+use xsltdb_xquery::{
+    evaluate_query, evaluate_query_guarded, sequence_to_document, NodeHandle,
+};
+use xsltdb_xslt::{compile_str, transform, transform_with, Stylesheet, TransformOptions};
 
 /// Which execution strategy a plan uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +114,65 @@ pub fn plan_compiled(
     }
 }
 
+/// Result of a guarded execution: the documents plus a record of which
+/// tier produced them and every tier that failed on the way down.
+#[derive(Debug)]
+pub struct GuardedRun {
+    pub documents: Vec<Document>,
+    /// The tier that actually produced the result (≤ the planned tier).
+    pub tier: Tier,
+    /// Failed attempts before the successful tier, in lattice order.
+    pub fallbacks: Vec<TierFailure>,
+}
+
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Sql => "sql",
+            Tier::XQuery => "xquery",
+            Tier::Vm => "vm",
+        }
+    }
+}
+
+/// One failed tier attempt: the reporting shape plus the original typed
+/// error (absent when the tier died by panic).
+struct Attempt {
+    failure: TierFailure,
+    error: Option<PipelineError>,
+}
+
+/// Run a tier body with panic containment. A panic inside an engine is an
+/// engine bug, not a reason to poison the whole session: it is caught at
+/// the tier boundary and converted into a failed attempt.
+fn run_tier<T>(
+    tier: Tier,
+    body: impl FnOnce() -> Result<T, PipelineError>,
+) -> Result<T, Attempt> {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(Attempt {
+            failure: TierFailure {
+                tier: tier.name(),
+                reason: e.to_string(),
+                panicked: false,
+            },
+            error: Some(e),
+        }),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Attempt {
+                failure: TierFailure { tier: tier.name(), reason: message, panicked: true },
+                error: None,
+            })
+        }
+    }
+}
+
 impl TransformPlan {
     /// Run the plan: one result document per view row.
     pub fn execute(
@@ -133,6 +200,115 @@ impl TransformPlan {
                 .map(|r| r.documents),
         }
     }
+
+    /// Run the plan under a [`Guard`] with graceful degradation: a tier
+    /// that errors or panics at execution time falls back to the next
+    /// slower tier (SQL → XQuery → VM), and the chain of failed attempts
+    /// is reported in the result. Guard trips are terminal — the budgets
+    /// are shared across tiers, so a lower tier would only burn the
+    /// remaining budget before tripping on the same limit.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+    ) -> Result<GuardedRun, PipelineError> {
+        self.execute_with_policy(catalog, stats, guard, DegradePolicy::Fallback)
+    }
+
+    /// [`Self::execute_guarded`] with an explicit [`DegradePolicy`].
+    pub fn execute_with_policy(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        policy: DegradePolicy,
+    ) -> Result<GuardedRun, PipelineError> {
+        let mut attempts: Vec<Attempt> = Vec::new();
+
+        let tiers: &[Tier] = match self.tier {
+            Tier::Sql => &[Tier::Sql, Tier::XQuery, Tier::Vm],
+            Tier::XQuery => &[Tier::XQuery, Tier::Vm],
+            Tier::Vm => &[Tier::Vm],
+        };
+
+        for &tier in tiers {
+            let result = run_tier(tier, || self.run_single_tier(tier, catalog, stats, guard));
+            match result {
+                Ok(documents) => {
+                    return Ok(GuardedRun {
+                        documents,
+                        tier,
+                        fallbacks: attempts.into_iter().map(|a| a.failure).collect(),
+                    })
+                }
+                Err(attempt) => {
+                    // A trip is terminal regardless of policy: report the
+                    // structured evidence, not the stringly engine error.
+                    if let Some(trip) = guard.trip() {
+                        return Err(PipelineError::Guard(trip));
+                    }
+                    let strict = policy == DegradePolicy::Strict;
+                    attempts.push(attempt);
+                    if strict {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Everything failed. A single attempt surfaces its own typed error
+        // (preserving pre-ExecGuard `execute` semantics); a traversed
+        // lattice reports the whole chain.
+        if attempts.len() == 1 {
+            let a = attempts.pop().expect("one attempt");
+            return Err(match a.error {
+                Some(e) => e,
+                None => PipelineError::Panic { tier: a.failure.tier, message: a.failure.reason },
+            });
+        }
+        Err(PipelineError::TiersExhausted {
+            attempts: attempts.into_iter().map(|a| a.failure).collect(),
+        })
+    }
+
+    /// Execute exactly one tier of the plan under `guard`, no fallback.
+    fn run_single_tier(
+        &self,
+        tier: Tier,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+    ) -> Result<Vec<Document>, PipelineError> {
+        match tier {
+            Tier::Sql => {
+                let sql = self
+                    .sql
+                    .as_ref()
+                    .ok_or_else(|| PipelineError::internal("no SQL query in plan"))?;
+                Ok(sql.execute_guarded(catalog, stats, guard)?)
+            }
+            Tier::XQuery => {
+                let outcome = self
+                    .rewrite
+                    .as_ref()
+                    .ok_or_else(|| PipelineError::internal("no rewrite outcome in plan"))?;
+                let docs = self.view.materialize_guarded(catalog, stats, guard)?;
+                let mut out = Vec::with_capacity(docs.len());
+                for d in docs {
+                    let input = NodeHandle::document(d);
+                    let seq =
+                        evaluate_query_guarded(&outcome.query, Some(input), guard.clone())?;
+                    out.push(sequence_to_document(&seq));
+                }
+                Ok(out)
+            }
+            Tier::Vm => {
+                no_rewrite_transform_guarded(catalog, &self.view, &self.sheet, stats, guard)
+                    .map(|r| r.documents)
+            }
+        }
+    }
 }
 
 /// Result of the no-rewrite baseline.
@@ -156,6 +332,25 @@ pub fn no_rewrite_transform(
     let mut out = Vec::with_capacity(docs.len());
     for d in &docs {
         out.push(transform(sheet, d)?);
+    }
+    Ok(BaselineRun { documents: out, materialized_nodes })
+}
+
+/// [`no_rewrite_transform`] under a [`Guard`]: materialisation and the VM
+/// both charge the same budgets.
+pub fn no_rewrite_transform_guarded(
+    catalog: &Catalog,
+    view: &XmlView,
+    sheet: &Stylesheet,
+    stats: &ExecStats,
+    guard: &Guard,
+) -> Result<BaselineRun, PipelineError> {
+    let docs = view.materialize_guarded(catalog, stats, guard)?;
+    let materialized_nodes = docs.iter().map(Document::node_count).sum();
+    let opts = TransformOptions { guard: guard.clone(), ..Default::default() };
+    let mut out = Vec::with_capacity(docs.len());
+    for d in &docs {
+        out.push(transform_with(sheet, d, &opts, &mut xsltdb_xslt::NoTrace)?);
     }
     Ok(BaselineRun { documents: out, materialized_nodes })
 }

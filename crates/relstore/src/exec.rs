@@ -2,12 +2,21 @@
 //! row sources are iterators; the access-path planner picks a B-tree index
 //! probe when one applies and layers a residual filter on top.
 
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::catalog::Catalog;
 use crate::datum::Datum;
 use crate::stats::ExecStats;
 use crate::table::{RowId, StoreError, Table};
 use std::cmp::Ordering;
 use std::ops::Bound;
+use xsltdb_xml::{Guard, GuardExceeded};
+
+pub(crate) fn guard_err(e: GuardExceeded) -> StoreError {
+    StoreError(e.to_string())
+}
 
 /// Comparison operators in predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +172,19 @@ pub fn scan(
     table_name: &str,
     pred: &Conjunction,
 ) -> Result<(Vec<RowId>, AccessPath), StoreError> {
+    scan_guarded(catalog, stats, table_name, pred, &Guard::unlimited())
+}
+
+/// Like [`scan`], but every row pulled (full scan) or surfaced by an index
+/// probe is charged against `guard`, so a runaway scan trips the fuel
+/// budget instead of running to completion.
+pub fn scan_guarded(
+    catalog: &Catalog,
+    stats: &ExecStats,
+    table_name: &str,
+    pred: &Conjunction,
+    guard: &Guard,
+) -> Result<(Vec<RowId>, AccessPath), StoreError> {
     let table = catalog.table(table_name)?;
 
     // Prefer an equality probe, then a range probe, then a full scan.
@@ -204,6 +226,9 @@ pub fn scan(
                 index.lookup_range(lo, hi)
             };
             stats.add_index_probe(rows.len() as u64);
+            // Every row the probe surfaced is billed, even ones a residual
+            // filter later discards.
+            guard.charge(rows.len() as u64).map_err(guard_err)?;
             rows.sort_unstable();
             let residual = Conjunction {
                 terms: pred
@@ -232,11 +257,13 @@ pub fn scan(
         }
         None => {
             let source = FullScan { table, stats, next: 0 };
-            let out: Vec<RowId> = if pred.is_empty() {
-                source.collect()
-            } else {
-                FilterRows { input: source, table, pred: pred.clone() }.collect()
-            };
+            let mut out = Vec::new();
+            for r in source {
+                guard.charge(1).map_err(guard_err)?;
+                if pred.is_empty() || pred.matches(table, r)? {
+                    out.push(r);
+                }
+            }
             Ok((out, AccessPath::FullScan))
         }
     }
@@ -336,5 +363,50 @@ mod tests {
         let (rows, path) = scan(&c, &stats, "emp", &Conjunction::default()).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn guard_fuel_trips_full_scan() {
+        use xsltdb_xml::{Limits, Resource};
+        let c = catalog();
+        let stats = ExecStats::new();
+        let guard = Guard::new(Limits::UNLIMITED.with_fuel(2));
+        let err = scan_guarded(&c, &stats, "emp", &Conjunction::default(), &guard).unwrap_err();
+        assert!(err.0.contains("fuel"), "unexpected error: {}", err.0);
+        let trip = guard.trip().expect("trip recorded");
+        assert_eq!(trip.resource, Resource::Fuel);
+        assert_eq!(trip.limit, 2);
+    }
+
+    #[test]
+    fn guard_fuel_trips_index_probe() {
+        use xsltdb_xml::{Limits, Resource};
+        let c = catalog();
+        let stats = ExecStats::new();
+        let guard = Guard::new(Limits::UNLIMITED.with_fuel(1));
+        // sal > 2000 surfaces three rows through the index in one probe.
+        let err = scan_guarded(
+            &c,
+            &stats,
+            "emp",
+            &Conjunction::single("sal", CmpOp::Gt, Datum::Int(2000)),
+            &guard,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("fuel"), "unexpected error: {}", err.0);
+        assert_eq!(guard.trip().unwrap().resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn guard_expired_deadline_trips_scan() {
+        use std::time::Duration;
+        use xsltdb_xml::{Limits, Resource};
+        let c = catalog();
+        let stats = ExecStats::new();
+        let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::from_secs(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = scan_guarded(&c, &stats, "emp", &Conjunction::default(), &guard).unwrap_err();
+        assert!(err.0.contains("deadline"), "unexpected error: {}", err.0);
+        assert_eq!(guard.trip().unwrap().resource, Resource::Deadline);
     }
 }

@@ -45,7 +45,7 @@ pub mod view;
 pub use catalog::Catalog;
 pub use datum::{ArithOp, ColType, Datum, DatumKey};
 pub use docstore::{DocStorageModel, PathHit, XmlDocStore};
-pub use exec::{AccessPath, CmpOp, ColumnCmp, Conjunction};
+pub use exec::{scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 pub use index::Index;
 pub use pubexpr::{AggFunc, AggOrder, AggPredTerm, Bindings, PubExpr, SqlXmlQuery};
 pub use sqlpretty::sql_text;

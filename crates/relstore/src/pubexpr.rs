@@ -3,11 +3,15 @@
 //! target language of the paper's final rewrite step (Table 7 / Table 11):
 //! a query made only of publishing functions over relational columns.
 
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::catalog::Catalog;
-use crate::exec::{scan, AccessPath, CmpOp, ColumnCmp, Conjunction};
+use crate::exec::{guard_err, scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 use crate::stats::ExecStats;
 use crate::table::{RowId, StoreError};
-use xsltdb_xml::{Document, QName, TreeBuilder};
+use xsltdb_xml::{Document, FaultKind, FaultPoint, Guard, QName, TreeBuilder};
 
 /// Aggregate functions usable in scalar subqueries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,8 +132,23 @@ pub fn eval_pub(
     bindings: &mut Bindings,
     out: &mut TreeBuilder,
 ) -> Result<(), StoreError> {
+    eval_pub_guarded(expr, catalog, stats, bindings, out, &Guard::unlimited())
+}
+
+/// Like [`eval_pub`], but charges `guard` per expression node and bills
+/// produced elements/text against the output caps.
+pub fn eval_pub_guarded(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+    out: &mut TreeBuilder,
+    guard: &Guard,
+) -> Result<(), StoreError> {
+    guard.charge(1).map_err(guard_err)?;
     match expr {
         PubExpr::Literal(s) => {
+            guard.note_output_bytes(s.len() as u64).map_err(guard_err)?;
             out.text(s);
             Ok(())
         }
@@ -138,38 +157,41 @@ pub fn eval_pub(
                 .get(table)
                 .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
             let d = catalog.table(table)?.value_by_name(row, column)?.clone();
-            out.text(&d.to_text());
+            let text = d.to_text();
+            guard.note_output_bytes(text.len() as u64).map_err(guard_err)?;
+            out.text(&text);
             Ok(())
         }
         PubExpr::StrConcat(parts) => {
             for p in parts {
-                eval_pub(p, catalog, stats, bindings, out)?;
+                eval_pub_guarded(p, catalog, stats, bindings, out, guard)?;
             }
             Ok(())
         }
         PubExpr::Concat(parts) => {
             for p in parts {
-                eval_pub(p, catalog, stats, bindings, out)?;
+                eval_pub_guarded(p, catalog, stats, bindings, out, guard)?;
             }
             Ok(())
         }
         PubExpr::Element { name, attrs, children } => {
             stats.add_element();
+            guard.note_output_nodes(1).map_err(guard_err)?;
             out.start_element(QName::local(name));
             for (aname, avalue) in attrs {
-                let text = eval_to_text(avalue, catalog, stats, bindings)?;
+                let text = eval_to_text_guarded(avalue, catalog, stats, bindings, guard)?;
                 out.try_attribute(QName::local(aname), text)
                     .map_err(|m| StoreError(m.to_string()))?;
             }
             for c in children {
-                eval_pub(c, catalog, stats, bindings, out)?;
+                eval_pub_guarded(c, catalog, stats, bindings, out, guard)?;
             }
             out.end_element();
             Ok(())
         }
         PubExpr::Arith { op, left, right } => {
-            let l = xsltdb_xpath::value::str_to_num(&eval_to_text(left, catalog, stats, bindings)?);
-            let r = xsltdb_xpath::value::str_to_num(&eval_to_text(right, catalog, stats, bindings)?);
+            let l = xsltdb_xpath::value::str_to_num(&eval_to_text_guarded(left, catalog, stats, bindings, guard)?);
+            let r = xsltdb_xpath::value::str_to_num(&eval_to_text_guarded(right, catalog, stats, bindings, guard)?);
             let n = match op {
                 crate::datum::ArithOp::Add => l + r,
                 crate::datum::ArithOp::Sub => l - r,
@@ -186,24 +208,24 @@ pub fn eval_pub(
                 .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
             let t = catalog.table(table)?;
             if cond.matches(t, row)? {
-                eval_pub(then, catalog, stats, bindings, out)
+                eval_pub_guarded(then, catalog, stats, bindings, out, guard)
             } else {
-                eval_pub(els, catalog, stats, bindings, out)
+                eval_pub_guarded(els, catalog, stats, bindings, out, guard)
             }
         }
         PubExpr::Agg { table, predicate, order_by, body } => {
-            let rows = agg_rows(table, predicate, catalog, stats, bindings)?;
+            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard)?;
             let rows = order_rows(rows, table, order_by, catalog)?;
             for r in rows {
                 bindings.push(table, r);
-                let res = eval_pub(body, catalog, stats, bindings, out);
+                let res = eval_pub_guarded(body, catalog, stats, bindings, out, guard);
                 bindings.pop();
                 res?;
             }
             Ok(())
         }
         PubExpr::ScalarAgg { func, column, table, predicate } => {
-            let rows = agg_rows(table, predicate, catalog, stats, bindings)?;
+            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard)?;
             let text = match func {
                 AggFunc::Count => (rows.len() as i64).to_string(),
                 AggFunc::Sum => {
@@ -233,9 +255,20 @@ pub fn eval_to_text(
     stats: &ExecStats,
     bindings: &mut Bindings,
 ) -> Result<String, StoreError> {
+    eval_to_text_guarded(expr, catalog, stats, bindings, &Guard::unlimited())
+}
+
+/// Guarded variant of [`eval_to_text`].
+pub fn eval_to_text_guarded(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+    guard: &Guard,
+) -> Result<String, StoreError> {
     let mut b = TreeBuilder::new();
     b.start_element(QName::local("t"));
-    eval_pub(expr, catalog, stats, bindings, &mut b)?;
+    eval_pub_guarded(expr, catalog, stats, bindings, &mut b, guard)?;
     b.end_element();
     let doc = b.finish();
     Ok(doc.string_value(xsltdb_xml::NodeId::DOCUMENT))
@@ -247,6 +280,7 @@ fn agg_rows(
     catalog: &Catalog,
     stats: &ExecStats,
     bindings: &Bindings,
+    guard: &Guard,
 ) -> Result<Vec<RowId>, StoreError> {
     // Resolve correlation terms to constants from the outer bindings, so the
     // access-path planner can use an index on the correlated column too.
@@ -266,7 +300,7 @@ fn agg_rows(
             }
         }
     }
-    let (rows, _path) = scan(catalog, stats, table, &conj)?;
+    let (rows, _path) = scan_guarded(catalog, stats, table, &conj, guard)?;
     Ok(rows)
 }
 
@@ -318,13 +352,34 @@ impl SqlXmlQuery {
         catalog: &Catalog,
         stats: &ExecStats,
     ) -> Result<Vec<Document>, StoreError> {
-        let (rows, _path) = scan(catalog, stats, &self.base_table, &self.where_clause)?;
+        self.execute_guarded(catalog, stats, &Guard::unlimited())
+    }
+
+    /// Like [`Self::execute`], but scans and publishing are charged against
+    /// `guard`, and an armed [`FaultPoint::SqlExec`] fault fires at entry.
+    pub fn execute_guarded(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+    ) -> Result<Vec<Document>, StoreError> {
+        if let Some(kind) = guard.take_fault(FaultPoint::SqlExec) {
+            match kind {
+                FaultKind::Error => {
+                    return Err(StoreError("injected fault at SQL tier".into()))
+                }
+                FaultKind::Panic => panic!("injected panic at SQL tier"),
+            }
+        }
+        let (rows, _path) =
+            scan_guarded(catalog, stats, &self.base_table, &self.where_clause, guard)?;
         let mut out = Vec::with_capacity(rows.len());
         let mut bindings = Bindings::new();
         for r in rows {
             bindings.push(&self.base_table, r);
             let mut b = TreeBuilder::new();
-            let res = eval_pub(&self.select, catalog, stats, &mut bindings, &mut b);
+            let res =
+                eval_pub_guarded(&self.select, catalog, stats, &mut bindings, &mut b, guard);
             bindings.pop();
             res?;
             out.push(b.finish_lenient());
@@ -336,7 +391,13 @@ impl SqlXmlQuery {
     /// reporting).
     pub fn explain_base_path(&self, catalog: &Catalog) -> Result<AccessPath, StoreError> {
         let stats = ExecStats::new();
-        let (_, path) = scan(catalog, &stats, &self.base_table, &self.where_clause)?;
+        let (_, path) = scan_guarded(
+            catalog,
+            &stats,
+            &self.base_table,
+            &self.where_clause,
+            &Guard::unlimited(),
+        )?;
         Ok(path)
     }
 }

@@ -5,7 +5,7 @@ use crate::catalog::Catalog;
 use crate::pubexpr::SqlXmlQuery;
 use crate::stats::ExecStats;
 use crate::table::StoreError;
-use xsltdb_xml::Document;
+use xsltdb_xml::{Document, FaultKind, FaultPoint, Guard};
 
 /// An XMLType view definition.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,29 @@ impl XmlView {
         stats: &ExecStats,
     ) -> Result<Vec<Document>, StoreError> {
         self.query.execute(catalog, stats)
+    }
+
+    /// Guarded materialisation: the scan and publishing work are charged
+    /// against `guard`, and an armed [`FaultPoint::Materialize`] fault
+    /// fires at entry.
+    pub fn materialize_guarded(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+    ) -> Result<Vec<Document>, StoreError> {
+        if let Some(kind) = guard.take_fault(FaultPoint::Materialize) {
+            match kind {
+                FaultKind::Error => {
+                    return Err(StoreError(format!(
+                        "injected fault materialising view {}",
+                        self.name
+                    )))
+                }
+                FaultKind::Panic => panic!("injected panic materialising view"),
+            }
+        }
+        self.query.execute_guarded(catalog, stats, guard)
     }
 }
 

@@ -20,6 +20,7 @@
 
 pub mod builder;
 pub mod escape;
+pub mod guard;
 pub mod model;
 pub mod qname;
 pub mod serialize;
@@ -31,7 +32,10 @@ pub mod parse {
 mod parser;
 
 pub use builder::TreeBuilder;
+pub use guard::{FaultKind, FaultPoint, Guard, GuardExceeded, Limits, Resource};
 pub use model::{DocRc, Document, Node, NodeId, NodeKind};
-pub use parser::{parse as parse_xml, parse_trimmed, ParseError};
+pub use parser::{
+    parse as parse_xml, parse_trimmed, parse_with_depth_limit, ParseError, DEFAULT_MAX_DEPTH,
+};
 pub use qname::{QName, XDB_NS, XSL_NS};
 pub use serialize::{node_to_string, to_pretty_string, to_string};

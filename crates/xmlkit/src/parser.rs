@@ -37,9 +37,27 @@ pub struct ParsedXml {
     pub doctype_name: Option<String>,
 }
 
+/// Element-nesting ceiling applied by the convenience entry points. The
+/// parser recurses per element, so without a ceiling a pathological input
+/// (`<a><a><a>…`) overflows the thread stack instead of returning `Err`.
+/// 1024 is far beyond any real document while keeping stack use in the
+/// low hundreds of kilobytes.
+pub const DEFAULT_MAX_DEPTH: usize = 1024;
+
 /// Parse an XML document. Whitespace-only text nodes are preserved.
 pub fn parse(input: &str) -> Result<Document, ParseError> {
     Ok(parse_with_doctype(input)?.document)
+}
+
+/// Parse with an explicit element-nesting ceiling instead of
+/// [`DEFAULT_MAX_DEPTH`]. Depth is counted in open elements: a document
+/// whose deepest element chain has `max_depth` elements parses; one level
+/// deeper returns a [`ParseError`].
+pub fn parse_with_depth_limit(input: &str, max_depth: usize) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    p.max_depth = max_depth;
+    p.parse_document()?;
+    Ok(p.into_parsed().document)
 }
 
 /// Parse an XML document, dropping whitespace-only text nodes. Convenient
@@ -68,6 +86,10 @@ struct Parser<'a> {
     drop_ws_only_text: bool,
     internal_dtd: Option<String>,
     doctype_name: Option<String>,
+    /// Names of currently open elements (innermost last); its length is the
+    /// nesting depth checked against `max_depth` — see [`DEFAULT_MAX_DEPTH`].
+    open: Vec<String>,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -80,6 +102,8 @@ impl<'a> Parser<'a> {
             drop_ws_only_text: false,
             internal_dtd: None,
             doctype_name: None,
+            open: Vec::new(),
+            max_depth: DEFAULT_MAX_DEPTH,
         }
     }
 
@@ -244,7 +268,92 @@ impl<'a> Parser<'a> {
         QName { prefix: prefix.map(|p| p.into()), local: local.into(), ns_uri }
     }
 
+    /// Parse one element and everything inside it. Iterative — an explicit
+    /// stack of open element names replaces call recursion, so nesting depth
+    /// is bounded by `max_depth` (a structured [`ParseError`]), never by the
+    /// thread stack.
     fn parse_element(&mut self) -> Result<(), ParseError> {
+        // Invariant at the top of the outer loop: the next input is a start
+        // tag (`self.peek() == Some('<')`).
+        loop {
+            let self_closed = self.parse_start_tag()?;
+            if self_closed {
+                self.builder.end_element();
+                self.ns_stack.pop();
+            } else if self.depth() > self.max_depth {
+                return self.err(format!(
+                    "element nesting deeper than {} levels",
+                    self.max_depth
+                ));
+            }
+            // Consume content — text, comments, PIs, CDATA, end tags —
+            // until a child start tag appears (loop back) or every opened
+            // element has closed.
+            loop {
+                if self.open.is_empty() {
+                    return Ok(());
+                }
+                if self.rest().starts_with("</") {
+                    self.pos += 2;
+                    let name = self.parse_name()?;
+                    if self.open.last().map(String::as_str) != Some(name.as_str()) {
+                        let open_name = self.open.last().cloned().unwrap_or_default();
+                        return self.err(format!(
+                            "mismatched end tag: expected </{open_name}>, found </{name}>"
+                        ));
+                    }
+                    self.skip_ws();
+                    self.expect(">")?;
+                    self.builder.end_element();
+                    self.ns_stack.pop();
+                    self.open.pop();
+                } else if self.rest().starts_with("<!--") {
+                    self.parse_comment(true)?;
+                } else if self.rest().starts_with("<![CDATA[") {
+                    self.pos += "<![CDATA[".len();
+                    let close = self.rest().find("]]>").ok_or_else(|| ParseError {
+                        offset: self.pos,
+                        message: "unterminated CDATA section".into(),
+                    })?;
+                    let text = &self.input[self.pos..self.pos + close];
+                    self.builder.text(text);
+                    self.pos += close + 3;
+                } else if self.rest().starts_with("<?") {
+                    self.parse_pi(true)?;
+                } else if self.peek() == Some('<') {
+                    break;
+                } else if self.peek().is_none() {
+                    let open_name = self.open.last().cloned().unwrap_or_default();
+                    return self.err(format!("unexpected end of input inside <{open_name}>"));
+                } else {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == '<' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let raw = &self.input[start..self.pos];
+                    let text = decode_entities(raw)
+                        .map_err(|m| ParseError { offset: start, message: m })?;
+                    if !(self.drop_ws_only_text
+                        && text.chars().all(|c| c.is_ascii_whitespace()))
+                    {
+                        self.builder.text(&text);
+                    }
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Parse one start tag including its attributes; pushes the namespace
+    /// frame, emits the builder events, and (unless self-closing) pushes the
+    /// element name onto the open stack. Returns whether it self-closed.
+    fn parse_start_tag(&mut self) -> Result<bool, ParseError> {
         self.expect("<")?;
         let name = self.parse_name()?;
         // Collect raw attributes first so namespace declarations on this
@@ -305,63 +414,11 @@ impl<'a> Parser<'a> {
         }
 
         if self.eat("/>") {
-            self.builder.end_element();
-            self.ns_stack.pop();
-            return Ok(());
+            return Ok(true);
         }
         self.expect(">")?;
-        self.parse_content(&name)?;
-        self.builder.end_element();
-        self.ns_stack.pop();
-        Ok(())
-    }
-
-    fn parse_content(&mut self, open_name: &str) -> Result<(), ParseError> {
-        loop {
-            if self.rest().starts_with("</") {
-                self.pos += 2;
-                let name = self.parse_name()?;
-                if name != open_name {
-                    return self.err(format!(
-                        "mismatched end tag: expected </{open_name}>, found </{name}>"
-                    ));
-                }
-                self.skip_ws();
-                self.expect(">")?;
-                return Ok(());
-            } else if self.rest().starts_with("<!--") {
-                self.parse_comment(true)?;
-            } else if self.rest().starts_with("<![CDATA[") {
-                self.pos += "<![CDATA[".len();
-                let close = self.rest().find("]]>").ok_or_else(|| ParseError {
-                    offset: self.pos,
-                    message: "unterminated CDATA section".into(),
-                })?;
-                let text = &self.input[self.pos..self.pos + close];
-                self.builder.text(text);
-                self.pos += close + 3;
-            } else if self.rest().starts_with("<?") {
-                self.parse_pi(true)?;
-            } else if self.peek() == Some('<') {
-                self.parse_element()?;
-            } else if self.peek().is_none() {
-                return self.err(format!("unexpected end of input inside <{open_name}>"));
-            } else {
-                let start = self.pos;
-                while let Some(c) = self.peek() {
-                    if c == '<' {
-                        break;
-                    }
-                    self.bump();
-                }
-                let raw = &self.input[start..self.pos];
-                let text = decode_entities(raw)
-                    .map_err(|m| ParseError { offset: start, message: m })?;
-                if !(self.drop_ws_only_text && text.chars().all(|c| c.is_ascii_whitespace())) {
-                    self.builder.text(&text);
-                }
-            }
-        }
+        self.open.push(name);
+        Ok(false)
     }
 
     fn parse_comment(&mut self, emit: bool) -> Result<(), ParseError> {
@@ -530,5 +587,35 @@ mod tests {
         }
         let d = parse(&s).unwrap();
         assert_eq!(d.string_value(crate::model::NodeId::DOCUMENT), "x");
+    }
+
+    fn nested(depth: usize) -> String {
+        let mut s = String::with_capacity(depth * 7 + 1);
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        s
+    }
+
+    #[test]
+    fn depth_limit_boundary() {
+        // Exactly at the ceiling parses; one past it is a structured error.
+        assert!(parse_with_depth_limit(&nested(10), 10).is_ok());
+        let e = parse_with_depth_limit(&nested(11), 10).unwrap_err();
+        assert!(e.message.contains("nesting deeper than 10"), "{e}");
+    }
+
+    #[test]
+    fn pathological_nesting_errs_instead_of_overflowing() {
+        // 100k-deep input: must return Err via the default ceiling, not
+        // blow the thread stack.
+        let e = parse(&nested(100_000)).unwrap_err();
+        assert!(e.message.contains("nesting deeper than"), "{e}");
+        assert!(parse_trimmed(&nested(100_000)).is_err());
+        assert!(parse_with_doctype(&nested(100_000)).is_err());
     }
 }

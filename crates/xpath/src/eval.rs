@@ -1,11 +1,15 @@
 //! The XPath 1.0 evaluator.
 
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::ast::{BinOp, Expr, LocationPath, Step};
 use crate::axes::{axis_nodes, test_matches};
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
-use xsltdb_xml::{Document, NodeId};
+use xsltdb_xml::{Document, Guard, GuardExceeded, NodeId};
 
 /// Evaluation error.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +22,12 @@ impl fmt::Display for XPathError {
 }
 
 impl std::error::Error for XPathError {}
+
+/// Surface a guard trip as this engine's native error type; the structured
+/// [`GuardExceeded`] stays recorded on the guard for the pipeline to read.
+fn guard_err(e: GuardExceeded) -> XPathError {
+    XPathError(e.to_string())
+}
 
 /// Variable bindings visible to an expression.
 pub trait VarResolver {
@@ -47,17 +57,19 @@ pub struct Env<'a> {
     /// Partial-evaluation mode (paper section 4.1): every predicate is
     /// assumed true and becomes a *residual* in the generated XQuery.
     pub assume_predicates: bool,
+    /// Resource budgets charged while evaluating; unlimited by default.
+    pub guard: Guard,
 }
 
 impl<'a> Env<'a> {
     pub fn with_vars(vars: &'a dyn VarResolver) -> Self {
-        Env { vars, current: None, assume_predicates: false }
+        Env { vars, current: None, assume_predicates: false, guard: Guard::unlimited() }
     }
 }
 
 impl Default for Env<'static> {
     fn default() -> Self {
-        Env { vars: &NoVars, current: None, assume_predicates: false }
+        Env { vars: &NoVars, current: None, assume_predicates: false, guard: Guard::unlimited() }
     }
 }
 
@@ -82,6 +94,7 @@ impl<'a> Ctx<'a> {
 
 /// Evaluate a parsed expression in a context.
 pub fn evaluate(expr: &Expr, ctx: &Ctx<'_>) -> Result<Value, XPathError> {
+    ctx.env.guard.charge(1).map_err(guard_err)?;
     match expr {
         Expr::Number(n) => Ok(Value::Num(*n)),
         Expr::Literal(s) => Ok(Value::Str(s.clone())),
@@ -279,10 +292,14 @@ pub fn eval_steps(
     for step in steps {
         let mut next: Vec<NodeId> = Vec::new();
         for &cn in &current {
+            ctx.env.guard.charge(1).map_err(guard_err)?;
             let candidates: Vec<NodeId> = axis_nodes(ctx.doc, cn, step.axis)
                 .into_iter()
                 .filter(|&n| test_matches(ctx.doc, n, step.axis, &step.test))
                 .collect();
+            // One fuel unit per candidate the axis surfaced, so `//x//y`
+            // blowups are charged even when predicates later discard them.
+            ctx.env.guard.charge(candidates.len() as u64).map_err(guard_err)?;
             let filtered = apply_predicates(candidates, &step.predicates, ctx)?;
             next.extend(filtered);
         }
@@ -489,6 +506,27 @@ mod tests {
             evaluate_str("//@*", &ctx).unwrap().as_nodeset().unwrap().len(),
             2
         );
+    }
+
+    #[test]
+    fn guard_fuel_trips_on_wide_scan() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        let doc = parse(DOC).unwrap();
+        let guard = Guard::new(Limits::UNLIMITED.with_fuel(5));
+        let env = Env { guard: guard.clone(), ..Default::default() };
+        let ctx = Ctx::new(&doc, NodeId::DOCUMENT, &env);
+        let err = evaluate_str("//text()", &ctx).unwrap_err();
+        assert!(err.0.contains("fuel"), "{err}");
+        let trip = guard.trip().expect("structured trip recorded");
+        assert_eq!(trip.resource, Resource::Fuel);
+        assert_eq!(trip.limit, 5);
+        assert!(trip.spent > 5);
+    }
+
+    #[test]
+    fn guard_unlimited_by_default() {
+        // The default Env must behave exactly as before ExecGuard.
+        assert_eq!(eval_count("//emp"), 3);
     }
 
     #[test]

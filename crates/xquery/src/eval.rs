@@ -2,11 +2,18 @@
 //! immutable documents. Constructors copy content into fresh arenas, per
 //! XQuery semantics.
 
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::ast::*;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
-use xsltdb_xml::{DocRc, Document, NodeId, NodeKind, QName, TreeBuilder};
+use xsltdb_xml::{
+    DocRc, Document, FaultKind, FaultPoint, Guard, GuardExceeded, NodeId, NodeKind, QName,
+    TreeBuilder,
+};
 use xsltdb_xpath::axes::{axis_nodes, test_matches};
 use xsltdb_xpath::value::{num_to_string, str_to_num};
 
@@ -169,13 +176,30 @@ pub fn evaluate_query(q: &XQuery, input: Option<NodeHandle>) -> Result<Sequence,
     evaluate_query_with_vars(q, input, Vec::new())
 }
 
-/// Evaluate with additional externally bound variables (used by index-
-/// assisted execution, which binds pre-probed node sequences).
-pub fn evaluate_query_with_vars(
+/// Like [`evaluate_query`], but every hot loop charges the supplied
+/// [`Guard`]. A trip surfaces as a stringly [`XqError`]; callers that need
+/// the structured [`GuardExceeded`] read it back via [`Guard::trip`].
+pub fn evaluate_query_guarded(
+    q: &XQuery,
+    input: Option<NodeHandle>,
+    guard: Guard,
+) -> Result<Sequence, XqError> {
+    evaluate_query_guarded_with_vars(q, input, Vec::new(), guard)
+}
+
+/// Guarded evaluation with externally bound variables.
+pub fn evaluate_query_guarded_with_vars(
     q: &XQuery,
     input: Option<NodeHandle>,
     extra_vars: Vec<(String, Sequence)>,
+    guard: Guard,
 ) -> Result<Sequence, XqError> {
+    if let Some(kind) = guard.take_fault(FaultPoint::XQueryExec) {
+        match kind {
+            FaultKind::Error => return Err(XqError("injected fault at XQuery tier".into())),
+            FaultKind::Panic => panic!("injected panic at XQuery tier"),
+        }
+    }
     let functions: HashMap<String, &FunctionDecl> =
         q.functions.iter().map(|f| (f.name.clone(), f)).collect();
     let mut env = EvalEnv {
@@ -185,12 +209,23 @@ pub fn evaluate_query_with_vars(
         pos: 1,
         size: 1,
         depth: 0,
+        guard,
     };
     for v in &q.variables {
         let val = eval(&v.value, &mut env)?;
         env.vars.push((v.name.clone(), val));
     }
     eval(&q.body, &mut env)
+}
+
+/// Evaluate with additional externally bound variables (used by index-
+/// assisted execution, which binds pre-probed node sequences).
+pub fn evaluate_query_with_vars(
+    q: &XQuery,
+    input: Option<NodeHandle>,
+    extra_vars: Vec<(String, Sequence)>,
+) -> Result<Sequence, XqError> {
+    evaluate_query_guarded_with_vars(q, input, extra_vars, Guard::unlimited())
 }
 
 /// Evaluate a standalone expression with a context item.
@@ -202,6 +237,7 @@ pub fn evaluate_expr(e: &XqExpr, input: Option<NodeHandle>) -> Result<Sequence, 
         pos: 1,
         size: 1,
         depth: 0,
+        guard: Guard::unlimited(),
     };
     eval(e, &mut env)
 }
@@ -213,9 +249,14 @@ pub(crate) struct EvalEnv<'q> {
     pub(crate) pos: usize,
     pub(crate) size: usize,
     pub(crate) depth: usize,
+    pub(crate) guard: Guard,
 }
 
 const MAX_DEPTH: usize = 96;
+
+fn guard_err(e: GuardExceeded) -> XqError {
+    XqError(e.to_string())
+}
 
 impl<'q> EvalEnv<'q> {
     fn lookup(&self, name: &str) -> Result<Sequence, XqError> {
@@ -229,6 +270,7 @@ impl<'q> EvalEnv<'q> {
 }
 
 pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqError> {
+    env.guard.charge(1).map_err(guard_err)?;
     match e {
         XqExpr::Empty => Ok(Vec::new()),
         XqExpr::StrLit(s) => Ok(vec![Item::Str(s.clone())]),
@@ -356,6 +398,7 @@ pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqErro
         }
         XqExpr::Call { name, args } => eval_call(name, args, env),
         XqExpr::DirectElem { name, attrs, content } => {
+            env.guard.note_output_nodes(1).map_err(guard_err)?;
             let mut b = TreeBuilder::new();
             b.start_element(name.clone());
             for (aname, parts) in attrs {
@@ -387,6 +430,7 @@ pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqErro
             Ok(vec![Item::Node(NodeHandle::new(doc, root))])
         }
         XqExpr::CompElem { name, content } => {
+            env.guard.note_output_nodes(1).map_err(guard_err)?;
             let n = eval(name, env)?;
             let lexical = n
                 .first()
@@ -592,6 +636,10 @@ fn eval_flwor(
             Some((Clause::For { var, source }, rest)) => {
                 let src = eval(source, env)?;
                 for item in src {
+                    // One fuel unit per FLWOR tuple, so a cross-product of
+                    // large sequences is bounded even when each inner eval
+                    // is cheap.
+                    env.guard.charge(1).map_err(guard_err)?;
                     let single = vec![item];
                     env.vars.push((var.clone(), single.clone()));
                     current.push((var.clone(), single));
@@ -701,10 +749,14 @@ fn eval_steps(
     for step in steps {
         let mut next: Vec<NodeHandle> = Vec::new();
         for nh in &current {
+            env.guard.charge(1).map_err(guard_err)?;
             let candidates: Vec<NodeId> = axis_nodes(&nh.doc, nh.id, step.axis)
                 .into_iter()
                 .filter(|&c| test_matches(&nh.doc, c, step.axis, &step.test))
                 .collect();
+            // Charge for every node the axis surfaced, so `//x//y` blowups
+            // are billed even when predicates later discard them.
+            env.guard.charge(candidates.len() as u64).map_err(guard_err)?;
             let mut kept: Vec<NodeHandle> = candidates
                 .into_iter()
                 .map(|c| NodeHandle::new(Rc::clone(&nh.doc), c))
@@ -802,7 +854,14 @@ fn eval_call(name: &str, args: &[XqExpr], env: &mut EvalEnv<'_>) -> Result<Seque
         let saved_ctx = env.ctx.take();
         env.vars = bound;
         env.depth += 1;
-        let r = eval(&decl.body, env);
+        let r = match env.guard.enter() {
+            Ok(()) => {
+                let r = eval(&decl.body, env);
+                env.guard.leave();
+                r
+            }
+            Err(e) => Err(guard_err(e)),
+        };
         env.depth -= 1;
         env.vars = saved_vars;
         env.ctx = saved_ctx;
@@ -974,5 +1033,86 @@ mod tests {
     fn undefined_variable_is_error() {
         let q = parse_query("$nope").unwrap();
         assert!(evaluate_query(&q, Some(input("<r/>"))).is_err());
+    }
+
+    fn run_guarded(src: &str, xml: &str, guard: Guard) -> Result<Sequence, XqError> {
+        let q = parse_query(src).unwrap();
+        evaluate_query_guarded(&q, Some(input(xml)), guard)
+    }
+
+    #[test]
+    fn guard_fuel_trips_on_flwor_cross_product() {
+        use xsltdb_xml::{Limits, Resource};
+        let guard = Guard::new(Limits::UNLIMITED.with_fuel(40));
+        let xml = "<r><a/><a/><a/><a/><a/><a/><a/><a/></r>";
+        let r = run_guarded(
+            "for $x in /r/a for $y in /r/a return <p/>",
+            xml,
+            guard.clone(),
+        );
+        let err = r.unwrap_err();
+        assert!(err.0.contains("fuel"), "unexpected error: {}", err.0);
+        let trip = guard.trip().expect("guard recorded the trip");
+        assert_eq!(trip.resource, Resource::Fuel);
+        assert_eq!(trip.limit, 40);
+    }
+
+    #[test]
+    fn guard_depth_trips_on_recursive_function() {
+        use xsltdb_xml::{Limits, Resource};
+        let guard = Guard::new(Limits::UNLIMITED.with_max_depth(8));
+        let r = run_guarded(
+            "declare function local:f($n) { local:f($n) }; local:f(1)",
+            "<r/>",
+            guard.clone(),
+        );
+        assert!(r.is_err());
+        let trip = guard.trip().expect("guard recorded the trip");
+        assert_eq!(trip.resource, Resource::Depth);
+        assert_eq!(trip.limit, 8);
+    }
+
+    #[test]
+    fn guard_expired_deadline_trips() {
+        use std::time::Duration;
+        use xsltdb_xml::{Limits, Resource};
+        let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::from_secs(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        let r = run_guarded("for $x in /r/a return $x", "<r><a/></r>", guard.clone());
+        assert!(r.is_err());
+        let trip = guard.trip().expect("guard recorded the trip");
+        assert_eq!(trip.resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn guard_output_nodes_cap_trips_on_constructors() {
+        use xsltdb_xml::{Limits, Resource};
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_nodes(3));
+        let xml = "<r><a/><a/><a/><a/><a/><a/></r>";
+        let r = run_guarded("for $x in /r/a return <p/>", xml, guard.clone());
+        assert!(r.is_err());
+        let trip = guard.trip().expect("guard recorded the trip");
+        assert_eq!(trip.resource, Resource::OutputNodes);
+        assert_eq!(trip.limit, 3);
+    }
+
+    #[test]
+    fn guard_unlimited_keeps_queries_working() {
+        let seq = run_guarded(
+            "for $e in /d/e return <o>{fn:string($e)}</o>",
+            "<d><e>1</e><e>2</e></d>",
+            Guard::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(serialize_sequence(&seq), "<o>1</o><o>2</o>");
+    }
+
+    #[test]
+    fn injected_xquery_fault_errors_once() {
+        let guard = Guard::unlimited().with_fault(FaultPoint::XQueryExec, FaultKind::Error);
+        let err = run_guarded("1", "<r/>", guard.clone()).unwrap_err();
+        assert!(err.0.contains("injected fault"), "unexpected: {}", err.0);
+        // One-shot: the same guard succeeds on retry.
+        assert!(run_guarded("1", "<r/>", guard).is_ok());
     }
 }

@@ -32,7 +32,8 @@ pub use ast::{
     XQuery, XqExpr, XqStep,
 };
 pub use eval::{
-    ebv, evaluate_expr, evaluate_query, evaluate_query_with_vars, sequence_to_document,
+    ebv, evaluate_expr, evaluate_query, evaluate_query_guarded, evaluate_query_guarded_with_vars,
+    evaluate_query_with_vars, sequence_to_document,
     serialize_sequence, Item, NodeHandle, Sequence, XqError,
 };
 pub use parser::{parse_expr as parse_xq_expr, parse_query, XqParseError};

@@ -10,13 +10,17 @@
 //!   [`TraceSink`] attached, it reports which templates each
 //!   `<xsl:apply-templates>` site instantiates.
 
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use crate::ast::{Op, SortKey, Stylesheet, Template, TemplateId, VarValueSource, WithParam};
 use crate::avt::{Avt, AvtPart};
 use crate::error::XsltError;
 use crate::sort::sort_nodes;
 use crate::trace::{TraceSink, Via, BUILTIN_SITE};
 use std::rc::Rc;
-use xsltdb_xml::{DocRc, Document, NodeId, NodeKind, QName, TreeBuilder};
+use xsltdb_xml::{DocRc, Document, Guard, GuardExceeded, NodeId, NodeKind, QName, TreeBuilder};
 use xsltdb_xpath::eval::{Ctx, Env, VarResolver};
 use xsltdb_xpath::{evaluate, Expr, Value};
 
@@ -32,12 +36,26 @@ pub struct TransformOptions {
     /// raise it (on a thread with a larger stack) for deeply recursive
     /// stylesheets.
     pub max_depth: usize,
+    /// Resource budgets (fuel, depth, output size, deadline) charged while
+    /// executing; unlimited by default. Shared with the XPath evaluator for
+    /// every expression this transform evaluates.
+    pub guard: Guard,
 }
 
 impl Default for TransformOptions {
     fn default() -> Self {
-        TransformOptions { assume_predicates: false, max_depth: 128 }
+        TransformOptions {
+            assume_predicates: false,
+            max_depth: 128,
+            guard: Guard::unlimited(),
+        }
     }
+}
+
+/// Surface a guard trip as this engine's native error type; the structured
+/// [`GuardExceeded`] stays recorded on the guard for the pipeline to read.
+fn guard_err(e: GuardExceeded) -> XsltError {
+    XsltError::new(e.to_string())
 }
 
 /// A value bound to an XSLT variable or parameter.
@@ -134,6 +152,15 @@ pub fn transform_with(
     opts: &TransformOptions,
     trace: &mut dyn TraceSink,
 ) -> Result<Document, XsltError> {
+    match opts.guard.take_fault(xsltdb_xml::guard::FaultPoint::VmExec) {
+        Some(xsltdb_xml::guard::FaultKind::Error) => {
+            return Err(XsltError::new("injected fault at VM tier"));
+        }
+        Some(xsltdb_xml::guard::FaultKind::Panic) => {
+            panic!("injected panic at VM tier");
+        }
+        None => {}
+    }
     let mut engine = Engine {
         sheet,
         doc,
@@ -183,6 +210,7 @@ impl<'a> Engine<'a> {
             vars: &self.vars,
             current: Some(node),
             assume_predicates: self.opts.assume_predicates,
+            guard: self.opts.guard.clone(),
         };
         let ctx = Ctx { doc: self.doc, node, position: pos, size, env: &env };
         evaluate(e, &ctx).map_err(Into::into)
@@ -228,11 +256,21 @@ impl<'a> Engine<'a> {
 
     // ----- output -----
 
-    fn out_text(&mut self, s: &str) {
+    fn out_text(&mut self, s: &str) -> Result<(), XsltError> {
+        self.opts
+            .guard
+            .note_output_bytes(s.len() as u64)
+            .map_err(guard_err)?;
         match self.sinks.last_mut().expect("a sink is always open") {
             Sink::Tree(b) => b.text(s),
             Sink::Text(t) => t.push_str(s),
         }
+        Ok(())
+    }
+
+    /// Account one result-tree node against the guard's output budget.
+    fn note_node(&self) -> Result<(), XsltError> {
+        self.opts.guard.note_output_nodes(1).map_err(guard_err)
     }
 
     fn tree_sink(&mut self, what: &str) -> Result<&mut TreeBuilder, XsltError> {
@@ -268,6 +306,7 @@ impl<'a> Engine<'a> {
             vars: &self.vars,
             current: Some(node),
             assume_predicates: self.opts.assume_predicates,
+            guard: self.opts.guard.clone(),
         };
         let mut best: Option<(f64, TemplateId)> = None;
         for (tid, t) in self.sheet.match_templates() {
@@ -361,12 +400,12 @@ impl<'a> Engine<'a> {
             }
             NodeKind::Text(t) => {
                 let t = t.clone();
-                self.out_text(&t);
+                self.out_text(&t)?;
                 Ok(())
             }
             NodeKind::Attribute { value, .. } => {
                 let v = value.clone();
-                self.out_text(&v);
+                self.out_text(&v)?;
                 Ok(())
             }
             NodeKind::Comment(_) | NodeKind::Pi { .. } => Ok(()),
@@ -389,6 +428,12 @@ impl<'a> Engine<'a> {
                 self.opts.max_depth
             )));
         }
+        // The shared guard enforces the cross-tier ceiling too (it can be
+        // stricter than the per-transform `max_depth`).
+        if let Err(e) = self.opts.guard.enter() {
+            self.depth -= 1;
+            return Err(guard_err(e));
+        }
         let template: &Template = self.sheet.template(tid);
         // Evaluate declared-param defaults before pushing the barrier, so
         // defaults see the caller's context node but not its locals; in
@@ -405,6 +450,7 @@ impl<'a> Engine<'a> {
         let r = self.exec_block(body, node, pos, size);
         self.vars.pop();
         self.depth -= 1;
+        self.opts.guard.leave();
         r
     }
 
@@ -438,13 +484,15 @@ impl<'a> Engine<'a> {
     }
 
     fn exec_op(&mut self, op: &Op, node: NodeId, pos: usize, size: usize) -> Result<(), XsltError> {
+        self.opts.guard.charge(1).map_err(guard_err)?;
         match op {
-            Op::Text(t) => self.out_text(t),
+            Op::Text(t) => self.out_text(t)?,
             Op::ValueOf(e) => {
                 let s = self.eval_string(e, node, pos, size)?;
-                self.out_text(&s);
+                self.out_text(&s)?;
             }
             Op::LiteralElement { name, attrs, body } => {
+                self.note_node()?;
                 self.tree_sink("an element")?.start_element(name.clone());
                 for (aname, avt) in attrs {
                     let v = self.eval_avt(avt, node, pos, size)?;
@@ -463,6 +511,7 @@ impl<'a> Engine<'a> {
                     local: local.into(),
                     ns_uri: None,
                 };
+                self.note_node()?;
                 self.tree_sink("an element")?.start_element(qname);
                 self.exec_block(body, node, pos, size)?;
                 self.tree_sink("an element")?.end_element();
@@ -552,6 +601,7 @@ impl<'a> Engine<'a> {
             Op::Copy { body } => match self.doc.kind(node).clone() {
                 NodeKind::Document => self.exec_block(body, node, pos, size)?,
                 NodeKind::Element { name, .. } => {
+                    self.note_node()?;
                     self.tree_sink("an element")?.start_element(name);
                     self.exec_block(body, node, pos, size)?;
                     self.tree_sink("an element")?.end_element();
@@ -561,7 +611,7 @@ impl<'a> Engine<'a> {
                         .try_attribute(name, value)
                         .map_err(XsltError::new)?;
                 }
-                NodeKind::Text(t) => self.out_text(&t),
+                NodeKind::Text(t) => self.out_text(&t)?,
                 NodeKind::Comment(t) => self.tree_sink("a comment")?.comment(t),
                 NodeKind::Pi { target, data } => {
                     self.tree_sink("a processing instruction")?.pi(target, data)
@@ -605,7 +655,7 @@ impl<'a> Engine<'a> {
             }
             other => {
                 let s = other.string(self.doc);
-                self.out_text(&s);
+                self.out_text(&s)?;
             }
         }
         Ok(())
@@ -688,7 +738,12 @@ pub fn candidate_templates(
     vars: &dyn VarResolver,
     assume_predicates: bool,
 ) -> Vec<TemplateId> {
-    let env = Env { vars, current: Some(node), assume_predicates };
+    let env = Env {
+        vars,
+        current: Some(node),
+        assume_predicates,
+        guard: Guard::unlimited(),
+    };
     let mut matching: Vec<(f64, u32, TemplateId)> = sheet
         .match_templates()
         .filter(|(_, t)| t.mode.as_deref() == mode)
@@ -969,6 +1024,95 @@ mod tests {
         let r = transform_str(&sheet, "<r/>");
         assert!(r.is_err());
         assert!(r.unwrap_err().0.contains("recursion"));
+    }
+
+    /// Run a stylesheet under an explicit guard, returning the engine error.
+    fn run_guarded(sheet: &str, input: &str, guard: Guard) -> Result<Document, XsltError> {
+        let sheet = crate::parse::compile_str(sheet).unwrap();
+        let doc = xsltdb_xml::parse::parse(input).unwrap();
+        let opts = TransformOptions { guard, ..Default::default() };
+        transform_with(&sheet, &doc, &opts, &mut crate::trace::NoTrace)
+    }
+
+    #[test]
+    fn guard_depth_trips_before_engine_limit() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>
+               <xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>"#,
+        );
+        let guard = Guard::new(Limits::UNLIMITED.with_max_depth(8));
+        let err = run_guarded(&sheet, "<r/>", guard.clone()).unwrap_err();
+        assert!(err.0.contains("recursion depth"), "{err}");
+        let trip = guard.trip().expect("structured trip recorded");
+        assert_eq!(trip.resource, Resource::Depth);
+        assert_eq!(trip.limit, 8);
+    }
+
+    #[test]
+    fn guard_fuel_trips_infinite_recursion() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        // Depth unlimited on the guard: fuel must still stop the loop.
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>
+               <xsl:template name="loop"><xsl:text>x</xsl:text><xsl:call-template name="loop"/></xsl:template>"#,
+        );
+        let guard = Guard::new(Limits::UNLIMITED.with_fuel(50).with_max_depth(u64::MAX));
+        // Engine max_depth would also fire at 128; give fuel the smaller
+        // budget so it demonstrably trips first.
+        let err = run_guarded(&sheet, "<r/>", guard.clone()).unwrap_err();
+        assert!(err.0.contains("fuel"), "{err}");
+        assert_eq!(guard.trip().unwrap().resource, Resource::Fuel);
+    }
+
+    #[test]
+    fn guard_output_bytes_cap_trips() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        let sheet = wrap(
+            r#"<xsl:template match="/"><xsl:for-each select="//v"><xsl:value-of select="."/></xsl:for-each></xsl:template>"#,
+        );
+        let input = "<r><v>0123456789</v><v>0123456789</v><v>0123456789</v></r>";
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(15));
+        let err = run_guarded(&sheet, input, guard.clone()).unwrap_err();
+        assert!(err.0.contains("output bytes"), "{err}");
+        assert_eq!(guard.trip().unwrap().resource, Resource::OutputBytes);
+    }
+
+    #[test]
+    fn guard_output_nodes_cap_trips() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        let sheet = wrap(
+            r#"<xsl:template match="/"><out><xsl:for-each select="//v"><e/></xsl:for-each></out></xsl:template>"#,
+        );
+        let input = "<r><v/><v/><v/><v/><v/></r>";
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_nodes(3));
+        let err = run_guarded(&sheet, input, guard.clone()).unwrap_err();
+        assert!(err.0.contains("output nodes"), "{err}");
+        assert_eq!(guard.trip().unwrap().resource, Resource::OutputNodes);
+    }
+
+    #[test]
+    fn guard_expired_deadline_trips() {
+        use xsltdb_xml::guard::{Limits, Resource};
+        let sheet = wrap(r#"<xsl:template match="/"><done/></xsl:template>"#);
+        let guard = Guard::new(
+            Limits::UNLIMITED.with_deadline(std::time::Duration::from_millis(1)),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = run_guarded(&sheet, "<r/>", guard.clone()).unwrap_err();
+        assert!(err.0.contains("deadline"), "{err}");
+        assert_eq!(guard.trip().unwrap().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn injected_vm_fault_errors_once() {
+        use xsltdb_xml::guard::{FaultKind, FaultPoint};
+        let sheet = wrap(r#"<xsl:template match="/"><done/></xsl:template>"#);
+        let guard = Guard::unlimited().with_fault(FaultPoint::VmExec, FaultKind::Error);
+        let err = run_guarded(&sheet, "<r/>", guard.clone()).unwrap_err();
+        assert!(err.0.contains("injected fault"), "{err}");
+        // One-shot: the retry succeeds.
+        assert!(run_guarded(&sheet, "<r/>", guard).is_ok());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! ExecGuard integration suite: resource-budget trips, panic isolation and
+//! the fault-injected fallback lattice, end to end through the pipeline.
+//!
+//! The acceptance bar: infinite template recursion, unbounded FLWOR
+//! expansion and an expired wall-clock deadline must each terminate with a
+//! structured `GuardExceeded` — no panic, no hang — on every tier, and an
+//! injected SQL-tier fault must complete through the VM tier with the
+//! fallback chain reported.
+
+use std::time::Duration;
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::{
+    plan_transform, FaultKind, FaultPoint, Guard, GuardExceeded, Limits, PipelineError,
+    Resource, Tier,
+};
+use xsltdb_relstore::exec::Conjunction;
+use xsltdb_relstore::pubexpr::{PubExpr, SqlXmlQuery};
+use xsltdb_relstore::{Catalog, ColType, Datum, ExecStats, Table, XmlView};
+use xsltdb_xquery::{evaluate_query_guarded, parse_query, NodeHandle};
+
+fn setup() -> (Catalog, XmlView) {
+    let mut t = Table::new("t", &[("v", ColType::Int)]);
+    for v in [7, 8, 9] {
+        t.insert(vec![Datum::Int(v)]).unwrap();
+    }
+    let mut catalog = Catalog::new();
+    catalog.add_table(t);
+    let view = XmlView::new(
+        "vu",
+        SqlXmlQuery {
+            base_table: "t".into(),
+            where_clause: Conjunction::default(),
+            select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
+        },
+    );
+    catalog.add_view(view.clone());
+    (catalog, view)
+}
+
+fn wrap(body: &str) -> String {
+    format!(
+        r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+    )
+}
+
+/// A stylesheet the planner can push all the way to the SQL tier.
+const SQL_OK: &str = r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#;
+/// substring() has no SQL translation → plans to the XQuery tier.
+const XQUERY_ONLY: &str =
+    r#"<xsl:template match="r"><o><xsl:value-of select="substring(v, 1, 1)"/></o></xsl:template>"#;
+/// generate-id() is not rewritable at all → plans to the VM tier.
+const VM_ONLY: &str =
+    r#"<xsl:template match="r"><o id="{generate-id(.)}"><xsl:value-of select="v"/></o></xsl:template>"#;
+/// A template that re-applies itself to the same node forever.
+const INFINITE_RECURSION: &str =
+    r#"<xsl:template match="r"><xsl:apply-templates select="."/></xsl:template>"#;
+
+fn expect_guard_trip(r: Result<xsltdb::GuardedRun, PipelineError>, resource: Resource) {
+    match r {
+        Err(PipelineError::Guard(GuardExceeded { resource: got, .. })) => {
+            assert_eq!(got, resource, "tripped the wrong budget");
+        }
+        Err(other) => panic!("expected a guard trip on {resource:?}, got {other:?}"),
+        Ok(run) => panic!(
+            "expected a guard trip on {resource:?}, but the {:?} tier succeeded",
+            run.tier
+        ),
+    }
+}
+
+// ---------------------------------------------------------------- budgets
+
+#[test]
+fn infinite_template_recursion_trips_depth() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
+        .unwrap();
+    // Recursion defeats the SQL rewrite (the straightforward translation
+    // keeps its recursive functions), so this planned below the SQL tier.
+    assert_ne!(plan.tier, Tier::Sql);
+    let guard = Guard::new(Limits::UNLIMITED.with_max_depth(32));
+    let stats = ExecStats::new();
+    expect_guard_trip(plan.execute_guarded(&catalog, &stats, &guard), Resource::Depth);
+}
+
+#[test]
+fn infinite_template_recursion_trips_fuel_when_depth_is_roomy() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
+        .unwrap();
+    // Small enough that the trip fires long before the runaway recursion
+    // can exhaust the 2 MiB test-thread stack.
+    let guard = Guard::new(Limits::UNLIMITED.with_fuel(120));
+    let stats = ExecStats::new();
+    expect_guard_trip(plan.execute_guarded(&catalog, &stats, &guard), Resource::Fuel);
+}
+
+#[test]
+fn infinite_template_recursion_trips_depth_on_vm_tier() {
+    // Drive the VM tier directly so the depth budget is exercised on the
+    // functional-evaluation path too, not just the planned tier.
+    let (catalog, view) = setup();
+    let sheet = xsltdb_xslt::compile_str(&wrap(INFINITE_RECURSION)).unwrap();
+    let guard = Guard::new(Limits::UNLIMITED.with_max_depth(32));
+    let stats = ExecStats::new();
+    match xsltdb::no_rewrite_transform_guarded(&catalog, &view, &sheet, &stats, &guard) {
+        Err(e) => assert!(e.to_string().contains("depth"), "unexpected error: {e}"),
+        Ok(_) => panic!("runaway recursion must not complete"),
+    }
+    assert_eq!(guard.trip().unwrap().resource, Resource::Depth);
+}
+
+#[test]
+fn unbounded_flwor_expansion_trips_fuel() {
+    // A recursive user function with a FLWOR body — the XQuery-tier shape
+    // of runaway work. 200 fuel units stop it after a handful of tuples.
+    let q = parse_query(
+        "declare function local:spin($s) { for $x in $s return local:spin($s) }; \
+         local:spin((1, 2, 3, 4, 5, 6, 7, 8))",
+    )
+    .unwrap();
+    let doc = xsltdb_xml::parse_xml("<r/>").unwrap();
+    let guard = Guard::new(Limits::UNLIMITED.with_fuel(200));
+    let r = evaluate_query_guarded(&q, Some(NodeHandle::document(doc)), guard.clone());
+    assert!(r.is_err(), "runaway FLWOR must terminate with an error");
+    assert_eq!(guard.trip().unwrap().resource, Resource::Fuel);
+}
+
+#[test]
+fn ten_ms_deadline_terminates_every_tier() {
+    let (catalog, view) = setup();
+    for sheet in [SQL_OK, XQUERY_ONLY, VM_ONLY] {
+        let plan = plan_transform(&view, &wrap(sheet), &RewriteOptions::default()).unwrap();
+        let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::from_millis(10)));
+        // Let the 10ms budget expire before the work starts, so the very
+        // first strided clock check trips it deterministically.
+        std::thread::sleep(Duration::from_millis(12));
+        let stats = ExecStats::new();
+        expect_guard_trip(plan.execute_guarded(&catalog, &stats, &guard), Resource::Deadline);
+    }
+}
+
+#[test]
+fn guard_trips_are_terminal_not_fallback_fodder() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier, Tier::Sql);
+    // Fuel so small the SQL tier trips immediately. The XQuery and VM
+    // tiers must NOT be tried: the error is Guard, not TiersExhausted.
+    let guard = Guard::new(Limits::UNLIMITED.with_fuel(1));
+    let stats = ExecStats::new();
+    match plan.execute_guarded(&catalog, &stats, &guard) {
+        Err(PipelineError::Guard(trip)) => assert_eq!(trip.resource, Resource::Fuel),
+        other => panic!("expected terminal guard trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_default_limits_pass_normal_work() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let guard = Guard::new(Limits::server_default());
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    assert_eq!(run.tier, Tier::Sql);
+    assert!(run.fallbacks.is_empty());
+    assert_eq!(xsltdb_xml::to_string(&run.documents[0]), "<o>7</o>");
+}
+
+// --------------------------------------------------- fallback lattice edges
+
+#[test]
+fn sql_fault_falls_back_to_xquery() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier, Tier::Sql);
+    assert!(plan.fallback_reason.is_none());
+    let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    assert_eq!(run.tier, Tier::XQuery);
+    assert_eq!(run.fallbacks.len(), 1);
+    assert_eq!(run.fallbacks[0].tier, "sql");
+    assert!(!run.fallbacks[0].panicked);
+    assert!(run.fallbacks[0].reason.contains("injected fault"));
+    assert_eq!(xsltdb_xml::to_string(&run.documents[0]), "<o>7</o>");
+}
+
+#[test]
+fn sql_and_xquery_faults_fall_back_to_vm_with_full_chain() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited()
+        .with_fault(FaultPoint::SqlExec, FaultKind::Error)
+        .with_fault(FaultPoint::XQueryExec, FaultKind::Error);
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    assert_eq!(run.tier, Tier::Vm);
+    let chain: Vec<&str> = run.fallbacks.iter().map(|f| f.tier).collect();
+    assert_eq!(chain, ["sql", "xquery"]);
+    // All three rows still transformed correctly on the slowest tier.
+    assert_eq!(run.documents.len(), 3);
+    assert_eq!(xsltdb_xml::to_string(&run.documents[2]), "<o>9</o>");
+}
+
+#[test]
+fn xquery_fault_falls_back_to_vm() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier, Tier::XQuery);
+    // The plan records why it could not reach the SQL tier…
+    assert!(plan.fallback_reason.is_some());
+    let guard = Guard::unlimited().with_fault(FaultPoint::XQueryExec, FaultKind::Error);
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    // …and the execution-time chain records the XQuery-tier failure.
+    assert_eq!(run.tier, Tier::Vm);
+    assert_eq!(run.fallbacks.len(), 1);
+    assert_eq!(run.fallbacks[0].tier, "xquery");
+}
+
+#[test]
+fn vm_hard_failure_surfaces_typed_error() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier, Tier::Vm);
+    let guard = Guard::unlimited().with_fault(FaultPoint::VmExec, FaultKind::Error);
+    let stats = ExecStats::new();
+    match plan.execute_guarded(&catalog, &stats, &guard) {
+        Err(PipelineError::Xslt(e)) => assert!(e.0.contains("injected fault")),
+        other => panic!("expected the VM tier's own error, got {other:?}"),
+    }
+}
+
+#[test]
+fn materialize_fault_fails_xquery_then_vm_finds_it_disarmed() {
+    // The Materialize fault is one-shot: it kills the XQuery tier's view
+    // materialisation, then the VM tier's own materialisation proceeds.
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited().with_fault(FaultPoint::Materialize, FaultKind::Error);
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    assert_eq!(run.tier, Tier::Vm);
+    assert!(run.fallbacks[0].reason.contains("injected fault materialising"));
+}
+
+// ------------------------------------------------------------ panic safety
+
+#[test]
+fn sql_panic_is_contained_and_falls_back() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Panic);
+    let stats = ExecStats::new();
+    let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
+    assert_eq!(run.tier, Tier::XQuery);
+    assert!(run.fallbacks[0].panicked);
+    assert!(run.fallbacks[0].reason.contains("injected panic"));
+}
+
+#[test]
+fn vm_panic_with_no_tier_left_is_a_typed_panic_error() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited().with_fault(FaultPoint::VmExec, FaultKind::Panic);
+    let stats = ExecStats::new();
+    match plan.execute_guarded(&catalog, &stats, &guard) {
+        Err(PipelineError::Panic { tier, message }) => {
+            assert_eq!(tier, "vm");
+            assert!(message.contains("injected panic"));
+        }
+        other => panic!("expected a contained panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_tier_panicking_reports_the_exhausted_chain() {
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited()
+        .with_fault(FaultPoint::SqlExec, FaultKind::Panic)
+        .with_fault(FaultPoint::XQueryExec, FaultKind::Panic)
+        .with_fault(FaultPoint::VmExec, FaultKind::Panic);
+    let stats = ExecStats::new();
+    match plan.execute_guarded(&catalog, &stats, &guard) {
+        Err(PipelineError::TiersExhausted { attempts }) => {
+            let tiers: Vec<&str> = attempts.iter().map(|a| a.tier).collect();
+            assert_eq!(tiers, ["sql", "xquery", "vm"]);
+            assert!(attempts.iter().all(|a| a.panicked));
+        }
+        other => panic!("expected TiersExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn strict_policy_fails_fast_without_fallback() {
+    use xsltdb::DegradePolicy;
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
+    let stats = ExecStats::new();
+    match plan.execute_with_policy(&catalog, &stats, &guard, DegradePolicy::Strict) {
+        Err(PipelineError::Store(e)) => assert!(e.0.contains("injected fault")),
+        other => panic!("expected the SQL tier's own error, got {other:?}"),
+    }
+}
+
+#[test]
+fn shared_budget_accumulates_across_fallback_tiers() {
+    // The fuel spent on the failed SQL attempt counts against the XQuery
+    // and VM attempts too: with a budget sized for exactly one clean run,
+    // a post-fault fallback trips it.
+    let (catalog, view) = setup();
+    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let stats = ExecStats::new();
+
+    // Measure a clean XQuery-tier run's fuel appetite.
+    let probe = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
+    let run = plan.execute_guarded(&catalog, &stats, &probe).unwrap();
+    assert_eq!(run.tier, Tier::XQuery);
+    let appetite = probe.fuel_spent();
+
+    // The same work with the budget set just under it must trip.
+    let tight = Guard::new(Limits::UNLIMITED.with_fuel(appetite.saturating_sub(1)))
+        .with_fault(FaultPoint::SqlExec, FaultKind::Error);
+    expect_guard_trip(plan.execute_guarded(&catalog, &stats, &tight), Resource::Fuel);
+}

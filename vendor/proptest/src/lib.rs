@@ -1,0 +1,709 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a cargo registry, so the workspace
+//! vendors the subset of proptest it actually uses: the `Strategy` trait
+//! with `prop_map`/`prop_recursive`/`boxed`, strategies for character-class
+//! regexes, integer ranges, tuples, `Just`, `any::<bool>()`,
+//! `collection::vec`, and the `proptest!`/`prop_oneof!`/`prop_assert*!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - No shrinking: a failing case reports its case index (the run is fully
+//!   deterministic, so the index reproduces it) instead of a minimised input.
+//! - Generation is seeded per test name, so runs are reproducible across
+//!   invocations and machines rather than randomised per run.
+//! - Only the regex subset used by this workspace (sequences of character
+//!   classes with `{m,n}` repetition, including `&&[^...]` intersection) is
+//!   supported; anything else is a parse error.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 stream used for all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Seed derived from the test name so each test gets a distinct but
+        /// stable stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish index in `0..n` (`n` must be non-zero).
+        pub fn pick(&mut self, n: usize) -> usize {
+            assert!(n > 0, "pick from empty range");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Prints the failing case index if the test body panics, since the stub
+    /// does not shrink inputs.
+    pub struct CaseGuard {
+        name: &'static str,
+        case: u32,
+    }
+
+    impl CaseGuard {
+        pub fn new(name: &'static str, case: u32) -> Self {
+            CaseGuard { name, case }
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest stub: `{}` failed at deterministic case {} — rerun reproduces it",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Value-generation strategy. Upstream's `Strategy` builds value *trees*
+    /// for shrinking; the stub generates plain values.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Bounded recursive strategy: `depth` levels of `f` stacked over the
+        /// base, choosing between base and recursive arm at each level.
+        /// `_desired_size` and `_expected_branch_size` shape upstream's size
+        /// distribution and are ignored here.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                current = Union::new(vec![base.clone(), f(current).boxed()]).boxed();
+            }
+            current
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_value(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between arms (backs `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.pick(self.arms.len());
+            self.arms[idx].gen_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String literals act as regex strategies, e.g. `"[a-z][a-z0-9]{0,6}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e:?}"))
+                .gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<bool>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `collection::vec(strategy, 0..4)` — length drawn uniformly from the
+    /// (half-open, as upstream) size range.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy size range is empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.pick(span.max(1));
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Parse failure for an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    /// One `[class]{m,n}` step of a pattern.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generator for the character-class regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = atom.max - atom.min + 1;
+                let count = atom.min + rng.pick(span);
+                for _ in 0..count {
+                    out.push(atom.chars[rng.pick(atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a strategy from a regex made of character classes and literal
+    /// characters, each optionally repeated with `{m}`/`{m,n}`. Classes
+    /// support ranges, `\u{..}` escapes, and `&&[^...]` intersection — the
+    /// subset this workspace's tests use.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => parse_class(&chars, &mut i)?,
+                '\\' => {
+                    i += 1;
+                    let c = parse_escape(&chars, &mut i)?;
+                    vec![c]
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {:?} in {pattern:?}",
+                        chars[i]
+                    )));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            if set.is_empty() {
+                return Err(Error(format!("empty character class in {pattern:?}")));
+            }
+            let (min, max) = parse_repetition(&chars, &mut i)?;
+            atoms.push(Atom { chars: set, min, max });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    /// Parse `[...]` starting at `chars[*i] == '['`; advances past the `]`.
+    fn parse_class(chars: &[char], i: &mut usize) -> Result<Vec<char>, Error> {
+        *i += 1; // consume '['
+        let negated = chars.get(*i) == Some(&'^');
+        if negated {
+            *i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        let mut excluded: Vec<char> = Vec::new();
+        loop {
+            match chars.get(*i) {
+                None => return Err(Error("unterminated character class".into())),
+                Some(']') => {
+                    *i += 1;
+                    break;
+                }
+                Some('&') if chars.get(*i + 1) == Some(&'&') => {
+                    // Intersection with a nested class, e.g. `[ -~&&[^\u{0}]]`.
+                    *i += 2;
+                    if chars.get(*i) != Some(&'[') {
+                        return Err(Error("`&&` must be followed by a class".into()));
+                    }
+                    let other = parse_class(chars, i)?;
+                    // The nested parse returns the *kept* set for positive
+                    // classes and flags exclusions for negated ones via the
+                    // NEGATION_MARKER prefix.
+                    if other.first() == Some(&NEGATION_MARKER) {
+                        excluded.extend(other[1..].iter().copied());
+                    } else {
+                        set.retain(|c| other.contains(c));
+                    }
+                }
+                Some(&start) => {
+                    let start = if start == '\\' {
+                        *i += 1;
+                        parse_escape(chars, i)?
+                    } else {
+                        *i += 1;
+                        start
+                    };
+                    if chars.get(*i) == Some(&'-') && chars.get(*i + 1) != Some(&']') {
+                        *i += 1; // consume '-'
+                        let end = match chars.get(*i) {
+                            Some('\\') => {
+                                *i += 1;
+                                parse_escape(chars, i)?
+                            }
+                            Some(&c) => {
+                                *i += 1;
+                                c
+                            }
+                            None => return Err(Error("unterminated range".into())),
+                        };
+                        if end < start {
+                            return Err(Error(format!("inverted range {start:?}-{end:?}")));
+                        }
+                        for c in start..=end {
+                            set.push(c);
+                        }
+                    } else {
+                        set.push(start);
+                    }
+                }
+            }
+        }
+        if negated {
+            let mut marked = vec![NEGATION_MARKER];
+            marked.extend(set);
+            Ok(marked)
+        } else {
+            let mut result = set;
+            result.retain(|c| !excluded.contains(c));
+            Ok(result)
+        }
+    }
+
+    /// Sentinel prefix marking a negated class's exclusion list; U+FFFF never
+    /// appears in the supported pattern alphabet.
+    const NEGATION_MARKER: char = '\u{FFFF}';
+
+    /// Parse the escape after a consumed `\`; advances past it.
+    fn parse_escape(chars: &[char], i: &mut usize) -> Result<char, Error> {
+        match chars.get(*i) {
+            Some('u') if chars.get(*i + 1) == Some(&'{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated \\u{..}".into()))?;
+                let hex: String = chars[*i + 2..*i + close].iter().collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
+                *i += close + 1;
+                char::from_u32(code).ok_or_else(|| Error(format!("invalid codepoint {code:#x}")))
+            }
+            Some('n') => {
+                *i += 1;
+                Ok('\n')
+            }
+            Some('t') => {
+                *i += 1;
+                Ok('\t')
+            }
+            Some(&c @ ('\\' | ']' | '[' | '-' | '^' | '{' | '}')) => {
+                *i += 1;
+                Ok(c)
+            }
+            other => Err(Error(format!("unsupported escape {other:?}"))),
+        }
+    }
+
+    /// Parse an optional `{m}` / `{m,n}` suffix; defaults to exactly one.
+    fn parse_repetition(chars: &[char], i: &mut usize) -> Result<(usize, usize), Error> {
+        if chars.get(*i) != Some(&'{') {
+            return Ok((1, 1));
+        }
+        let close = chars[*i..]
+            .iter()
+            .position(|&c| c == '}')
+            .ok_or_else(|| Error("unterminated repetition".into()))?;
+        let body: String = chars[*i + 1..*i + close].iter().collect();
+        *i += close + 1;
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().map_err(|_| Error(format!("bad repetition {body:?}")))?,
+                hi.parse().map_err(|_| Error(format!("bad repetition {body:?}")))?,
+            ),
+            None => {
+                let n = body.parse().map_err(|_| Error(format!("bad repetition {body:?}")))?;
+                (n, n)
+            }
+        };
+        if max < min {
+            return Err(Error(format!("inverted repetition {body:?}")));
+        }
+        Ok((min, max))
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        // Weights shape upstream's distribution; the stub chooses uniformly.
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let __guard =
+                        $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);
+                    )*
+                    $body
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_name_pattern() {
+        let strat = "[a-z][a-z0-9]{0,6}";
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&strat, &mut rng);
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_intersection_excludes_nul() {
+        let strat = crate::string::string_regex("[ -~&&[^\u{0}]]{1,12}").expect("parses");
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&strat, &mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("(ab)+").is_err());
+        assert!(crate::string::string_regex("[a-z").is_err());
+    }
+
+    #[test]
+    fn ranges_tuples_and_vec() {
+        let strat = (1000u32..9999, "[A-Z]{1,8}", 0u32..10000);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let (a, s, c) = Strategy::gen_value(&strat, &mut rng);
+            assert!((1000..9999).contains(&a));
+            assert!((1..=8).contains(&s.len()));
+            assert!(c < 10000);
+        }
+        let vecs = crate::collection::vec(0u32..5, 0..3);
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&vecs, &mut rng);
+            assert!(v.len() < 3);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(u32),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = prop_oneof![(0u32..10).prop_map(T::Leaf), Just(T::Leaf(99))];
+        let tree = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let t = Strategy::gen_value(&tree, &mut rng);
+            assert!(depth(&t) <= 7, "recursion failed to stay bounded: {t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flag as u32 <= 1, true);
+        }
+    }
+}
