@@ -9,8 +9,26 @@
 //!   sizes (Figure 2);
 //! * `fig3_report` — `avts` / `chart` / `metric` / `total` rewrite vs
 //!   no-rewrite (Figure 3);
-//! * `inline_report` — the 40-case inline statistic (§5, objective 2).
+//! * `inline_report` — the 40-case inline statistic (§5, objective 2);
+//! * `cache_report` — prepared-transform caching: cold vs amortized
+//!   per-call cost (`--smoke` for the 1-iteration CI run).
+//!
+//! ```
+//! use xsltdb::PlanCache;
+//! use xsltdb_bench::Workload;
+//!
+//! // Repeat calls through one cache hit the prepared plan.
+//! let w = Workload::dbonerow(50);
+//! let mut cache = PlanCache::default();
+//! let (first, _) = w.run_cached_call(&mut cache);
+//! let (second, _) = w.run_cached_call(&mut cache);
+//! assert_eq!(
+//!     first.iter().map(xsltdb_xml::to_string).collect::<Vec<_>>(),
+//!     second.iter().map(xsltdb_xml::to_string).collect::<Vec<_>>(),
+//! );
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
 
 pub mod harness;
 
-pub use harness::{median_micros, Workload};
+pub use harness::{measure_amortization, median_micros, AmortizedCost, Workload};

@@ -89,6 +89,15 @@ impl PipelineError {
     pub fn internal(msg: impl Into<String>) -> Self {
         PipelineError::Internal(msg.into())
     }
+
+    /// True when this error is a resource-budget trip ([`Guard`]
+    /// variant). Callers holding cached plans branch on this: a trip is an
+    /// outcome of one execution's budget, not evidence the plan is bad, so
+    /// the cached entry stays valid and the call can be retried with a
+    /// bigger budget.
+    pub fn is_guard_trip(&self) -> bool {
+        matches!(self, PipelineError::Guard(_))
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -192,6 +201,8 @@ mod tests {
         let g = Guard::new(Limits::UNLIMITED.with_fuel(1));
         let trip = g.charge(5).unwrap_err();
         let e: PipelineError = trip.into();
+        assert!(e.is_guard_trip());
+        assert!(!PipelineError::internal("x").is_guard_trip());
         match e {
             PipelineError::Guard(t) => {
                 assert_eq!(t.limit, 1);

@@ -17,7 +17,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use crate::error::{PipelineError, TierFailure};
-use crate::guard::{DegradePolicy, Guard};
+use crate::guard::{DegradePolicy, Guard, Limits};
+use crate::plancache::{PlanCache, PlanKey};
 use crate::sqlrewrite::rewrite_to_sql;
 use crate::xqgen::{rewrite, RewriteOptions, RewriteOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +64,36 @@ pub fn plan_transform(
 ) -> Result<TransformPlan, PipelineError> {
     let sheet = compile_str(stylesheet_src)?;
     plan_compiled(view, sheet, opts)
+}
+
+/// The front door for repeated transforms: plan through a [`PlanCache`].
+///
+/// A lookup hit returns the shared prepared plan without touching the
+/// compile → partial-evaluate → rewrite pipeline at all; a miss plans from
+/// scratch and admits the result. Entries are keyed by the content of
+/// (stylesheet text × structural-information fingerprint × options) and
+/// validated against `catalog`'s DDL [generation](Catalog::generation), so
+/// `create_index` / table / view changes transparently force a replan.
+///
+/// Cached plans are immutable — execute them with a fresh [`Guard`] per
+/// call ([`TransformPlan::execute_with_limits`]); a budget trip in one
+/// execution never poisons the cached entry.
+pub fn plan_cached(
+    cache: &mut PlanCache,
+    catalog: &Catalog,
+    view: &XmlView,
+    stylesheet_src: &str,
+    opts: &RewriteOptions,
+) -> Result<Rc<TransformPlan>, PipelineError> {
+    let generation = catalog.generation();
+    let struct_fp = cache.view_fingerprint(view, generation);
+    let key = PlanKey::with_fingerprint(struct_fp, stylesheet_src, opts);
+    if let Some(plan) = cache.lookup(&key, generation) {
+        return Ok(plan);
+    }
+    let plan = Rc::new(plan_transform(view, stylesheet_src, opts)?);
+    cache.insert(key, Rc::clone(&plan), generation);
+    Ok(plan)
 }
 
 /// Plan with a pre-compiled stylesheet.
@@ -214,6 +245,20 @@ impl TransformPlan {
         guard: &Guard,
     ) -> Result<GuardedRun, PipelineError> {
         self.execute_with_policy(catalog, stats, guard, DegradePolicy::Fallback)
+    }
+
+    /// Run the plan under a **fresh** [`Guard`] armed with `limits` — the
+    /// execution mode for cached plans, where one plan serves many calls:
+    /// every call gets the full budget, and a trip is an outcome of that
+    /// call alone (the plan itself holds no guard state, so the cache
+    /// entry stays reusable afterwards).
+    pub fn execute_with_limits(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        limits: Limits,
+    ) -> Result<GuardedRun, PipelineError> {
+        self.execute_guarded(catalog, stats, &Guard::new(limits))
     }
 
     /// [`Self::execute_guarded`] with an explicit [`DegradePolicy`].
@@ -477,6 +522,76 @@ mod tests {
             transform_document(&sheet, &info, &doc, &RewriteOptions::default()).unwrap();
         assert!(outcome.is_some());
         assert_eq!(xsltdb_xml::to_string(&out), "<o>9</o>");
+    }
+
+    #[test]
+    fn plan_cached_shares_one_prepared_plan() {
+        let (catalog, view) = setup();
+        let mut cache = crate::plancache::PlanCache::default();
+        let src = wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#);
+        let first =
+            plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
+        let second =
+            plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
+        assert!(Rc::ptr_eq(&first, &second), "hit must return the same prepared plan");
+        let snap = cache.stats();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        let stats = ExecStats::new();
+        let docs = second.execute(&catalog, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
+    }
+
+    #[test]
+    fn plan_cached_replans_after_ddl() {
+        let (mut catalog, view) = setup();
+        let mut cache = crate::plancache::PlanCache::default();
+        let src = wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#);
+        let first =
+            plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
+        catalog.create_index("t", "v").unwrap();
+        let second =
+            plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
+        assert!(!Rc::ptr_eq(&first, &second), "DDL must force a replan");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let (catalog, view) = setup();
+        let mut cache = crate::plancache::PlanCache::default();
+        for _ in 0..2 {
+            assert!(plan_cached(
+                &mut cache,
+                &catalog,
+                &view,
+                "<not-xslt/>",
+                &RewriteOptions::default()
+            )
+            .is_err());
+        }
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn fresh_guard_per_execution_trips_independently() {
+        let (catalog, view) = setup();
+        let plan = plan_transform(
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let stats = ExecStats::new();
+        let tripped = plan
+            .execute_with_limits(&catalog, &stats, Limits::UNLIMITED.with_fuel(1))
+            .unwrap_err();
+        assert!(tripped.is_guard_trip(), "got {tripped:?}");
+        // The same immutable plan runs to completion on the next call.
+        let run = plan
+            .execute_with_limits(&catalog, &stats, Limits::UNLIMITED)
+            .unwrap();
+        assert_eq!(xsltdb_xml::to_string(&run.documents[0]), "<o>7</o>");
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! PlanCache: a byte-bounded LRU cache of prepared [`TransformPlan`]s.
+//!
+//! The paper's production setting (`XMLTransform()` inside Oracle XML DB)
+//! assumes the same stylesheet is applied over and over to documents of the
+//! same shape: the compile → partial-evaluate → rewrite pipeline is meant
+//! to be paid **once per (stylesheet, structure) pair**, not once per call.
+//! This module provides that amortisation for the in-process engine.
+//!
+//! * **Key** — a content digest of the triple that planning actually
+//!   consumes: the stylesheet text, a fingerprint of the view's structural
+//!   information ([`struct_fingerprint`]), and the [`RewriteOptions`].
+//!   Equality is exact (the full stylesheet text is compared, not just its
+//!   hash), so distinct triples can never collide to the same entry.
+//! * **Invalidation** — every entry records the [`Catalog::generation`]
+//!   observed at planning time. DDL (index creation, table/view changes)
+//!   bumps the generation, so a later lookup finds the entry stale, drops
+//!   it, and replans: the tier chosen may change, the output must not.
+//! * **Budgeting** — the cache is bounded in (estimated) bytes, not entry
+//!   count, and evicts least-recently-used entries. A plan larger than the
+//!   whole capacity is simply not admitted.
+//! * **Guard composition** — cached plans are immutable; executions arm a
+//!   *fresh* [`Guard`](crate::guard::Guard) per call (see
+//!   [`TransformPlan::execute_with_limits`](crate::pipeline::TransformPlan::execute_with_limits)),
+//!   so a budget trip in one call never poisons the entry for the next.
+
+// Guard-bearing hot path: a stray unwrap here is a latent panic the
+// pipeline would have to contain at a tier boundary. Keep it impossible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use crate::pipeline::TransformPlan;
+use crate::xqgen::RewriteOptions;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xsltdb_relstore::{CacheSnapshot, CacheStats, XmlView};
+use xsltdb_structinfo::{struct_of_view, StructInfo};
+
+/// FNV-1a over a byte stream — the digest primitive for cache keys. Not
+/// cryptographic; it only has to be fast, deterministic and well-spread,
+/// because entry *equality* is decided by full key comparison.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of one structural-information tree. The `Debug` rendering is
+/// a canonical in-process serialisation of the whole tree (names, model
+/// groups, cardinalities, content bindings, row sources), so two views
+/// publishing the same shape fingerprint identically and any structural
+/// difference changes the digest.
+pub fn struct_fingerprint(info: &StructInfo) -> u64 {
+    fnv64(format!("{info:?}").as_bytes())
+}
+
+/// The cache key: the exact triple planning consumes. Hashing uses the
+/// derived `Hash`; equality compares the full contents, so the property
+/// "distinct triples never collide" holds by construction rather than by
+/// the absence of 64-bit hash collisions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The full stylesheet source text.
+    pub stylesheet: String,
+    /// [`struct_fingerprint`] of the view's structural information (or of
+    /// the derivation error, for views whose structure cannot be derived —
+    /// those still plan, to the VM tier, and still cache).
+    pub struct_fp: u64,
+    /// Canonical rendering of the [`RewriteOptions`] flags.
+    pub options: String,
+}
+
+impl PlanKey {
+    /// Build the key for planning `stylesheet_src` against `view`,
+    /// deriving and fingerprinting the view's structure on the spot. On
+    /// the lookup hot path prefer [`PlanCache::view_fingerprint`] +
+    /// [`PlanKey::with_fingerprint`], which memoises the derivation.
+    pub fn new(view: &XmlView, stylesheet_src: &str, opts: &RewriteOptions) -> PlanKey {
+        PlanKey::with_fingerprint(raw_view_fingerprint(view), stylesheet_src, opts)
+    }
+
+    /// Build the key from an already-computed structure fingerprint.
+    pub fn with_fingerprint(
+        struct_fp: u64,
+        stylesheet_src: &str,
+        opts: &RewriteOptions,
+    ) -> PlanKey {
+        PlanKey {
+            stylesheet: stylesheet_src.to_string(),
+            struct_fp,
+            options: format!("{opts:?}"),
+        }
+    }
+
+    /// Content digest of the whole key (reports, debugging).
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv64(self.stylesheet.as_bytes());
+        h ^= self.struct_fp.rotate_left(17);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^ fnv64(self.options.as_bytes())
+    }
+
+    /// Bytes this key holds on to while cached.
+    fn cost(&self) -> usize {
+        self.stylesheet.len() + self.options.len() + std::mem::size_of::<u64>()
+    }
+}
+
+/// Derive `view`'s structural information and fingerprint it (or
+/// fingerprint the derivation error — such views still plan, to the VM
+/// tier, and still cache).
+fn raw_view_fingerprint(view: &XmlView) -> u64 {
+    match struct_of_view(view) {
+        Ok(info) => struct_fingerprint(&info),
+        Err(e) => fnv64(format!("unstructured:{e}").as_bytes()),
+    }
+}
+
+/// Estimated resident size of a prepared plan: the dominant owned text
+/// (pretty-printed rewrite query and SQL) plus a fixed overhead for the
+/// compiled stylesheet and view structures. An estimate is all the LRU
+/// budget needs — it has to rank plans by size, not account allocator
+/// bytes.
+pub fn plan_cost(plan: &TransformPlan) -> usize {
+    const FIXED_OVERHEAD: usize = 512;
+    let rewrite = plan
+        .rewrite
+        .as_ref()
+        .map(|o| xsltdb_xquery::pretty_query(&o.query).len())
+        .unwrap_or(0);
+    let sql = plan
+        .sql
+        .as_ref()
+        .map(|q| xsltdb_relstore::sql_text(q).len())
+        .unwrap_or(0);
+    let fallback = plan.fallback_reason.as_ref().map(String::len).unwrap_or(0);
+    FIXED_OVERHEAD + rewrite + sql + fallback
+}
+
+struct Entry {
+    plan: Rc<TransformPlan>,
+    /// [`Catalog::generation`](xsltdb_relstore::Catalog::generation) at
+    /// planning time.
+    generation: u64,
+    /// Estimated bytes this entry pins (key + plan).
+    cost: usize,
+    /// LRU clock value of the last hit (or the insert).
+    last_used: u64,
+}
+
+/// A byte-bounded LRU cache of prepared transform plans with DDL-generation
+/// invalidation. See the module docs for the design; see
+/// [`plan_cached`](crate::pipeline::plan_cached) for the front door.
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<PlanKey, Entry>,
+    bytes: usize,
+    clock: u64,
+    stats: CacheStats,
+    /// Memo of view-name → (DDL generation, structure fingerprint).
+    /// Deriving structural information walks the whole view definition, which
+    /// would dominate a warm lookup; since any DDL bumps the catalog
+    /// generation, a memo entry at the current generation can never describe
+    /// a stale structure.
+    view_fps: HashMap<String, (u64, u64)>,
+}
+
+/// Default capacity: enough for every stylesheet of the XSLTMark suite with
+/// room to spare, small enough that eviction is exercised in real use.
+pub const DEFAULT_PLAN_CACHE_BYTES: usize = 4 * 1024 * 1024;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_BYTES)
+    }
+}
+
+impl PlanCache {
+    /// A cache bounded at `capacity` estimated bytes.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            entries: HashMap::new(),
+            bytes: 0,
+            clock: 0,
+            stats: CacheStats::new(),
+            view_fps: HashMap::new(),
+        }
+    }
+
+    /// [`struct_fingerprint`] of `view`'s structure, memoised per view name
+    /// at DDL `generation`: the derivation runs once per (view, generation)
+    /// and every later lookup at the same generation is a map probe.
+    pub fn view_fingerprint(&mut self, view: &XmlView, generation: u64) -> u64 {
+        if let Some(&(g, fp)) = self.view_fps.get(&view.name) {
+            if g == generation {
+                return fp;
+            }
+        }
+        let fp = raw_view_fingerprint(view);
+        self.view_fps.insert(view.name.clone(), (generation, fp));
+        fp
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated bytes currently pinned by cached entries. Never exceeds
+    /// [`capacity_bytes`](Self::capacity_bytes).
+    pub fn bytes_in_use(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Point-in-time copy of the hit/miss/eviction/invalidation counters.
+    pub fn stats(&self) -> CacheSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Drop every entry and fingerprint memo (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.view_fps.clear();
+        self.bytes = 0;
+    }
+
+    /// Look up a plan for `key` valid at DDL `generation`. Counts exactly
+    /// one hit or one miss; a stale entry additionally counts an
+    /// invalidation and is dropped.
+    pub fn lookup(&mut self, key: &PlanKey, generation: u64) -> Option<Rc<TransformPlan>> {
+        match self.entries.get_mut(key) {
+            Some(entry) if entry.generation == generation => {
+                self.clock += 1;
+                entry.last_used = self.clock;
+                self.stats.add_hit();
+                Some(Rc::clone(&entry.plan))
+            }
+            Some(_) => {
+                let stale = self
+                    .entries
+                    .remove(key)
+                    .expect("entry present under the same borrow");
+                self.bytes -= stale.cost;
+                self.stats.add_invalidation();
+                self.stats.add_miss();
+                None
+            }
+            None => {
+                self.stats.add_miss();
+                None
+            }
+        }
+    }
+
+    /// Admit a freshly prepared plan. Evicts LRU entries until the budget
+    /// fits; a plan that alone exceeds the capacity is not admitted (the
+    /// caller still gets its `Rc`, it just will not be shared).
+    pub fn insert(&mut self, key: PlanKey, plan: Rc<TransformPlan>, generation: u64) {
+        let cost = key.cost() + plan_cost(&plan);
+        if cost > self.capacity {
+            self.stats.add_uncacheable();
+            return;
+        }
+        // Replacing an entry (e.g. after a generation bump raced the
+        // invalidating lookup) releases the old bytes first.
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.cost;
+        }
+        while self.bytes + cost > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("bytes > 0 implies at least one entry");
+            let evicted = self.entries.remove(&victim).expect("victim present");
+            self.bytes -= evicted.cost;
+            self.stats.add_eviction();
+        }
+        self.clock += 1;
+        self.entries.insert(key, Entry { plan, generation, cost, last_used: self.clock });
+        self.bytes += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{plan_transform, Tier};
+    use xsltdb_relstore::exec::Conjunction;
+    use xsltdb_relstore::pubexpr::{PubExpr, SqlXmlQuery};
+    use xsltdb_relstore::{Catalog, ColType, Datum, Table};
+
+    fn setup() -> (Catalog, XmlView) {
+        let mut t = Table::new("t", &[("v", ColType::Int)]);
+        t.insert(vec![Datum::Int(7)]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add_table(t);
+        let view = XmlView::new(
+            "vu",
+            SqlXmlQuery {
+                base_table: "t".into(),
+                where_clause: Conjunction::default(),
+                select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
+            },
+        );
+        catalog.add_view(view.clone());
+        (catalog, view)
+    }
+
+    fn sheet(body: &str) -> String {
+        format!(
+            r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">{body}</xsl:stylesheet>"#
+        )
+    }
+
+    fn plan(view: &XmlView, src: &str) -> Rc<TransformPlan> {
+        Rc::new(plan_transform(view, src, &RewriteOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_spreads() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+
+    #[test]
+    fn key_separates_all_three_components() {
+        let (_c, view) = setup();
+        let opts = RewriteOptions::default();
+        let s1 = sheet(r#"<xsl:template match="r"><a/></xsl:template>"#);
+        let s2 = sheet(r#"<xsl:template match="r"><b/></xsl:template>"#);
+        let k1 = PlanKey::new(&view, &s1, &opts);
+        assert_ne!(k1, PlanKey::new(&view, &s2, &opts));
+        let no_inline = RewriteOptions { inline: false, ..RewriteOptions::default() };
+        assert_ne!(k1, PlanKey::new(&view, &s1, &no_inline));
+        // Same triple, same key and digest.
+        let again = PlanKey::new(&view, &s1, &opts);
+        assert_eq!(k1, again);
+        assert_eq!(k1.digest(), again.digest());
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let (catalog, view) = setup();
+        let mut cache = PlanCache::default();
+        let src = sheet(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        assert!(cache.lookup(&key, catalog.generation()).is_none());
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        let hit = cache.lookup(&key, catalog.generation()).expect("hit");
+        assert_eq!(hit.tier, Tier::Sql);
+        let snap = cache.stats();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        assert_eq!(snap.lookups(), 2);
+    }
+
+    #[test]
+    fn stale_generation_invalidates_on_lookup() {
+        let (mut catalog, view) = setup();
+        let mut cache = PlanCache::default();
+        let src = sheet(r#"<xsl:template match="r"><o/></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        catalog.create_index("t", "v").unwrap();
+        assert!(cache.lookup(&key, catalog.generation()).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.entry_count(), 0, "stale entry is dropped eagerly");
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        let (catalog, view) = setup();
+        let srcs: Vec<String> = (0..4)
+            .map(|i| sheet(&format!(r#"<xsl:template match="r"><o{i}/></xsl:template>"#)))
+            .collect();
+        let keys: Vec<PlanKey> =
+            srcs.iter().map(|s| PlanKey::new(&view, s, &RewriteOptions::default())).collect();
+        let one = keys[0].cost() + plan_cost(&plan(&view, &srcs[0]));
+        // Room for roughly two entries.
+        let mut cache = PlanCache::new(one * 2 + one / 2);
+        for (k, s) in keys.iter().zip(&srcs).take(3) {
+            cache.insert(k.clone(), plan(&view, s), catalog.generation());
+            assert!(cache.bytes_in_use() <= cache.capacity_bytes());
+        }
+        assert_eq!(cache.stats().evictions, 1);
+        // keys[0] was least recently used and is gone; keys[2] survives.
+        assert!(cache.lookup(&keys[2], catalog.generation()).is_some());
+        assert!(cache.lookup(&keys[0], catalog.generation()).is_none());
+        // Touch keys[1] so keys[2] becomes the LRU victim of the next insert.
+        assert!(cache.lookup(&keys[1], catalog.generation()).is_some());
+        cache.insert(keys[3].clone(), plan(&view, &srcs[3]), catalog.generation());
+        assert!(cache.lookup(&keys[1], catalog.generation()).is_some());
+        assert!(cache.lookup(&keys[2], catalog.generation()).is_none());
+    }
+
+    #[test]
+    fn oversized_plan_is_not_admitted() {
+        let (catalog, view) = setup();
+        let src = sheet(r#"<xsl:template match="r"><o/></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        let mut cache = PlanCache::new(16);
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.bytes_in_use(), 0);
+        assert_eq!(cache.stats().uncacheable, 1);
+    }
+
+    #[test]
+    fn view_fingerprint_memo_respects_generation() {
+        let (mut catalog, view) = setup();
+        let mut cache = PlanCache::default();
+        let g0 = catalog.generation();
+        let fp = cache.view_fingerprint(&view, g0);
+        assert_eq!(fp, PlanKey::new(&view, "x", &RewriteOptions::default()).struct_fp);
+        assert_eq!(cache.view_fingerprint(&view, g0), fp, "memo hit is stable");
+        // DDL bumps the generation; a view replaced under the same name
+        // must re-fingerprint rather than serve the memo.
+        catalog.create_index("t", "v").unwrap();
+        let replaced = XmlView::new(
+            "vu",
+            SqlXmlQuery {
+                base_table: "t".into(),
+                where_clause: Conjunction::default(),
+                select: PubExpr::elem("other", vec![PubExpr::col("t", "v")]),
+            },
+        );
+        catalog.add_view(replaced.clone());
+        let fp2 = cache.view_fingerprint(&replaced, catalog.generation());
+        assert_ne!(fp, fp2, "replaced structure gets a fresh fingerprint");
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let (catalog, view) = setup();
+        let src = sheet(r#"<xsl:template match="r"><o/></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        let mut cache = PlanCache::default();
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        assert!(cache.lookup(&key, catalog.generation()).is_some());
+        cache.clear();
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.bytes_in_use(), 0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -6,11 +6,19 @@ use crate::view::XmlView;
 use std::collections::HashMap;
 
 /// An in-memory database: tables, secondary indexes, XMLType views.
+///
+/// Every DDL change (table/view registration, index creation) bumps a
+/// monotonic [generation counter](Self::generation). Prepared-plan caches
+/// key their entries to the generation observed at planning time: a plan
+/// built against an older catalog shape is stale — the planner might now
+/// choose a different tier or access path — and must be rebuilt.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     indexes: Vec<Index>,
     views: HashMap<String, XmlView>,
+    /// Monotonic DDL counter; see [`Self::generation`].
+    generation: u64,
 }
 
 impl Catalog {
@@ -18,8 +26,18 @@ impl Catalog {
         Self::default()
     }
 
+    /// The current DDL generation. Starts at 0 and increases by one for
+    /// every [`add_table`](Self::add_table), [`add_view`](Self::add_view)
+    /// and [`create_index`](Self::create_index) (including the rebuilds a
+    /// [`reindex`](Self::reindex) performs). Plain data loading through
+    /// [`table_mut`](Self::table_mut) is DML, not DDL, and does not bump.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     pub fn add_table(&mut self, table: Table) {
         self.tables.insert(table.name.clone(), table);
+        self.generation += 1;
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
@@ -43,6 +61,7 @@ impl Catalog {
         self.indexes
             .retain(|i| !(i.table == table && i.column.eq_ignore_ascii_case(column)));
         self.indexes.push(idx);
+        self.generation += 1;
         Ok(())
     }
 
@@ -68,6 +87,7 @@ impl Catalog {
 
     pub fn add_view(&mut self, view: XmlView) {
         self.views.insert(view.name.clone(), view);
+        self.generation += 1;
     }
 
     pub fn view(&self, name: &str) -> Result<&XmlView, StoreError> {
@@ -115,5 +135,23 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(Table::new("t", &[("a", ColType::Int)]));
         assert!(c.create_index("t", "zz").is_err());
+    }
+
+    #[test]
+    fn generation_tracks_ddl_not_dml() {
+        let mut c = Catalog::new();
+        assert_eq!(c.generation(), 0);
+        c.add_table(Table::new("t", &[("a", ColType::Int)]));
+        assert_eq!(c.generation(), 1);
+        c.create_index("t", "a").unwrap();
+        assert_eq!(c.generation(), 2);
+        // Data loading is DML: no bump.
+        c.table_mut("t").unwrap().insert(vec![Datum::Int(5)]).unwrap();
+        assert_eq!(c.generation(), 2);
+        // A failed DDL statement changes nothing.
+        assert!(c.create_index("t", "zz").is_err());
+        assert_eq!(c.generation(), 2);
+        c.reindex("t").unwrap();
+        assert_eq!(c.generation(), 3);
     }
 }

@@ -49,6 +49,6 @@ pub use exec::{scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 pub use index::Index;
 pub use pubexpr::{AggFunc, AggOrder, AggPredTerm, Bindings, PubExpr, SqlXmlQuery};
 pub use sqlpretty::sql_text;
-pub use stats::{ExecStats, StatsSnapshot};
+pub use stats::{CacheSnapshot, CacheStats, ExecStats, StatsSnapshot};
 pub use table::{Column, RowId, StoreError, Table};
 pub use view::XmlView;

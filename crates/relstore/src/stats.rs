@@ -61,6 +61,96 @@ impl ExecStats {
     }
 }
 
+/// Counters for a prepared-plan cache, surfaced alongside [`StatsSnapshot`]
+/// by the benchmark harness. The cache itself lives above this crate (it
+/// caches whole transform plans); the counters live here so one report can
+/// print execution and caching evidence side by side.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: Cell<u64>,
+    /// Lookups that had to plan from scratch (including lookups that found
+    /// only a stale entry, and lookups whose planning then failed).
+    pub misses: Cell<u64>,
+    /// Entries dropped to make room under the byte capacity.
+    pub evictions: Cell<u64>,
+    /// Entries dropped because their DDL generation was stale.
+    pub invalidations: Cell<u64>,
+    /// Plans never admitted because they alone exceed the byte capacity.
+    pub uncacheable: Cell<u64>,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub uncacheable: u64,
+}
+
+impl CacheSnapshot {
+    /// Total lookups. Every lookup is either a hit or a miss, so this is
+    /// exactly `hits + misses` — an invariant the property tests assert.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+impl CacheStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            uncacheable: self.uncacheable.get(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
+        self.evictions.set(0);
+        self.invalidations.set(0);
+        self.uncacheable.set(0);
+    }
+
+    pub fn add_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    pub fn add_miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+
+    pub fn add_eviction(&self) {
+        self.evictions.set(self.evictions.get() + 1);
+    }
+
+    pub fn add_invalidation(&self) {
+        self.invalidations.set(self.invalidations.get() + 1);
+    }
+
+    pub fn add_uncacheable(&self) {
+        self.uncacheable.set(self.uncacheable.get() + 1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +168,28 @@ mod tests {
         assert_eq!(snap.elements_built, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_derive() {
+        let c = CacheStats::new();
+        assert_eq!(c.snapshot().hit_rate(), 0.0);
+        c.add_hit();
+        c.add_hit();
+        c.add_hit();
+        c.add_miss();
+        c.add_eviction();
+        c.add_invalidation();
+        c.add_uncacheable();
+        let snap = c.snapshot();
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.lookups(), 4);
+        assert_eq!(snap.hit_rate(), 0.75);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.invalidations, 1);
+        assert_eq!(snap.uncacheable, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), CacheSnapshot::default());
     }
 }

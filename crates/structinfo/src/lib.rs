@@ -11,6 +11,16 @@
 //! column produces each text node and which table's rows produce each
 //! repeated element. Those bindings are what the XQuery→SQL/XML rewrite in
 //! the `xsltdb` core crate consumes.
+//!
+//! ```
+//! use xsltdb_structinfo::{struct_of_dtd, Cardinality};
+//!
+//! let dtd = r#"<!ELEMENT dept (emp*)> <!ELEMENT emp (#PCDATA)>"#;
+//! let info = struct_of_dtd(dtd, "dept").unwrap();
+//! assert_eq!(info.root.name, "dept");
+//! let emp = &info.root.children[0];
+//! assert_eq!((emp.decl.name.as_str(), emp.card), ("emp", Cardinality::Many));
+//! ```
 
 pub mod dtd;
 pub mod from_typing;

@@ -6,6 +6,16 @@
 //! DESIGN.md for the substitution note), plus deterministic generators for
 //! the `db` document family both as XML text and as relationally backed
 //! publishing views.
+//!
+//! ```
+//! use xsltdb_xsltmark::{case, run_case};
+//!
+//! // One case, one small document: the rewrite path must agree with the
+//! // functional (XSLTVM) evaluation byte for byte.
+//! let run = run_case(&case("chart"), 12, 7);
+//! assert!(run.matches_vm, "{:?}", run.note);
+//! assert!(run.fully_inlined);
+//! ```
 
 pub mod cases;
 pub mod docgen;
@@ -15,4 +25,7 @@ pub use cases::{all_cases, case, Area, Case};
 pub use docgen::{
     db_catalog, db_rows, db_struct_info, db_xml, existing_id, DbRow, DB_DTD,
 };
-pub use suite::{dbonerow_stylesheet, inline_statistics, run_case, run_suite, tier_statistics, CaseRun};
+pub use suite::{
+    dbonerow_stylesheet, inline_statistics, run_case, run_suite, run_suite_planned,
+    tier_statistics, CaseRun, PlannedRun,
+};
