@@ -8,12 +8,14 @@
 //! loop sharing one cache, with the cache counters printed alongside the
 //! execution counters.
 //!
-//! `--smoke` runs one iteration of everything (CI bit-rot check).
+//! `--smoke` runs one iteration of everything (CI bit-rot check);
+//! `--json` also writes `BENCH_cache.json`, the machine-readable artefact.
 
-use xsltdb_bench::{measure_amortization, Workload};
+use xsltdb_bench::{measure_amortization, write_bench_json, Workload};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
     let (cold_iters, repeats, sizes): (usize, usize, &[usize]) = if smoke {
         (1, 3, &[500])
     } else {
@@ -30,6 +32,7 @@ fn main() {
     println!("{}", "-".repeat(82));
 
     let mut worst_dbonerow_ratio: f64 = 0.0;
+    let mut json_rows: Vec<String> = Vec::new();
     for &rows in sizes {
         for name in ["dbonerow", "chart", "total"] {
             let w = if name == "dbonerow" {
@@ -56,6 +59,15 @@ fn main() {
             if name == "dbonerow" && rows >= 10_000 {
                 worst_dbonerow_ratio = worst_dbonerow_ratio.max(cost.ratio());
             }
+            json_rows.push(format!(
+                r#"{{"case":"{name}","rows":{rows},"cold_us":{:.1},"warm_us":{:.1},"ratio":{:.4},"hits":{},"misses":{},"index_probes":{}}}"#,
+                cost.cold_us,
+                cost.warm_us,
+                cost.ratio(),
+                cost.cache.hits,
+                cost.cache.misses,
+                exec.index_probes,
+            ));
         }
     }
 
@@ -70,5 +82,14 @@ fn main() {
              {:.1}% of cold (target ≤ 20%).",
             worst_dbonerow_ratio * 100.0
         );
+    }
+
+    if json {
+        let body = format!(
+            "{{\n  \"bench\": \"cache\",\n  \"smoke\": {smoke},\n  \"cold_iters\": {cold_iters},\n  \"repeats\": {repeats},\n  \"rows\": [\n    {}\n  ],\n  \"worst_dbonerow_ratio\": {:.4}\n}}\n",
+            json_rows.join(",\n    "),
+            worst_dbonerow_ratio
+        );
+        write_bench_json("BENCH_cache.json", &body);
     }
 }

@@ -3,12 +3,13 @@
 //! report binaries (Criterion drives the statistically careful runs; the
 //! reports print paper-shaped tables quickly).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use xsltdb::pipeline::{
-    no_rewrite_transform, plan_cached, plan_compiled, plan_transform, Tier, TransformPlan,
+    no_rewrite_transform, plan_cached, plan_cached_shared, plan_compiled, plan_transform, Tier,
+    TransformPlan,
 };
-use xsltdb::plancache::PlanCache;
+use xsltdb::plancache::{PlanCache, SharedPlanCache};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb_relstore::{CacheSnapshot, Catalog, ExecStats, StatsSnapshot, XmlView};
 use xsltdb_xml::Document;
@@ -90,9 +91,35 @@ impl Workload {
         (docs, stats.snapshot())
     }
 
+    /// One cached call through a thread-safe [`SharedPlanCache`]: the
+    /// per-thread body of the concurrency harness. Takes `&self` and
+    /// `&cache` only, so any number of threads can run it against one
+    /// workload and one cache.
+    pub fn run_cached_call_shared(
+        &self,
+        cache: &SharedPlanCache,
+    ) -> (Vec<Document>, StatsSnapshot) {
+        let stats = ExecStats::new();
+        let plan = self.plan_cached_shared(cache);
+        let docs = plan.execute(&self.catalog, &stats).expect("plan runs");
+        (docs, stats.snapshot())
+    }
+
     /// The prepared plan for this workload, through `cache`.
-    pub fn plan_cached(&self, cache: &mut PlanCache) -> Rc<TransformPlan> {
+    pub fn plan_cached(&self, cache: &mut PlanCache) -> Arc<TransformPlan> {
         plan_cached(
+            cache,
+            &self.catalog,
+            &self.view,
+            &self.stylesheet_src,
+            &RewriteOptions::default(),
+        )
+        .expect("planning succeeds")
+    }
+
+    /// The prepared plan for this workload, through a shared `cache`.
+    pub fn plan_cached_shared(&self, cache: &SharedPlanCache) -> Arc<TransformPlan> {
+        plan_cached_shared(
             cache,
             &self.catalog,
             &self.view,
@@ -146,6 +173,67 @@ pub fn measure_amortization(w: &Workload, cold_iters: usize, repeats: usize) -> 
     }
     let warm_us = t0.elapsed().as_secs_f64() * 1e6 / repeats as f64;
     AmortizedCost { cold_us, warm_us, cache: cache.stats() }
+}
+
+/// One point of the thread-scaling curve: K sessions hammering one shared
+/// cache.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    pub calls_per_thread: usize,
+    /// Wall-clock for the whole K-thread run, seconds.
+    pub wall_s: f64,
+    /// Aggregate calls per second across all threads.
+    pub throughput_per_s: f64,
+}
+
+/// Run `threads` concurrent sessions, each performing `calls_per_thread`
+/// warm cached calls on `w` through one shared `cache`, asserting every
+/// call's output byte-identical to `expected` (the single-threaded
+/// rendering). Returns the aggregate throughput — the scaling evidence the
+/// `concurrency_report` binary prints.
+///
+/// The differential assertion runs *inside* the timed region on purpose:
+/// the serialisation cost is identical at every K, so speedups are
+/// comparable, and a silent divergence can never produce a good-looking
+/// number.
+pub fn measure_concurrent(
+    w: &Workload,
+    cache: &SharedPlanCache,
+    threads: usize,
+    calls_per_thread: usize,
+    expected: &[String],
+) -> ScalingPoint {
+    assert!(threads > 0 && calls_per_thread > 0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    for _ in 0..calls_per_thread {
+                        let (docs, _) = w.run_cached_call_shared(cache);
+                        let got: Vec<String> =
+                            docs.iter().map(xsltdb_xml::to_string).collect();
+                        assert_eq!(
+                            got, expected,
+                            "concurrent output diverged from the single-threaded run"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("session thread panicked");
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total = (threads * calls_per_thread) as f64;
+    ScalingPoint {
+        threads,
+        calls_per_thread,
+        wall_s,
+        throughput_per_s: total / wall_s.max(1e-9),
+    }
 }
 
 /// Median wall-clock over `iters` runs, in microseconds.
@@ -221,6 +309,35 @@ mod tests {
         assert_eq!(cost.cache.hits, 4);
         assert!(cost.cold_us > 0.0 && cost.warm_us > 0.0);
         assert!(cost.ratio().is_finite());
+    }
+
+    #[test]
+    fn shared_cached_calls_agree_with_exclusive_ones() {
+        let w = Workload::dbonerow(100);
+        let shared = SharedPlanCache::default();
+        let mut exclusive = PlanCache::default();
+        let (expected, _) = w.run_cached_call(&mut exclusive);
+        let expected: Vec<String> = expected.iter().map(xsltdb_xml::to_string).collect();
+        for _ in 0..3 {
+            let (docs, _) = w.run_cached_call_shared(&shared);
+            let got: Vec<String> = docs.iter().map(xsltdb_xml::to_string).collect();
+            assert_eq!(got, expected);
+        }
+        assert_eq!((shared.stats().hits, shared.stats().misses), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_measure_is_differential() {
+        let w = Workload::dbonerow(60);
+        let cache = SharedPlanCache::default();
+        let (docs, _) = w.run_cached_call_shared(&cache);
+        let expected: Vec<String> = docs.iter().map(xsltdb_xml::to_string).collect();
+        let point = measure_concurrent(&w, &cache, 3, 4, &expected);
+        assert_eq!(point.threads, 3);
+        assert!(point.throughput_per_s > 0.0);
+        let snap = cache.stats();
+        assert_eq!(snap.lookups(), 13, "warm-up + 3×4 measured calls");
+        assert_eq!(snap.misses, 1, "one cold plan serves every session");
     }
 
     #[test]

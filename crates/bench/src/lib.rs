@@ -31,4 +31,17 @@
 
 pub mod harness;
 
-pub use harness::{measure_amortization, median_micros, AmortizedCost, Workload};
+pub use harness::{
+    measure_amortization, measure_concurrent, median_micros, AmortizedCost, ScalingPoint,
+    Workload,
+};
+
+/// Write a machine-readable benchmark artefact (`BENCH_*.json`) to the
+/// repository root (or wherever the report is run from) and say so — the
+/// perf-trajectory files CI and humans diff across PRs.
+pub fn write_bench_json(path: &str, body: &str) {
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

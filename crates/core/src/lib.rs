@@ -65,11 +65,12 @@ pub use guard::{
 pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
 pub use pe::{partial_evaluate, ExecGraph, PeResult};
 pub use pipeline::{
-    no_rewrite_transform, no_rewrite_transform_guarded, plan_cached, plan_transform, BaselineRun,
-    GuardedRun, Tier, TransformPlan,
+    no_rewrite_transform, no_rewrite_transform_guarded, plan_cached, plan_cached_shared,
+    plan_transform, BaselineRun, GuardedRun, Tier, TransformPlan,
 };
 pub use plancache::{
-    fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, DEFAULT_PLAN_CACHE_BYTES,
+    fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, SharedPlanCache,
+    DEFAULT_PLAN_CACHE_BYTES, DEFAULT_PLAN_CACHE_SHARDS,
 };
 pub use sqlrewrite::rewrite_to_sql;
 pub use xqgen::{rewrite, rewrite_straightforward, RewriteMode, RewriteOptions, RewriteOutcome};

@@ -18,7 +18,8 @@
 
 use crate::error::{PipelineError, TierFailure};
 use crate::guard::{DegradePolicy, Guard, Limits};
-use crate::plancache::{PlanCache, PlanKey};
+use crate::plancache::{PlanCache, PlanKey, SharedPlanCache};
+use std::sync::Arc;
 use crate::sqlrewrite::rewrite_to_sql;
 use crate::xqgen::{rewrite, RewriteOptions, RewriteOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,15 +85,43 @@ pub fn plan_cached(
     view: &XmlView,
     stylesheet_src: &str,
     opts: &RewriteOptions,
-) -> Result<Rc<TransformPlan>, PipelineError> {
+) -> Result<Arc<TransformPlan>, PipelineError> {
     let generation = catalog.generation();
     let struct_fp = cache.view_fingerprint(view, generation);
     let key = PlanKey::with_fingerprint(struct_fp, stylesheet_src, opts);
     if let Some(plan) = cache.lookup(&key, generation) {
         return Ok(plan);
     }
-    let plan = Rc::new(plan_transform(view, stylesheet_src, opts)?);
-    cache.insert(key, Rc::clone(&plan), generation);
+    let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
+    cache.insert(key, Arc::clone(&plan), generation);
+    Ok(plan)
+}
+
+/// [`plan_cached`] against a [`SharedPlanCache`]: the front door for
+/// concurrent sessions. Takes `&self` — any number of threads plan through
+/// one cache simultaneously; distinct keys mostly proceed on distinct
+/// shard locks, and the same key serializes on one.
+///
+/// Two threads racing a cold miss on the same key both plan and both
+/// insert (last write stays cached). Planning is deterministic, so the two
+/// plans are equivalent — the race costs one redundant planning pass,
+/// never correctness. Stale entries are invalidated under the shard lock,
+/// so a plan built at an older DDL generation is never returned.
+pub fn plan_cached_shared(
+    cache: &SharedPlanCache,
+    catalog: &Catalog,
+    view: &XmlView,
+    stylesheet_src: &str,
+    opts: &RewriteOptions,
+) -> Result<Arc<TransformPlan>, PipelineError> {
+    let generation = catalog.generation();
+    let struct_fp = cache.view_fingerprint(view, generation);
+    let key = PlanKey::with_fingerprint(struct_fp, stylesheet_src, opts);
+    if let Some(plan) = cache.lookup(&key, generation) {
+        return Ok(plan);
+    }
+    let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
+    cache.insert(key, Arc::clone(&plan), generation);
     Ok(plan)
 }
 
@@ -533,7 +562,7 @@ mod tests {
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
         let second =
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
-        assert!(Rc::ptr_eq(&first, &second), "hit must return the same prepared plan");
+        assert!(Arc::ptr_eq(&first, &second), "hit must return the same prepared plan");
         let snap = cache.stats();
         assert_eq!((snap.hits, snap.misses), (1, 1));
         let stats = ExecStats::new();
@@ -551,7 +580,7 @@ mod tests {
         catalog.create_index("t", "v").unwrap();
         let second =
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
-        assert!(!Rc::ptr_eq(&first, &second), "DDL must force a replan");
+        assert!(!Arc::ptr_eq(&first, &second), "DDL must force a replan");
         assert_eq!(cache.stats().invalidations, 1);
     }
 

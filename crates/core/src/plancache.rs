@@ -30,9 +30,25 @@
 use crate::pipeline::TransformPlan;
 use crate::xqgen::RewriteOptions;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use xsltdb_relstore::{CacheSnapshot, CacheStats, XmlView};
 use xsltdb_structinfo::{struct_of_view, StructInfo};
+
+// The contract the whole concurrent engine rests on: a prepared plan is
+// immutable after build and crosses threads freely, as do the cache and
+// guard that serve it. Enforced at compile time so an `Rc`, `Cell` or
+// raw-pointer regression anywhere in the plan's transitive ownership
+// breaks the build here, with a readable error, rather than at a distant
+// `thread::spawn`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TransformPlan>();
+    assert_send_sync::<Arc<TransformPlan>>();
+    assert_send_sync::<PlanKey>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<SharedPlanCache>();
+    assert_send_sync::<crate::guard::Guard>();
+};
 
 /// FNV-1a over a byte stream — the digest primitive for cache keys. Not
 /// cryptographic; it only has to be fast, deterministic and well-spread,
@@ -139,7 +155,7 @@ pub fn plan_cost(plan: &TransformPlan) -> usize {
 }
 
 struct Entry {
-    plan: Rc<TransformPlan>,
+    plan: Arc<TransformPlan>,
     /// [`Catalog::generation`](xsltdb_relstore::Catalog::generation) at
     /// planning time.
     generation: u64,
@@ -157,7 +173,9 @@ pub struct PlanCache {
     entries: HashMap<PlanKey, Entry>,
     bytes: usize,
     clock: u64,
-    stats: CacheStats,
+    /// Shared handle so a [`SharedPlanCache`] can point every shard at one
+    /// set of counters; a standalone cache owns its own.
+    stats: Arc<CacheStats>,
     /// Memo of view-name → (DDL generation, structure fingerprint).
     /// Deriving structural information walks the whole view definition, which
     /// would dominate a warm lookup; since any DDL bumps the catalog
@@ -179,12 +197,19 @@ impl Default for PlanCache {
 impl PlanCache {
     /// A cache bounded at `capacity` estimated bytes.
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_stats(capacity, Arc::new(CacheStats::new()))
+    }
+
+    /// A cache charging an externally owned set of counters — the shard
+    /// constructor used by [`SharedPlanCache`], whose shards all report
+    /// into one [`CacheStats`].
+    pub fn with_stats(capacity: usize, stats: Arc<CacheStats>) -> PlanCache {
         PlanCache {
             capacity,
             entries: HashMap::new(),
             bytes: 0,
             clock: 0,
-            stats: CacheStats::new(),
+            stats,
             view_fps: HashMap::new(),
         }
     }
@@ -236,13 +261,13 @@ impl PlanCache {
     /// Look up a plan for `key` valid at DDL `generation`. Counts exactly
     /// one hit or one miss; a stale entry additionally counts an
     /// invalidation and is dropped.
-    pub fn lookup(&mut self, key: &PlanKey, generation: u64) -> Option<Rc<TransformPlan>> {
+    pub fn lookup(&mut self, key: &PlanKey, generation: u64) -> Option<Arc<TransformPlan>> {
         match self.entries.get_mut(key) {
             Some(entry) if entry.generation == generation => {
                 self.clock += 1;
                 entry.last_used = self.clock;
                 self.stats.add_hit();
-                Some(Rc::clone(&entry.plan))
+                Some(Arc::clone(&entry.plan))
             }
             Some(_) => {
                 let stale = self
@@ -263,8 +288,8 @@ impl PlanCache {
 
     /// Admit a freshly prepared plan. Evicts LRU entries until the budget
     /// fits; a plan that alone exceeds the capacity is not admitted (the
-    /// caller still gets its `Rc`, it just will not be shared).
-    pub fn insert(&mut self, key: PlanKey, plan: Rc<TransformPlan>, generation: u64) {
+    /// caller still gets its `Arc`, it just will not be shared).
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<TransformPlan>, generation: u64) {
         let cost = key.cost() + plan_cost(&plan);
         if cost > self.capacity {
             self.stats.add_uncacheable();
@@ -289,6 +314,163 @@ impl PlanCache {
         self.clock += 1;
         self.entries.insert(key, Entry { plan, generation, cost, last_used: self.clock });
         self.bytes += cost;
+    }
+}
+
+/// Default shard count for [`SharedPlanCache`]: enough stripes that eight
+/// concurrent sessions rarely collide on a shard lock, few enough that the
+/// per-shard byte budget stays meaningful at the default capacity.
+pub const DEFAULT_PLAN_CACHE_SHARDS: usize = 8;
+
+/// Lock a shard (or the fingerprint memo). A panic while holding a shard
+/// lock can only come from an engine bug below `insert`/`lookup`; the
+/// cache's own state is updated without intervening panics, so a poisoned
+/// lock's inner state is still coherent and is used as-is.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A thread-safe, lock-striped [`PlanCache`]: N independent shards, each a
+/// byte-bounded LRU guarded by its own mutex, all charging one shared
+/// [`CacheStats`].
+///
+/// * **Routing** — a key's [content digest](PlanKey::digest) picks its
+///   shard, so all operations on one key serialize on one lock while
+///   distinct keys mostly proceed in parallel.
+/// * **Budget** — the global byte capacity is apportioned evenly across
+///   shards; each shard enforces its slice independently, so the global
+///   bound `bytes_in_use ≤ capacity` holds at every instant without any
+///   global lock. (A skewed key population can evict from a full shard
+///   while another sits empty — the classic striping trade-off.)
+/// * **Invalidation** — the same generation-based compare-and-drop
+///   protocol as [`PlanCache`]: every entry records the DDL generation at
+///   planning time and a lookup at a newer generation drops it. The check
+///   happens under the shard lock, so a stale plan is never returned, no
+///   matter how lookups and DDL bumps interleave across threads.
+/// * **Miss races** — two threads missing on the same key both plan and
+///   both insert (the second insert replaces the first). That wastes one
+///   planning pass, never correctness: planning is deterministic, so both
+///   plans are equivalent, and each caller gets a valid `Arc`.
+///
+/// See [`plan_cached_shared`](crate::pipeline::plan_cached_shared) for the
+/// front door.
+pub struct SharedPlanCache {
+    shards: Box<[Mutex<PlanCache>]>,
+    stats: Arc<CacheStats>,
+    /// Memo of view-name → (DDL generation, structure fingerprint), shared
+    /// across shards: the fingerprint is needed *before* a key (and thus a
+    /// shard) exists. See [`PlanCache::view_fingerprint`] for the protocol.
+    view_fps: Mutex<HashMap<String, (u64, u64)>>,
+    capacity: usize,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new(DEFAULT_PLAN_CACHE_BYTES)
+    }
+}
+
+impl SharedPlanCache {
+    /// A cache bounded at `capacity` estimated bytes, striped over
+    /// [`DEFAULT_PLAN_CACHE_SHARDS`] shards.
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache::with_shards(capacity, DEFAULT_PLAN_CACHE_SHARDS)
+    }
+
+    /// A cache bounded at `capacity` estimated bytes over exactly `shards`
+    /// lock stripes (≥ 1). Each shard is budgeted `capacity / shards`
+    /// bytes, so the global bound holds shard-locally.
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedPlanCache {
+        assert!(shards >= 1, "a cache needs at least one shard");
+        let stats = Arc::new(CacheStats::new());
+        let per_shard = capacity / shards;
+        let shards: Vec<Mutex<PlanCache>> = (0..shards)
+            .map(|_| Mutex::new(PlanCache::with_stats(per_shard, Arc::clone(&stats))))
+            .collect();
+        SharedPlanCache {
+            shards: shards.into_boxed_slice(),
+            stats,
+            view_fps: Mutex::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<PlanCache> {
+        &self.shards[(key.digest() as usize) % self.shards.len()]
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The requested global capacity. The enforced bound is the sum of the
+    /// per-shard slices (`capacity / shards × shards`), which never exceeds
+    /// this.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated bytes currently pinned across all shards. Each addend is
+    /// read under its shard lock; the sum is a consistent upper-bounded
+    /// estimate (every shard individually respects its slice at all times).
+    pub fn bytes_in_use(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).bytes_in_use()).sum()
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).entry_count()).sum()
+    }
+
+    /// Point-in-time copy of the shared hit/miss/eviction/invalidation
+    /// counters. `hits + misses == lookups` holds in every snapshot even
+    /// while other threads are charging (see
+    /// [`CacheStats`](xsltdb_relstore::CacheStats)).
+    pub fn stats(&self) -> CacheSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Drop every entry and fingerprint memo (counters are kept).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            lock(s).clear();
+        }
+        lock(&self.view_fps).clear();
+    }
+
+    /// [`struct_fingerprint`] of `view`'s structure, memoised per view name
+    /// at DDL `generation` — the cross-shard analogue of
+    /// [`PlanCache::view_fingerprint`]. The derivation (a full walk of the
+    /// view definition) runs outside the memo lock, so a cold fingerprint
+    /// never stalls other sessions' memo probes; concurrent cold calls for
+    /// the same view derive twice and agree (the derivation is pure).
+    pub fn view_fingerprint(&self, view: &XmlView, generation: u64) -> u64 {
+        if let Some(&(g, fp)) = lock(&self.view_fps).get(&view.name) {
+            if g == generation {
+                return fp;
+            }
+        }
+        let fp = raw_view_fingerprint(view);
+        lock(&self.view_fps).insert(view.name.clone(), (generation, fp));
+        fp
+    }
+
+    /// Look up a plan for `key` valid at DDL `generation`, under the key's
+    /// shard lock. Counts exactly one hit or one miss; a stale entry
+    /// additionally counts an invalidation and is dropped before the lock
+    /// is released, so no later lookup — on any thread — can observe it.
+    pub fn lookup(&self, key: &PlanKey, generation: u64) -> Option<Arc<TransformPlan>> {
+        lock(self.shard(key)).lookup(key, generation)
+    }
+
+    /// Admit a freshly prepared plan into its key's shard (evicting that
+    /// shard's LRU entries to fit its byte slice).
+    pub fn insert(&self, key: PlanKey, plan: Arc<TransformPlan>, generation: u64) {
+        let shard = self.shard(&key);
+        lock(shard).insert(key, plan, generation);
     }
 }
 
@@ -323,8 +505,8 @@ mod tests {
         )
     }
 
-    fn plan(view: &XmlView, src: &str) -> Rc<TransformPlan> {
-        Rc::new(plan_transform(view, src, &RewriteOptions::default()).unwrap())
+    fn plan(view: &XmlView, src: &str) -> Arc<TransformPlan> {
+        Arc::new(plan_transform(view, src, &RewriteOptions::default()).unwrap())
     }
 
     #[test]
@@ -452,5 +634,89 @@ mod tests {
         assert_eq!(cache.entry_count(), 0);
         assert_eq!(cache.bytes_in_use(), 0);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_round_trips_and_counts() {
+        let (catalog, view) = setup();
+        let cache = SharedPlanCache::default();
+        assert_eq!(cache.shard_count(), DEFAULT_PLAN_CACHE_SHARDS);
+        let src = sheet(r#"<xsl:template match="r"><o/></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        assert!(cache.lookup(&key, catalog.generation()).is_none());
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        let hit = cache.lookup(&key, catalog.generation()).expect("hit");
+        assert_eq!(hit.tier, Tier::Sql);
+        let snap = cache.stats();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_cache_invalidates_stale_generations() {
+        let (mut catalog, view) = setup();
+        let cache = SharedPlanCache::default();
+        let src = sheet(r#"<xsl:template match="r"><n/></xsl:template>"#);
+        let key = PlanKey::new(&view, &src, &RewriteOptions::default());
+        cache.insert(key.clone(), plan(&view, &src), catalog.generation());
+        catalog.create_index("t", "v").unwrap();
+        assert!(cache.lookup(&key, catalog.generation()).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.entry_count(), 0);
+    }
+
+    #[test]
+    fn shared_cache_apportions_budget_per_shard() {
+        let (catalog, view) = setup();
+        let srcs: Vec<String> = (0..16)
+            .map(|i| sheet(&format!(r#"<xsl:template match="r"><o{i}/></xsl:template>"#)))
+            .collect();
+        let keys: Vec<PlanKey> =
+            srcs.iter().map(|s| PlanKey::new(&view, s, &RewriteOptions::default())).collect();
+        let one = keys[0].cost() + plan_cost(&plan(&view, &srcs[0]));
+        // Four shards of ~one entry each: inserts must stay under the
+        // global budget whichever shards the digests land on.
+        let cache = SharedPlanCache::with_shards(one * 4 + one / 2, 4);
+        for (k, s) in keys.iter().zip(&srcs) {
+            cache.insert(k.clone(), plan(&view, s), catalog.generation());
+            assert!(cache.bytes_in_use() <= cache.capacity_bytes());
+        }
+        assert!(cache.entry_count() <= 4);
+        assert!(cache.stats().evictions + cache.stats().uncacheable > 0);
+    }
+
+    #[test]
+    fn shared_cache_serves_threads_concurrently() {
+        let (catalog, view) = setup();
+        let cache = std::sync::Arc::new(SharedPlanCache::default());
+        let srcs: Vec<String> = (0..4)
+            .map(|i| sheet(&format!(r#"<xsl:template match="r"><t{i}/></xsl:template>"#)))
+            .collect();
+        let generation = catalog.generation();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                let view = view.clone();
+                let srcs = srcs.clone();
+                std::thread::spawn(move || {
+                    for round in 0..20 {
+                        let src = &srcs[(t + round) % srcs.len()];
+                        let key = PlanKey::new(&view, src, &RewriteOptions::default());
+                        match cache.lookup(&key, generation) {
+                            Some(p) => assert_eq!(p.tier, Tier::Sql),
+                            None => cache.insert(key, plan(&view, src), generation),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no thread panics");
+        }
+        let snap = cache.stats();
+        assert_eq!(snap.lookups(), 80);
+        assert_eq!(cache.entry_count(), srcs.len());
+        // Worst case every thread races the cold miss on every key: 4×4
+        // misses. Any more means a hit was lost or an entry was dropped.
+        assert!(snap.hits >= 64, "only {} hits in 80 lookups", snap.hits);
     }
 }

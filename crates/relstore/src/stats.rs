@@ -1,20 +1,26 @@
 //! Execution statistics — the observable evidence that the rewrite path
 //! actually uses indexes instead of scanning (asserted by integration
 //! tests, reported by the benchmark harness).
+//!
+//! All counters are relaxed atomics so a stats handle can be charged from
+//! any thread (concurrent sessions sharing one `SharedPlanCache` charge the
+//! same [`CacheStats`]). Relaxed ordering is enough: each counter is an
+//! independent monotonic tally, and read-modify-write operations never lose
+//! increments, so single-threaded observable totals are unchanged.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters updated during query execution.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     /// Rows visited by full scans and residual filters.
-    pub rows_scanned: Cell<u64>,
+    rows_scanned: AtomicU64,
     /// Number of B-tree probes (equality or range descents).
-    pub index_probes: Cell<u64>,
+    index_probes: AtomicU64,
     /// Rows returned from index probes.
-    pub index_rows: Cell<u64>,
+    index_rows: AtomicU64,
     /// XML elements constructed by publishing functions.
-    pub elements_built: Cell<u64>,
+    elements_built: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -33,31 +39,31 @@ impl ExecStats {
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            rows_scanned: self.rows_scanned.get(),
-            index_probes: self.index_probes.get(),
-            index_rows: self.index_rows.get(),
-            elements_built: self.elements_built.get(),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            index_rows: self.index_rows.load(Ordering::Relaxed),
+            elements_built: self.elements_built.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset(&self) {
-        self.rows_scanned.set(0);
-        self.index_probes.set(0);
-        self.index_rows.set(0);
-        self.elements_built.set(0);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.index_probes.store(0, Ordering::Relaxed);
+        self.index_rows.store(0, Ordering::Relaxed);
+        self.elements_built.store(0, Ordering::Relaxed);
     }
 
     pub fn add_rows_scanned(&self, n: u64) {
-        self.rows_scanned.set(self.rows_scanned.get() + n);
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn add_index_probe(&self, rows: u64) {
-        self.index_probes.set(self.index_probes.get() + 1);
-        self.index_rows.set(self.index_rows.get() + rows);
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+        self.index_rows.fetch_add(rows, Ordering::Relaxed);
     }
 
     pub fn add_element(&self) {
-        self.elements_built.set(self.elements_built.get() + 1);
+        self.elements_built.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -65,20 +71,29 @@ impl ExecStats {
 /// by the benchmark harness. The cache itself lives above this crate (it
 /// caches whole transform plans); the counters live here so one report can
 /// print execution and caching evidence side by side.
+///
+/// `hits` and `misses` are packed into **one** 64-bit word (32 bits each),
+/// so a [`snapshot`](Self::snapshot) reads both with a single atomic load:
+/// `hits + misses == lookups` holds in *every* snapshot, even taken while
+/// other threads are charging — there is no instant at which a hit has been
+/// counted but not become visible to the same snapshot that missed it.
+/// 2³² lookups per counter is orders of magnitude beyond any cache's
+/// lifetime in this system; the packing saturates rather than overflowing
+/// into its neighbour.
 #[derive(Debug, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: Cell<u64>,
-    /// Lookups that had to plan from scratch (including lookups that found
-    /// only a stale entry, and lookups whose planning then failed).
-    pub misses: Cell<u64>,
+    /// `hits << 32 | misses`, both saturating at `u32::MAX`.
+    hits_misses: AtomicU64,
     /// Entries dropped to make room under the byte capacity.
-    pub evictions: Cell<u64>,
+    evictions: AtomicU64,
     /// Entries dropped because their DDL generation was stale.
-    pub invalidations: Cell<u64>,
+    invalidations: AtomicU64,
     /// Plans never admitted because they alone exceed the byte capacity.
-    pub uncacheable: Cell<u64>,
+    uncacheable: AtomicU64,
 }
+
+const HIT_ONE: u64 = 1 << 32;
+const MISS_MASK: u64 = (1 << 32) - 1;
 
 /// A point-in-time copy of [`CacheStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,7 +107,8 @@ pub struct CacheSnapshot {
 
 impl CacheSnapshot {
     /// Total lookups. Every lookup is either a hit or a miss, so this is
-    /// exactly `hits + misses` — an invariant the property tests assert.
+    /// exactly `hits + misses` — an invariant the property tests assert,
+    /// and which the packed-word snapshot preserves under concurrency.
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
@@ -113,47 +129,60 @@ impl CacheStats {
     }
 
     pub fn snapshot(&self) -> CacheSnapshot {
+        // One load covers hits *and* misses — the consistency point.
+        let hm = self.hits_misses.load(Ordering::Relaxed);
         CacheSnapshot {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            evictions: self.evictions.get(),
-            invalidations: self.invalidations.get(),
-            uncacheable: self.uncacheable.get(),
+            hits: hm >> 32,
+            misses: hm & MISS_MASK,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset(&self) {
-        self.hits.set(0);
-        self.misses.set(0);
-        self.evictions.set(0);
-        self.invalidations.set(0);
-        self.uncacheable.set(0);
+        self.hits_misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.uncacheable.store(0, Ordering::Relaxed);
+    }
+
+    /// Saturating add of `one` (either [`HIT_ONE`] or 1) into the packed
+    /// word, leaving the sibling half untouched at the boundary.
+    fn bump_packed(&self, one: u64) {
+        let _ = self
+            .hits_misses
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |hm| {
+                let half = if one == HIT_ONE { hm >> 32 } else { hm & MISS_MASK };
+                (half < MISS_MASK).then(|| hm + one)
+            });
     }
 
     pub fn add_hit(&self) {
-        self.hits.set(self.hits.get() + 1);
+        self.bump_packed(HIT_ONE);
     }
 
     pub fn add_miss(&self) {
-        self.misses.set(self.misses.get() + 1);
+        self.bump_packed(1);
     }
 
     pub fn add_eviction(&self) {
-        self.evictions.set(self.evictions.get() + 1);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn add_invalidation(&self) {
-        self.invalidations.set(self.invalidations.get() + 1);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn add_uncacheable(&self) {
-        self.uncacheable.set(self.uncacheable.get() + 1);
+        self.uncacheable.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn counters_accumulate_and_reset() {
@@ -191,5 +220,38 @@ mod tests {
         assert_eq!(snap.uncacheable, 1);
         c.reset();
         assert_eq!(c.snapshot(), CacheSnapshot::default());
+    }
+
+    #[test]
+    fn snapshots_are_consistent_while_other_threads_charge() {
+        let c = Arc::new(CacheStats::new());
+        let chargers: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for n in 0..2_000u64 {
+                        if (n + i) % 3 == 0 {
+                            c.add_miss();
+                        } else {
+                            c.add_hit();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Snapshots taken mid-charge must each satisfy the invariant and be
+        // monotone in total lookups.
+        let mut last = 0u64;
+        for _ in 0..500 {
+            let snap = c.snapshot();
+            assert_eq!(snap.hits + snap.misses, snap.lookups());
+            assert!(snap.lookups() >= last, "lookups went backwards");
+            last = snap.lookups();
+        }
+        for t in chargers {
+            t.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.lookups(), 8_000, "no charge was lost");
     }
 }

@@ -33,9 +33,9 @@
 // pipeline would have to contain at a tier boundary. Keep it impossible.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Which budget a [`GuardExceeded`] trip exhausted.
@@ -195,17 +195,29 @@ pub enum FaultKind {
 #[derive(Debug)]
 struct GuardCore {
     limits: Limits,
-    fuel_spent: Cell<u64>,
-    depth: Cell<u64>,
-    output_nodes: Cell<u64>,
-    output_bytes: Cell<u64>,
-    started: Cell<Instant>,
+    fuel_spent: AtomicU64,
+    depth: AtomicU64,
+    output_nodes: AtomicU64,
+    output_bytes: AtomicU64,
+    /// Wall-clock origin; a mutex because [`Guard::restart_clock`] replaces
+    /// it, but it is only read every [`DEADLINE_STRIDE`] charges.
+    started: Mutex<Instant>,
     /// Charges remaining until the next wall-clock check.
-    deadline_stride_left: Cell<u32>,
-    /// First violation observed; later checks keep returning it.
-    trip: Cell<Option<GuardExceeded>>,
-    /// Injected faults: (point, kind, remaining trigger count).
-    faults: Cell<[Option<(FaultPoint, FaultKind)>; 4]>,
+    deadline_stride_left: AtomicU32,
+    /// First violation observed; later checks keep returning it. Cold path
+    /// (locked only when a budget is pierced or a deadline is read), so a
+    /// mutex costs nothing where it matters.
+    trip: Mutex<Option<GuardExceeded>>,
+    /// Injected faults: (point, kind); armed and taken at tier boundaries,
+    /// never in a hot loop.
+    faults: Mutex<[Option<(FaultPoint, FaultKind)>; 4]>,
+}
+
+/// Lock a guard-internal mutex. The guard is panic-tolerant by design (the
+/// pipeline contains engine panics at tier boundaries), so a poisoned lock
+/// just yields the inner state — the counters are always valid u64s.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// How many fuel charges pass between wall-clock reads. `Instant::now()`
@@ -213,15 +225,29 @@ struct GuardCore {
 const DEADLINE_STRIDE: u32 = 1024;
 
 /// A shared, clonable resource-governance handle. Cloning is cheap (one
-/// `Rc` bump) and every clone shares the same budgets, so a pipeline can
+/// `Arc` bump) and every clone shares the same budgets, so a pipeline can
 /// hand one guard to all three tiers and the spend accumulates globally.
 ///
-/// Engines are single-threaded (the document model is `Rc`-based
-/// throughout), so the guard uses `Cell`s, not atomics.
+/// The counters are relaxed atomics, so a guard (or any clone of it) can be
+/// charged from any thread: concurrent sessions sharing prepared plans out
+/// of a [`SharedPlanCache`](../../xsltdb/plancache/struct.SharedPlanCache.html)
+/// each arm their own guard, but nothing stops one guarded execution from
+/// being split across worker threads. Single-threaded observable behaviour
+/// is unchanged — every charge is a read-modify-write, so totals are exact.
 #[derive(Debug, Clone)]
 pub struct Guard {
-    core: Rc<GuardCore>,
+    core: Arc<GuardCore>,
 }
+
+// The whole point of the concurrent engine: a guard must cross threads.
+// (Compile-time enforcement; mirrors the `TransformPlan: Send + Sync`
+// assertion in the core crate.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Guard>();
+    assert_send_sync::<Limits>();
+    assert_send_sync::<GuardExceeded>();
+};
 
 impl Default for Guard {
     fn default() -> Guard {
@@ -233,16 +259,16 @@ impl Guard {
     /// A guard enforcing `limits`, with the wall clock starting now.
     pub fn new(limits: Limits) -> Guard {
         Guard {
-            core: Rc::new(GuardCore {
+            core: Arc::new(GuardCore {
                 limits,
-                fuel_spent: Cell::new(0),
-                depth: Cell::new(0),
-                output_nodes: Cell::new(0),
-                output_bytes: Cell::new(0),
-                started: Cell::new(Instant::now()),
-                deadline_stride_left: Cell::new(0),
-                trip: Cell::new(None),
-                faults: Cell::new([None; 4]),
+                fuel_spent: AtomicU64::new(0),
+                depth: AtomicU64::new(0),
+                output_nodes: AtomicU64::new(0),
+                output_bytes: AtomicU64::new(0),
+                started: Mutex::new(Instant::now()),
+                deadline_stride_left: AtomicU32::new(0),
+                trip: Mutex::new(None),
+                faults: Mutex::new([None; 4]),
             }),
         }
     }
@@ -263,32 +289,32 @@ impl Guard {
     /// are one-shot: taking one disarms it, so a pipeline retry on a lower
     /// tier proceeds cleanly.
     pub fn with_fault(self, point: FaultPoint, kind: FaultKind) -> Guard {
-        let mut faults = self.core.faults.get();
-        // Re-arm in place if the point is already armed, else take the first
-        // free slot — never both, or one take_fault could fire twice.
-        if let Some(slot) = faults
-            .iter_mut()
-            .find(|s| s.map(|(p, _)| p == point).unwrap_or(false))
         {
-            *slot = Some((point, kind));
-        } else if let Some(slot) = faults.iter_mut().find(|s| s.is_none()) {
-            *slot = Some((point, kind));
+            let mut faults = lock(&self.core.faults);
+            // Re-arm in place if the point is already armed, else take the
+            // first free slot — never both, or one take_fault could fire
+            // twice.
+            if let Some(slot) = faults
+                .iter_mut()
+                .find(|s| s.map(|(p, _)| p == point).unwrap_or(false))
+            {
+                *slot = Some((point, kind));
+            } else if let Some(slot) = faults.iter_mut().find(|s| s.is_none()) {
+                *slot = Some((point, kind));
+            }
         }
-        self.core.faults.set(faults);
         self
     }
 
     /// Take (and disarm) the fault injected at `point`, if any. Engines and
-    /// the pipeline call this at their tier boundary.
+    /// the pipeline call this at their tier boundary. Atomic under the
+    /// fault lock: of two racing takers, exactly one observes the fault.
     pub fn take_fault(&self, point: FaultPoint) -> Option<FaultKind> {
-        let mut faults = self.core.faults.get();
-        let hit = faults
+        lock(&self.core.faults)
             .iter_mut()
             .find(|s| s.map(|(p, _)| p == point).unwrap_or(false))
             .and_then(|slot| slot.take())
-            .map(|(_, k)| k);
-        self.core.faults.set(faults);
-        hit
+            .map(|(_, k)| k)
     }
 
     /// The first budget violation observed by any clone of this guard, if
@@ -296,37 +322,37 @@ impl Guard {
     /// error types; callers that need the structured evidence — the
     /// pipeline's typed `PipelineError::Guard` variant — read it here.
     pub fn trip(&self) -> Option<GuardExceeded> {
-        self.core.trip.get()
+        *lock(&self.core.trip)
     }
 
     /// Reset the wall-clock origin to now (for guards built ahead of time
     /// and reused).
     pub fn restart_clock(&self) {
-        self.core.started.set(Instant::now());
-        self.core.deadline_stride_left.set(0);
+        *lock(&self.core.started) = Instant::now();
+        self.core.deadline_stride_left.store(0, Ordering::Relaxed);
     }
 
     /// Fuel spent so far across every tier sharing this guard.
     pub fn fuel_spent(&self) -> u64 {
-        self.core.fuel_spent.get()
+        self.core.fuel_spent.load(Ordering::Relaxed)
     }
 
     fn fail(&self, e: GuardExceeded) -> GuardExceeded {
-        if self.core.trip.get().is_none() {
-            self.core.trip.set(Some(e));
-        }
-        // Always report the *first* trip so concurrent budgets don't
-        // shadow the root cause on re-checks.
-        self.core.trip.get().unwrap_or(e)
+        // Always report the *first* trip so concurrent budgets (or racing
+        // threads) don't shadow the root cause on re-checks.
+        *lock(&self.core.trip).get_or_insert(e)
     }
 
-    /// Charge `n` abstract steps. Cheap: two `Cell` reads and a compare on
-    /// the untripped path; the wall clock is read only every
+    /// Charge `n` abstract steps. Cheap: one relaxed fetch-add and a
+    /// compare on the untripped path; the wall clock is read only every
     /// [`DEADLINE_STRIDE`] charges.
     #[inline]
     pub fn charge(&self, n: u64) -> Result<(), GuardExceeded> {
-        let spent = self.core.fuel_spent.get().saturating_add(n);
-        self.core.fuel_spent.set(spent);
+        let spent = self
+            .core
+            .fuel_spent
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
         if spent > self.core.limits.fuel {
             return Err(self.fail(GuardExceeded {
                 resource: Resource::Fuel,
@@ -335,12 +361,15 @@ impl Guard {
             }));
         }
         if self.core.limits.deadline.is_some() {
-            let left = self.core.deadline_stride_left.get();
+            // The stride counter wraps on concurrent decrements; it is a
+            // sampling heuristic, not an exact period — any thread that
+            // observes 0 re-arms it and pays the clock read.
+            let left = self.core.deadline_stride_left.fetch_sub(1, Ordering::Relaxed);
             if left == 0 {
-                self.core.deadline_stride_left.set(DEADLINE_STRIDE);
+                self.core
+                    .deadline_stride_left
+                    .store(DEADLINE_STRIDE, Ordering::Relaxed);
                 self.check_deadline()?;
-            } else {
-                self.core.deadline_stride_left.set(left - 1);
             }
         }
         Ok(())
@@ -350,11 +379,11 @@ impl Guard {
     /// normally rely on the strided check inside [`Guard::charge`]; call
     /// this directly at coarse boundaries (per document, per tier).
     pub fn check_deadline(&self) -> Result<(), GuardExceeded> {
-        if let Some(trip) = self.core.trip.get() {
+        if let Some(trip) = *lock(&self.core.trip) {
             return Err(trip);
         }
         if let Some(d) = self.core.limits.deadline {
-            let elapsed = self.core.started.get().elapsed();
+            let elapsed = lock(&self.core.started).elapsed();
             if elapsed > d {
                 return Err(self.fail(GuardExceeded {
                     resource: Resource::Deadline,
@@ -371,35 +400,46 @@ impl Guard {
     /// entered in that case — do not call `leave`).
     #[inline]
     pub fn enter(&self) -> Result<(), GuardExceeded> {
-        let d = self.core.depth.get() + 1;
+        let d = self.core.depth.fetch_add(1, Ordering::Relaxed) + 1;
         if d > self.core.limits.max_depth {
+            // Roll the failed entry back so the rejected level is not
+            // counted — callers must not `leave` after an `enter` error.
+            self.core.depth.fetch_sub(1, Ordering::Relaxed);
             return Err(self.fail(GuardExceeded {
                 resource: Resource::Depth,
                 limit: self.core.limits.max_depth,
                 spent: d,
             }));
         }
-        self.core.depth.set(d);
         Ok(())
     }
 
     /// Leave a recursion level previously entered with [`Guard::enter`].
     #[inline]
     pub fn leave(&self) {
-        let d = self.core.depth.get();
-        self.core.depth.set(d.saturating_sub(1));
+        // Saturating: an unpaired `leave` clamps at zero instead of
+        // wrapping, matching the pre-atomic behaviour.
+        let _ = self
+            .core
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
     }
 
     /// Current recursion depth (for diagnostics).
     pub fn depth(&self) -> u64 {
-        self.core.depth.get()
+        self.core.depth.load(Ordering::Relaxed)
     }
 
     /// Account `n` result-tree nodes.
     #[inline]
     pub fn note_output_nodes(&self, n: u64) -> Result<(), GuardExceeded> {
-        let total = self.core.output_nodes.get().saturating_add(n);
-        self.core.output_nodes.set(total);
+        let total = self
+            .core
+            .output_nodes
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
         if total > self.core.limits.max_output_nodes {
             return Err(self.fail(GuardExceeded {
                 resource: Resource::OutputNodes,
@@ -413,8 +453,11 @@ impl Guard {
     /// Account `n` serialized output bytes.
     #[inline]
     pub fn note_output_bytes(&self, n: u64) -> Result<(), GuardExceeded> {
-        let total = self.core.output_bytes.get().saturating_add(n);
-        self.core.output_bytes.set(total);
+        let total = self
+            .core
+            .output_bytes
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
         if total > self.core.limits.max_output_bytes {
             return Err(self.fail(GuardExceeded {
                 resource: Resource::OutputBytes,
@@ -522,6 +565,51 @@ mod tests {
             .with_fault(FaultPoint::SqlExec, FaultKind::Panic);
         assert_eq!(g.take_fault(FaultPoint::SqlExec), Some(FaultKind::Panic));
         assert_eq!(g.take_fault(FaultPoint::SqlExec), None);
+    }
+
+    #[test]
+    fn clones_charge_from_other_threads() {
+        let g = Guard::new(Limits::UNLIMITED.with_fuel(100_000));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        h.charge(1).unwrap();
+                        h.note_output_nodes(1).unwrap();
+                        h.note_output_bytes(2).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        // Relaxed atomics still never lose a charge: totals are exact.
+        assert_eq!(g.fuel_spent(), 4_000);
+        assert!(g.trip().is_none());
+    }
+
+    #[test]
+    fn concurrent_trips_report_one_first_violation() {
+        let g = Guard::new(Limits::UNLIMITED.with_fuel(10));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _ = h.charge(1);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let trip = g.trip().expect("400 charges against 10 fuel must trip");
+        assert_eq!(trip.resource, Resource::Fuel);
+        // Every later observer sees the same sticky first violation.
+        assert_eq!(g.charge(1).unwrap_err(), trip);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub use docgen::{
 };
 pub use suite::{
     dbonerow_stylesheet, inline_statistics, run_case, run_suite, run_suite_planned,
-    tier_statistics, CaseRun, PlannedRun,
+    run_suite_planned_shared, tier_statistics, CaseRun, PlannedRun,
 };

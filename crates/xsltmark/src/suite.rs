@@ -4,10 +4,14 @@
 use crate::cases::{all_cases, Case};
 use crate::docgen::{db_struct_info, db_xml};
 use std::rc::Rc;
-use xsltdb::pipeline::{no_rewrite_transform, plan_cached, plan_transform, Tier};
-use xsltdb::plancache::PlanCache;
+use std::sync::Arc;
+use xsltdb::pipeline::{
+    no_rewrite_transform, plan_cached, plan_cached_shared, plan_transform, Tier, TransformPlan,
+};
+use xsltdb::plancache::{PlanCache, SharedPlanCache};
 use xsltdb::xqgen::{rewrite, RewriteMode, RewriteOptions};
-use xsltdb_relstore::ExecStats;
+use xsltdb::PipelineError;
+use xsltdb_relstore::{Catalog, ExecStats, XmlView};
 use xsltdb_xml::{parse_trimmed, to_string, NodeId};
 use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
 use xsltdb_xslt::{compile_str, transform};
@@ -155,18 +159,41 @@ pub struct PlannedRun {
 /// `plan_cached` lookup per case, so cache hit counters are directly
 /// interpretable.
 pub fn run_suite_planned(rows: usize, seed: u64, cache: &mut PlanCache) -> Vec<PlannedRun> {
+    run_suite_planned_with(rows, seed, |catalog, view, src| {
+        plan_cached(cache, catalog, view, src, &RewriteOptions::default())
+    })
+}
+
+/// [`run_suite_planned`] through a thread-safe [`SharedPlanCache`]: the
+/// per-thread body of the concurrent differential harness. Any number of
+/// threads can run this against **one** cache simultaneously — each call
+/// builds its own catalog/view (sessions share plans, not data handles)
+/// and compares every cached plan's output against a fresh plan and the
+/// VM baseline, exactly like the single-threaded runner.
+pub fn run_suite_planned_shared(
+    rows: usize,
+    seed: u64,
+    cache: &SharedPlanCache,
+) -> Vec<PlannedRun> {
+    run_suite_planned_with(rows, seed, |catalog, view, src| {
+        plan_cached_shared(cache, catalog, view, src, &RewriteOptions::default())
+    })
+}
+
+/// The differential body shared by the exclusive and concurrent runners;
+/// `planner` is the only thing that differs (which cache front door serves
+/// the prepared plan).
+fn run_suite_planned_with(
+    rows: usize,
+    seed: u64,
+    mut planner: impl FnMut(&Catalog, &XmlView, &str) -> Result<Arc<TransformPlan>, PipelineError>,
+) -> Vec<PlannedRun> {
     let (catalog, view) = crate::docgen::db_catalog(rows, seed);
     let stats = ExecStats::new();
     all_cases()
         .iter()
         .map(|c| {
-            let cached = match plan_cached(
-                cache,
-                &catalog,
-                &view,
-                &c.stylesheet,
-                &RewriteOptions::default(),
-            ) {
+            let cached = match planner(&catalog, &view, &c.stylesheet) {
                 Ok(p) => p,
                 Err(e) => {
                     return PlannedRun {

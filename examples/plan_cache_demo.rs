@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example plan_cache_demo`
 
-use std::rc::Rc;
+use std::sync::Arc;
 use xsltdb::pipeline::plan_cached;
 use xsltdb::{Limits, PlanCache, Tier};
 use xsltdb_relstore::ExecStats;
@@ -29,9 +29,9 @@ fn main() {
 
     // [2] Warm call: hit, the very same prepared plan is shared.
     let p2 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("plans");
-    assert!(Rc::ptr_eq(&p1, &p2));
+    assert!(Arc::ptr_eq(&p1, &p2));
     assert_eq!(cache.stats().hits, 1);
-    println!("[2] warm call: hit, same Rc — planning pipeline skipped");
+    println!("[2] warm call: hit, same Arc — planning pipeline skipped");
 
     // [3] Cached output is byte-identical to the VM baseline.
     let stats = ExecStats::new();
@@ -51,7 +51,7 @@ fn main() {
     catalog.create_index("db_rows", "city").expect("index builds");
     assert!(catalog.generation() > g);
     let p3 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("replans");
-    assert!(!Rc::ptr_eq(&p2, &p3), "stale plan must not be served");
+    assert!(!Arc::ptr_eq(&p2, &p3), "stale plan must not be served");
     assert_eq!(cache.stats().invalidations, 1);
     let replanned = p3.execute(&catalog, &ExecStats::new()).expect("runs");
     assert_eq!(render(&replanned), render(&baseline));
@@ -63,7 +63,7 @@ fn main() {
         .expect_err("3 fuel cannot finish");
     assert!(err.is_guard_trip());
     let p4 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("plans");
-    assert!(Rc::ptr_eq(&p3, &p4), "trip must not poison the entry");
+    assert!(Arc::ptr_eq(&p3, &p4), "trip must not poison the entry");
     let retried = p4
         .execute_with_limits(&catalog, &ExecStats::new(), Limits::UNLIMITED)
         .expect("full budget finishes");

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use xsltdb::pipeline::{no_rewrite_transform, plan_cached};
 use xsltdb::plancache::PlanCache;
 use xsltdb::xqgen::RewriteOptions;
@@ -131,7 +131,7 @@ fn ddl_generation_bump_invalidates_and_replans_identically() {
     catalog.create_index("db_rows", "city").expect("column exists");
     let after = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("replans");
-    assert!(!Rc::ptr_eq(&before, &after), "stale plan must not be served after DDL");
+    assert!(!Arc::ptr_eq(&before, &after), "stale plan must not be served after DDL");
     let snap = cache.stats();
     assert_eq!(snap.invalidations, 1);
     assert_eq!(snap.misses, 2);
@@ -144,7 +144,7 @@ fn ddl_generation_bump_invalidates_and_replans_identically() {
     // And the replanned entry is a normal cache citizen again.
     let third = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("hits");
-    assert!(Rc::ptr_eq(&after, &third));
+    assert!(Arc::ptr_eq(&after, &third));
     assert_eq!(cache.stats().hits, 1);
 }
 
@@ -176,7 +176,7 @@ fn guard_trip_never_poisons_the_cached_entry() {
     // The entry is still cached and still the same prepared plan.
     let again = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("still cached");
-    assert!(Rc::ptr_eq(&plan, &again), "trip must not drop or rebuild the entry");
+    assert!(Arc::ptr_eq(&plan, &again), "trip must not drop or rebuild the entry");
     assert_eq!(cache.stats().hits, 1);
     assert_eq!(cache.stats().invalidations, 0);
 
@@ -209,7 +209,7 @@ proptest! {
     ) {
         let (catalog, view) = db_catalog(3, 0xA11);
         let mut cache = PlanCache::default();
-        let mut seen: HashMap<(String, bool), Rc<xsltdb::TransformPlan>> = HashMap::new();
+        let mut seen: HashMap<(String, bool), Arc<xsltdb::TransformPlan>> = HashMap::new();
         for name in &names {
             for flip in [false, true] {
                 let opts = RewriteOptions {
@@ -229,7 +229,7 @@ proptest! {
         for ((src, inl), expected) in &seen {
             let opts = RewriteOptions { inline: *inl, annotate, ..RewriteOptions::default() };
             let got = plan_cached(&mut cache, &catalog, &view, src, &opts).expect("hits");
-            prop_assert!(Rc::ptr_eq(expected, &got), "triple served a different plan");
+            prop_assert!(Arc::ptr_eq(expected, &got), "triple served a different plan");
         }
     }
 

@@ -1,0 +1,210 @@
+//! Concurrency suite for the SharedPlanCache: many sessions, one cache,
+//! zero divergence.
+//!
+//! Differential test: eight threads run the full 40-case XSLTMark suite
+//! through **one** [`SharedPlanCache`], and every cached plan's output is
+//! byte-identical to a freshly planned run and to the functional (VM)
+//! baseline — while the aggregate hit rate stays ≥ 90% because one cold
+//! pass prepared every plan the sessions share. Property test
+//! (deterministic proptest stub): arbitrary interleavings of inserts,
+//! lookups and DDL generation bumps across four threads never exceed the
+//! byte budget and never return a stale-generation plan — each dummy plan
+//! is tagged with the generation it was prepared at, so a lookup can check
+//! the tag of whatever comes back against the generation it asked for.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xsltdb::pipeline::{Tier, TransformPlan};
+use xsltdb::plancache::{PlanKey, SharedPlanCache};
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb_relstore::XmlView;
+use xsltdb_xslt::compile_str;
+use xsltdb_xsltmark::{db_catalog, run_suite_planned_shared};
+
+/// Recursive suite cases need more stack than the 2 MiB test threads get,
+/// and the concurrent phase needs that headroom on *every* session thread.
+const SUITE_STACK: usize = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Differential: 8 sessions × 40 cases through one cache, byte-identical,
+// ≥ 90% aggregate hit rate.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eight_threads_share_one_cache_byte_identically() {
+    const THREADS: usize = 8;
+    const PASSES_PER_THREAD: usize = 2;
+    let cache = SharedPlanCache::default();
+
+    // Cold pass: exactly one miss per case prepares the plans every
+    // session below will share.
+    std::thread::scope(|s| {
+        let cache = &cache;
+        std::thread::Builder::new()
+            .stack_size(SUITE_STACK)
+            .spawn_scoped(s, move || {
+                let runs = run_suite_planned_shared(12, 0xD1FF, cache);
+                assert_eq!(runs.len(), 40);
+                for run in &runs {
+                    assert!(run.matches_fresh, "cold: {} diverged: {:?}", run.name, run.note);
+                    assert!(run.matches_vm, "cold: {} vs VM: {:?}", run.name, run.note);
+                }
+            })
+            .expect("spawn cold pass");
+    });
+    let cold = cache.stats();
+    assert_eq!(cold.misses, 40, "one cold plan per case");
+    assert_eq!(cache.entry_count(), 40, "every case fits in the default budget");
+
+    // Concurrent phase: 8 sessions each run the suite twice against the
+    // warm cache. Every output must match a fresh plan and the VM baseline
+    // byte for byte, from every thread.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            std::thread::Builder::new()
+                .stack_size(SUITE_STACK)
+                .spawn_scoped(s, move || {
+                    for pass in 0..PASSES_PER_THREAD {
+                        let runs = run_suite_planned_shared(12, 0xD1FF, cache);
+                        assert_eq!(runs.len(), 40);
+                        for run in &runs {
+                            assert!(
+                                run.matches_fresh,
+                                "thread {t} pass {pass}: case {} cached output differs \
+                                 from a fresh plan: {:?}",
+                                run.name, run.note
+                            );
+                            assert!(
+                                run.matches_vm,
+                                "thread {t} pass {pass}: case {} cached output differs \
+                                 from the VM baseline: {:?}",
+                                run.name, run.note
+                            );
+                        }
+                    }
+                })
+                .expect("spawn session thread");
+        }
+    });
+
+    let snap = cache.stats();
+    let expected_lookups = 40 * (1 + THREADS * PASSES_PER_THREAD) as u64;
+    assert_eq!(snap.lookups(), expected_lookups);
+    assert_eq!(snap.misses, 40, "no session after the cold pass may miss");
+    assert_eq!(snap.hits + snap.misses, snap.lookups());
+    assert!(
+        snap.hit_rate() >= 0.90,
+        "aggregate hit rate {:.3} below 0.90 ({} hits / {} lookups)",
+        snap.hit_rate(),
+        snap.hits,
+        snap.lookups()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: concurrent insert/lookup/DDL-bump interleavings respect the
+// byte budget and never serve a stale-generation plan.
+// ---------------------------------------------------------------------------
+
+/// A marker plan whose `fallback_reason` records the DDL generation it was
+/// prepared at, so a lookup can detect staleness in what it gets back.
+fn tagged_plan(view: &XmlView, generation: u64) -> Arc<TransformPlan> {
+    let sheet = compile_str(
+        r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+           <xsl:template match="table"><t/></xsl:template></xsl:stylesheet>"#,
+    )
+    .expect("marker stylesheet compiles");
+    Arc::new(TransformPlan {
+        tier: Tier::Vm,
+        sheet,
+        view: view.clone(),
+        rewrite: None,
+        sql: None,
+        fallback_reason: Some(format!("gen:{generation}")),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Four threads interleave inserts, lookups and DDL bumps over one
+    /// small sharded cache: `bytes_in_use` never pierces the budget, and
+    /// every plan a lookup returns carries the tag of the exact generation
+    /// the lookup asked for — a stale plan surviving a bump would carry an
+    /// older tag and fail the assertion.
+    #[test]
+    fn concurrent_interleavings_stay_bounded_and_never_serve_stale_plans(
+        ops in proptest::collection::vec((0usize..4, 0usize..3), 16..64),
+        capacity in 2_000usize..20_000,
+    ) {
+        const THREADS: usize = 4;
+        let cache = SharedPlanCache::with_shards(capacity, 4);
+        let generation = AtomicU64::new(0);
+        let srcs: Vec<String> = (0..4)
+            .map(|i| {
+                format!(
+                    r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+                       <xsl:template match="table"><k{i}/></xsl:template></xsl:stylesheet>"#
+                )
+            })
+            .collect();
+
+        std::thread::scope(|s| {
+            for chunk in ops.chunks(ops.len().div_ceil(THREADS)) {
+                let cache = &cache;
+                let generation = &generation;
+                let srcs = &srcs;
+                s.spawn(move || {
+                    let (_catalog, view) = db_catalog(3, 0x5EED);
+                    for &(key_idx, action) in chunk {
+                        let key = PlanKey::with_fingerprint(
+                            0xF00D,
+                            &srcs[key_idx],
+                            &RewriteOptions::default(),
+                        );
+                        match action {
+                            // Insert a plan tagged with the generation it
+                            // is (claimed) valid at.
+                            0 => {
+                                let g = generation.load(Ordering::SeqCst);
+                                cache.insert(key, tagged_plan(&view, g), g);
+                            }
+                            // Lookup at the current generation: whatever
+                            // comes back must carry exactly that tag.
+                            1 => {
+                                let g = generation.load(Ordering::SeqCst);
+                                if let Some(plan) = cache.lookup(&key, g) {
+                                    let want = format!("gen:{g}");
+                                    assert_eq!(
+                                        plan.fallback_reason.as_deref(),
+                                        Some(want.as_str()),
+                                        "lookup at generation {g} served a stale plan"
+                                    );
+                                }
+                            }
+                            // DDL: bump the generation; older entries are
+                            // now stale and must never be served again.
+                            _ => {
+                                generation.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        assert!(
+                            cache.bytes_in_use() <= cache.capacity_bytes(),
+                            "{} bytes in a {}-byte cache",
+                            cache.bytes_in_use(),
+                            cache.capacity_bytes()
+                        );
+                    }
+                });
+            }
+        });
+
+        // Accounting survives the interleaving: every lookup was exactly
+        // one hit or one miss, and the final byte count is still bounded.
+        let snap = cache.stats();
+        prop_assert_eq!(snap.hits + snap.misses, snap.lookups());
+        prop_assert!(cache.bytes_in_use() <= cache.capacity_bytes());
+    }
+}
