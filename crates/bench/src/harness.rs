@@ -6,8 +6,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 use xsltdb::pipeline::{
-    no_rewrite_transform, plan_cached, plan_cached_shared, plan_compiled, plan_transform, Tier,
-    TransformPlan,
+    no_rewrite_transform, plan_bound, plan_cached, plan_cached_shared, plan_compiled, BoundPlan,
+    Tier,
 };
 use xsltdb::plancache::{PlanCache, SharedPlanCache};
 use xsltdb::xqgen::RewriteOptions;
@@ -24,7 +24,7 @@ pub struct Workload {
     pub view: XmlView,
     pub stylesheet_src: String,
     pub sheet: Stylesheet,
-    pub plan: TransformPlan,
+    pub bound: BoundPlan,
 }
 
 impl Workload {
@@ -32,8 +32,11 @@ impl Workload {
     pub fn new(name: &str, rows: usize, stylesheet: &str) -> Workload {
         let (catalog, view) = db_catalog(rows, 0xDB);
         let sheet = compile_str(stylesheet).expect("stylesheet compiles");
-        let plan = plan_compiled(&view, sheet.clone(), &RewriteOptions::default())
-            .expect("planning succeeds");
+        let plan = Arc::new(
+            plan_compiled(&view, sheet.clone(), &RewriteOptions::default())
+                .expect("planning succeeds"),
+        );
+        let bound = plan.bind(&view, &catalog).expect("binding succeeds");
         Workload {
             name: name.to_string(),
             rows,
@@ -41,7 +44,7 @@ impl Workload {
             view,
             stylesheet_src: stylesheet.to_string(),
             sheet,
-            plan,
+            bound,
         }
     }
 
@@ -58,7 +61,7 @@ impl Workload {
     /// Execute the rewrite path once; returns the documents and counters.
     pub fn run_rewrite(&self) -> (Vec<Document>, StatsSnapshot) {
         let stats = ExecStats::new();
-        let docs = self.plan.execute(&self.catalog, &stats).expect("rewrite path runs");
+        let docs = self.bound.execute(&self.catalog, &stats).expect("rewrite path runs");
         (docs, stats.snapshot())
     }
 
@@ -75,9 +78,14 @@ impl Workload {
     /// every call costs without a PlanCache.
     pub fn run_uncached_call(&self) -> (Vec<Document>, StatsSnapshot) {
         let stats = ExecStats::new();
-        let plan = plan_transform(&self.view, &self.stylesheet_src, &RewriteOptions::default())
-            .expect("planning succeeds");
-        let docs = plan.execute(&self.catalog, &stats).expect("plan runs");
+        let bound = plan_bound(
+            &self.catalog,
+            &self.view,
+            &self.stylesheet_src,
+            &RewriteOptions::default(),
+        )
+        .expect("planning succeeds");
+        let docs = bound.execute(&self.catalog, &stats).expect("plan runs");
         (docs, stats.snapshot())
     }
 
@@ -86,8 +94,8 @@ impl Workload {
     /// execution-only cost.
     pub fn run_cached_call(&self, cache: &mut PlanCache) -> (Vec<Document>, StatsSnapshot) {
         let stats = ExecStats::new();
-        let plan = self.plan_cached(cache);
-        let docs = plan.execute(&self.catalog, &stats).expect("plan runs");
+        let bound = self.plan_cached(cache);
+        let docs = bound.execute(&self.catalog, &stats).expect("plan runs");
         (docs, stats.snapshot())
     }
 
@@ -100,13 +108,14 @@ impl Workload {
         cache: &SharedPlanCache,
     ) -> (Vec<Document>, StatsSnapshot) {
         let stats = ExecStats::new();
-        let plan = self.plan_cached_shared(cache);
-        let docs = plan.execute(&self.catalog, &stats).expect("plan runs");
+        let bound = self.plan_cached_shared(cache);
+        let docs = bound.execute(&self.catalog, &stats).expect("plan runs");
         (docs, stats.snapshot())
     }
 
-    /// The prepared plan for this workload, through `cache`.
-    pub fn plan_cached(&self, cache: &mut PlanCache) -> Arc<TransformPlan> {
+    /// The prepared plan for this workload, bound to its view, through
+    /// `cache`.
+    pub fn plan_cached(&self, cache: &mut PlanCache) -> BoundPlan {
         plan_cached(
             cache,
             &self.catalog,
@@ -117,8 +126,9 @@ impl Workload {
         .expect("planning succeeds")
     }
 
-    /// The prepared plan for this workload, through a shared `cache`.
-    pub fn plan_cached_shared(&self, cache: &SharedPlanCache) -> Arc<TransformPlan> {
+    /// The prepared plan for this workload, bound to its view, through a
+    /// shared `cache`.
+    pub fn plan_cached_shared(&self, cache: &SharedPlanCache) -> BoundPlan {
         plan_cached_shared(
             cache,
             &self.catalog,
@@ -130,7 +140,7 @@ impl Workload {
     }
 
     pub fn tier(&self) -> Tier {
-        self.plan.tier
+        self.bound.tier()
     }
 }
 
@@ -257,7 +267,7 @@ mod tests {
     #[test]
     fn dbonerow_workload_reaches_sql_tier() {
         let w = Workload::dbonerow(200);
-        assert_eq!(w.tier(), Tier::Sql, "fallback: {:?}", w.plan.fallback_reason);
+        assert_eq!(w.tier(), Tier::Sql, "fallback: {:?}", w.bound.fallback_reason());
         let (rw, rw_stats) = w.run_rewrite();
         let (bl, _) = w.run_baseline();
         let rws: Vec<String> = rw.iter().map(xsltdb_xml::to_string).collect();
@@ -276,7 +286,7 @@ mod tests {
                 w.tier(),
                 Tier::Vm,
                 "{name} fell to VM: {:?}",
-                w.plan.fallback_reason
+                w.bound.fallback_reason()
             );
             let (rw, _) = w.run_rewrite();
             let (bl, _) = w.run_baseline();

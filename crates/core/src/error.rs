@@ -79,6 +79,21 @@ pub enum PipelineError {
     /// Every tier in the fallback lattice failed; `attempts` records the
     /// whole chain in the order it was tried.
     TiersExhausted { attempts: Vec<TierFailure> },
+    /// A canonical plan referenced a table slot the execute-time bindings
+    /// do not cover — the plan was bound incompletely, or not at all.
+    UnboundSlot {
+        /// The symbolic slot (`$t0`, `$t1`, …) with no concrete table.
+        slot: String,
+    },
+    /// A view was bound to a plan prepared for a different canonical shape.
+    /// Binding validates fingerprints so a plan can never silently execute
+    /// against a view of the wrong structure.
+    BindingMismatch {
+        /// Canonical fingerprint the plan was prepared for.
+        expected: u64,
+        /// Canonical fingerprint of the view being bound.
+        got: u64,
+    },
     /// Pipeline-internal invariant violations (index probes out of range,
     /// malformed plans, …).
     Internal(String),
@@ -121,6 +136,14 @@ impl fmt::Display for PipelineError {
                 }
                 write!(f, ")")
             }
+            PipelineError::UnboundSlot { slot } => {
+                write!(f, "pipeline error: unbound table slot {slot}")
+            }
+            PipelineError::BindingMismatch { expected, got } => write!(
+                f,
+                "pipeline error: binding mismatch: plan is for shape \
+                 {expected:#018x}, view has shape {got:#018x}"
+            ),
             PipelineError::Internal(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
@@ -193,6 +216,16 @@ mod tests {
         let sql = s.find("sql tier failed").unwrap();
         let vm = s.find("vm tier panicked").unwrap();
         assert!(sql < vm, "{s}");
+    }
+
+    #[test]
+    fn binding_errors_name_the_evidence() {
+        let e = PipelineError::UnboundSlot { slot: "$t1".into() };
+        assert!(e.to_string().contains("unbound table slot $t1"));
+        let e = PipelineError::BindingMismatch { expected: 0xABCD, got: 0x1234 };
+        let s = e.to_string();
+        assert!(s.contains("0x000000000000abcd") && s.contains("0x0000000000001234"), "{s}");
+        assert!(!e.is_guard_trip());
     }
 
     #[test]

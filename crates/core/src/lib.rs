@@ -21,7 +21,6 @@
 //!   §7.4 storage-model study).
 //!
 //! ```
-//! use std::rc::Rc;
 //! use xsltdb::xqgen::{rewrite, RewriteOptions};
 //! use xsltdb_structinfo::struct_of_dtd;
 //! use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
@@ -42,7 +41,7 @@
 //! assert!(outcome.fully_inlined());
 //! // …whose output equals the functional evaluation.
 //! let doc = xsltdb_xml::parse_xml("<emp><ename>CLARK</ename><sal>2450</sal></emp>").unwrap();
-//! let input = NodeHandle::new(Rc::new(doc), xsltdb_xml::NodeId::DOCUMENT);
+//! let input = NodeHandle::document(doc);
 //! let seq = evaluate_query(&outcome.query, Some(input)).unwrap();
 //! assert_eq!(xsltdb_xml::to_string(&sequence_to_document(&seq)), "<p>CLARK</p>");
 //! ```
@@ -65,8 +64,9 @@ pub use guard::{
 pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
 pub use pe::{partial_evaluate, ExecGraph, PeResult};
 pub use pipeline::{
-    no_rewrite_transform, no_rewrite_transform_guarded, plan_cached, plan_cached_shared,
-    plan_transform, BaselineRun, GuardedRun, Tier, TransformPlan,
+    no_rewrite_transform, no_rewrite_transform_guarded, plan_bound, plan_cached,
+    plan_cached_shared, plan_transform, BaselineRun, BoundPlan, GuardedRun, Tier,
+    TransformPlan,
 };
 pub use plancache::{
     fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, SharedPlanCache,

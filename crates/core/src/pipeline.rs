@@ -11,22 +11,33 @@
 //!    time;
 //! 3. **VM tier** — the functional evaluation (materialise + XSLTVM), which
 //!    is also the *no-rewrite baseline* of the paper's Figures 2 and 3.
+//!
+//! A prepared [`TransformPlan`] is a pure function of (stylesheet ×
+//! canonical structure × options): planning canonicalises the view's
+//! structure first, so the plan names tables only through symbolic slots
+//! and carries **no view identity at all**. Executing requires binding the
+//! plan to a concrete view ([`TransformPlan::bind`] → [`BoundPlan`]),
+//! which validates the view's canonical fingerprint and resolves each slot
+//! against the catalog — one prepared plan serves every view in a shape
+//! family.
 
 // Guard-bearing hot path: a stray unwrap here is a latent panic the
 // pipeline would have to contain at a tier boundary. Keep it impossible.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// The plan path shares one Arc'd plan across many binds; a stray clone of
+// the plan (or the old Rc idiom) would silently undo the sharing.
+#![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
 use crate::error::{PipelineError, TierFailure};
 use crate::guard::{DegradePolicy, Guard, Limits};
 use crate::plancache::{PlanCache, PlanKey, SharedPlanCache};
-use std::sync::Arc;
 use crate::sqlrewrite::rewrite_to_sql;
 use crate::xqgen::{rewrite, RewriteOptions, RewriteOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 use xsltdb_relstore::pubexpr::SqlXmlQuery;
-use xsltdb_relstore::{Catalog, ExecStats, XmlView};
-use xsltdb_structinfo::{struct_of_view, StructInfo};
+use xsltdb_relstore::{slot_name, Catalog, ExecStats, SlotBindings, XmlView};
+use xsltdb_structinfo::{canonicalize_view, StructInfo, ViewCanon};
 use xsltdb_xml::Document;
 use xsltdb_xquery::{
     evaluate_query, evaluate_query_guarded, sequence_to_document, NodeHandle,
@@ -44,20 +55,44 @@ pub enum Tier {
     Vm,
 }
 
-/// A planned transformation of an XMLType view by a stylesheet.
+/// A prepared transformation of a *shape family* by a stylesheet.
+///
+/// Identity-free: the SQL query (when present) names tables through
+/// symbolic slots (`$t0`, `$t1`, …) and no view is stored. `Send + Sync`
+/// (asserted at compile time in `plancache`), shared as `Arc` through the
+/// caches, and executed by [binding](Self::bind) to a concrete view.
 pub struct TransformPlan {
     pub tier: Tier,
     pub sheet: Stylesheet,
-    pub view: XmlView,
     /// Present on the SQL and XQuery tiers.
     pub rewrite: Option<RewriteOutcome>,
-    /// Present on the SQL tier.
+    /// Present on the SQL tier; table names are symbolic slots.
     pub sql: Option<SqlXmlQuery>,
+    /// Canonical fingerprint of the shape this plan was prepared for.
+    /// Binding validates against it, so a plan can never execute over a
+    /// view of a different structure.
+    pub canonical_fp: u64,
+    /// Number of table slots the plan references (`$t0` .. `$t{n-1}`).
+    pub slot_count: usize,
     /// Why the plan fell back below the SQL tier, if it did.
     pub fallback_reason: Option<String>,
 }
 
+/// A [`TransformPlan`] bound to one concrete view: the shared plan, the
+/// view (for the materialising tiers), and the slot → table bindings (for
+/// the SQL tier). Cheap to construct per call; all the execute entry
+/// points live here.
+#[derive(Clone)]
+pub struct BoundPlan {
+    pub plan: Arc<TransformPlan>,
+    pub view: XmlView,
+    pub bindings: SlotBindings,
+}
+
 /// Plan the transformation of every row of `view` by `stylesheet_src`.
+///
+/// The result is identity-free — call [`TransformPlan::bind`] (or use
+/// [`plan_bound`] / [`plan_cached`]) to execute it.
 pub fn plan_transform(
     view: &XmlView,
     stylesheet_src: &str,
@@ -67,34 +102,51 @@ pub fn plan_transform(
     plan_compiled(view, sheet, opts)
 }
 
+/// Plan `view` × `stylesheet_src` and bind the plan back to `view` — the
+/// one-shot convenience for callers that do not cache.
+pub fn plan_bound(
+    catalog: &Catalog,
+    view: &XmlView,
+    stylesheet_src: &str,
+    opts: &RewriteOptions,
+) -> Result<BoundPlan, PipelineError> {
+    let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
+    plan.bind(view, catalog)
+}
+
 /// The front door for repeated transforms: plan through a [`PlanCache`].
 ///
 /// A lookup hit returns the shared prepared plan without touching the
 /// compile → partial-evaluate → rewrite pipeline at all; a miss plans from
 /// scratch and admits the result. Entries are keyed by the content of
-/// (stylesheet text × structural-information fingerprint × options) and
+/// (stylesheet text × **canonical** structure fingerprint × options) and
 /// validated against `catalog`'s DDL [generation](Catalog::generation), so
-/// `create_index` / table / view changes transparently force a replan.
+/// `create_index` / table / view changes transparently force a replan —
+/// and two views publishing the same shape share one entry, with the
+/// returned [`BoundPlan`] binding the shared plan to *this* view's tables.
 ///
 /// Cached plans are immutable — execute them with a fresh [`Guard`] per
-/// call ([`TransformPlan::execute_with_limits`]); a budget trip in one
-/// execution never poisons the cached entry.
+/// call ([`BoundPlan::execute_with_limits`]); a budget trip in one
+/// execution never poisons the entry.
 pub fn plan_cached(
     cache: &mut PlanCache,
     catalog: &Catalog,
     view: &XmlView,
     stylesheet_src: &str,
     opts: &RewriteOptions,
-) -> Result<Arc<TransformPlan>, PipelineError> {
+) -> Result<BoundPlan, PipelineError> {
     let generation = catalog.generation();
-    let struct_fp = cache.view_fingerprint(view, generation);
-    let key = PlanKey::with_fingerprint(struct_fp, stylesheet_src, opts);
-    if let Some(plan) = cache.lookup(&key, generation) {
-        return Ok(plan);
-    }
-    let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
-    cache.insert(key, Arc::clone(&plan), generation);
-    Ok(plan)
+    let canon = cache.view_canon(view, generation);
+    let key = PlanKey::with_fingerprint(canon.fingerprint, stylesheet_src, opts);
+    let plan = match cache.lookup(&key, generation) {
+        Some(plan) => plan,
+        None => {
+            let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
+            cache.insert(key, Arc::clone(&plan), generation);
+            plan
+        }
+    };
+    plan.bind_with(view, catalog, canon.fingerprint, canon.bindings.clone())
 }
 
 /// [`plan_cached`] against a [`SharedPlanCache`]: the front door for
@@ -113,65 +165,62 @@ pub fn plan_cached_shared(
     view: &XmlView,
     stylesheet_src: &str,
     opts: &RewriteOptions,
-) -> Result<Arc<TransformPlan>, PipelineError> {
+) -> Result<BoundPlan, PipelineError> {
     let generation = catalog.generation();
-    let struct_fp = cache.view_fingerprint(view, generation);
-    let key = PlanKey::with_fingerprint(struct_fp, stylesheet_src, opts);
-    if let Some(plan) = cache.lookup(&key, generation) {
-        return Ok(plan);
-    }
-    let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
-    cache.insert(key, Arc::clone(&plan), generation);
-    Ok(plan)
+    let canon = cache.view_canon(view, generation);
+    let key = PlanKey::with_fingerprint(canon.fingerprint, stylesheet_src, opts);
+    let plan = match cache.lookup(&key, generation) {
+        Some(plan) => plan,
+        None => {
+            let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
+            cache.insert(key, Arc::clone(&plan), generation);
+            plan
+        }
+    };
+    plan.bind_with(view, catalog, canon.fingerprint, canon.bindings.clone())
 }
 
 /// Plan with a pre-compiled stylesheet.
+///
+/// Canonicalises the view's structure first and rewrites against the
+/// canonical form, so the emitted SQL names tables only through slots and
+/// the plan is shareable across the whole shape family.
 pub fn plan_compiled(
     view: &XmlView,
     sheet: Stylesheet,
     opts: &RewriteOptions,
 ) -> Result<TransformPlan, PipelineError> {
-    let info: StructInfo = match struct_of_view(view) {
-        Ok(i) => i,
-        Err(e) => {
+    let canon: ViewCanon = canonicalize_view(view);
+    let info: StructInfo = match &canon.canonical {
+        Some(i) => i.clone(),
+        None => {
             return Ok(TransformPlan {
                 tier: Tier::Vm,
                 sheet,
-                view: view.clone(),
                 rewrite: None,
                 sql: None,
-                fallback_reason: Some(e.to_string()),
+                canonical_fp: canon.fingerprint,
+                slot_count: 0,
+                fallback_reason: canon.note,
             })
         }
     };
-    match rewrite(&sheet, &info, opts) {
+    let (tier, rewrite_out, sql, fallback_reason) = match rewrite(&sheet, &info, opts) {
         Ok(outcome) => match rewrite_to_sql(&outcome.query, &info) {
-            Ok(sql) => Ok(TransformPlan {
-                tier: Tier::Sql,
-                sheet,
-                view: view.clone(),
-                rewrite: Some(outcome),
-                sql: Some(sql),
-                fallback_reason: None,
-            }),
-            Err(e) => Ok(TransformPlan {
-                tier: Tier::XQuery,
-                sheet,
-                view: view.clone(),
-                rewrite: Some(outcome),
-                sql: None,
-                fallback_reason: Some(e.to_string()),
-            }),
+            Ok(sql) => (Tier::Sql, Some(outcome), Some(sql), None),
+            Err(e) => (Tier::XQuery, Some(outcome), None, Some(e.to_string())),
         },
-        Err(e) => Ok(TransformPlan {
-            tier: Tier::Vm,
-            sheet,
-            view: view.clone(),
-            rewrite: None,
-            sql: None,
-            fallback_reason: Some(e.to_string()),
-        }),
-    }
+        Err(e) => (Tier::Vm, None, None, Some(e.to_string())),
+    };
+    Ok(TransformPlan {
+        tier,
+        sheet,
+        rewrite: rewrite_out,
+        sql,
+        canonical_fp: canon.fingerprint,
+        slot_count: canon.slot_count,
+        fallback_reason,
+    })
 }
 
 /// Result of a guarded execution: the documents plus a record of which
@@ -234,19 +283,82 @@ fn run_tier<T>(
 }
 
 impl TransformPlan {
+    /// Bind this prepared plan to a concrete view: canonicalise the view,
+    /// validate its shape fingerprint against the plan's, and resolve
+    /// every table slot against `catalog`. The [`BoundPlan`] is cheap and
+    /// per-call; the plan itself stays shared.
+    pub fn bind(
+        self: &Arc<Self>,
+        view: &XmlView,
+        catalog: &Catalog,
+    ) -> Result<BoundPlan, PipelineError> {
+        let canon = canonicalize_view(view);
+        self.bind_with(view, catalog, canon.fingerprint, canon.bindings)
+    }
+
+    /// [`Self::bind`] with a pre-computed canonicalisation (the cache path,
+    /// where the per-(view, generation) memo already holds it).
+    ///
+    /// Fails with [`PipelineError::BindingMismatch`] when `fingerprint`
+    /// differs from the plan's, and [`PipelineError::UnboundSlot`] when a
+    /// slot the plan references has no binding; every bound table must
+    /// exist in `catalog`.
+    pub fn bind_with(
+        self: &Arc<Self>,
+        view: &XmlView,
+        catalog: &Catalog,
+        fingerprint: u64,
+        bindings: SlotBindings,
+    ) -> Result<BoundPlan, PipelineError> {
+        if fingerprint != self.canonical_fp {
+            return Err(PipelineError::BindingMismatch {
+                expected: self.canonical_fp,
+                got: fingerprint,
+            });
+        }
+        for i in 0..self.slot_count {
+            let slot = slot_name(i);
+            match bindings.get(&slot) {
+                None => return Err(PipelineError::UnboundSlot { slot }),
+                Some(table) => {
+                    catalog.table(table)?;
+                }
+            }
+        }
+        Ok(BoundPlan { plan: Arc::clone(self), view: view.clone(), bindings })
+    }
+}
+
+impl BoundPlan {
+    /// The execution tier of the underlying plan.
+    pub fn tier(&self) -> Tier {
+        self.plan.tier
+    }
+
+    /// The compiled stylesheet of the underlying plan.
+    pub fn sheet(&self) -> &Stylesheet {
+        &self.plan.sheet
+    }
+
+    /// Why the underlying plan fell below the SQL tier, if it did.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.plan.fallback_reason.as_deref()
+    }
+
     /// Run the plan: one result document per view row.
     pub fn execute(
         &self,
         catalog: &Catalog,
         stats: &ExecStats,
     ) -> Result<Vec<Document>, PipelineError> {
-        match self.tier {
+        match self.plan.tier {
             Tier::Sql => {
-                let sql = self.sql.as_ref().expect("SQL tier carries a query");
-                Ok(sql.execute(catalog, stats)?)
+                let sql = self.plan.sql.as_ref().expect("SQL tier carries a query");
+                Ok(sql.execute_bound(catalog, stats, &Guard::unlimited(), &self.bindings)?)
             }
             Tier::XQuery => {
-                let outcome = self.rewrite.as_ref().expect("XQuery tier carries a rewrite");
+                let outcome =
+                    self.plan.rewrite.as_ref().expect("XQuery tier carries a rewrite");
                 let docs = self.view.materialize(catalog, stats)?;
                 let mut out = Vec::with_capacity(docs.len());
                 for d in docs {
@@ -256,7 +368,7 @@ impl TransformPlan {
                 }
                 Ok(out)
             }
-            Tier::Vm => no_rewrite_transform(catalog, &self.view, &self.sheet, stats)
+            Tier::Vm => no_rewrite_transform(catalog, &self.view, &self.plan.sheet, stats)
                 .map(|r| r.documents),
         }
     }
@@ -300,7 +412,7 @@ impl TransformPlan {
     ) -> Result<GuardedRun, PipelineError> {
         let mut attempts: Vec<Attempt> = Vec::new();
 
-        let tiers: &[Tier] = match self.tier {
+        let tiers: &[Tier] = match self.plan.tier {
             Tier::Sql => &[Tier::Sql, Tier::XQuery, Tier::Vm],
             Tier::XQuery => &[Tier::XQuery, Tier::Vm],
             Tier::Vm => &[Tier::Vm],
@@ -357,13 +469,15 @@ impl TransformPlan {
         match tier {
             Tier::Sql => {
                 let sql = self
+                    .plan
                     .sql
                     .as_ref()
                     .ok_or_else(|| PipelineError::internal("no SQL query in plan"))?;
-                Ok(sql.execute_guarded(catalog, stats, guard)?)
+                Ok(sql.execute_bound(catalog, stats, guard, &self.bindings)?)
             }
             Tier::XQuery => {
                 let outcome = self
+                    .plan
                     .rewrite
                     .as_ref()
                     .ok_or_else(|| PipelineError::internal("no rewrite outcome in plan"))?;
@@ -378,7 +492,7 @@ impl TransformPlan {
                 Ok(out)
             }
             Tier::Vm => {
-                no_rewrite_transform_guarded(catalog, &self.view, &self.sheet, stats, guard)
+                no_rewrite_transform_guarded(catalog, &self.view, &self.plan.sheet, stats, guard)
                     .map(|r| r.documents)
             }
         }
@@ -440,7 +554,7 @@ pub fn transform_document(
 ) -> Result<(Document, Option<RewriteOutcome>), PipelineError> {
     match rewrite(sheet, info, opts) {
         Ok(outcome) => {
-            let input = NodeHandle::new(Rc::new(doc.clone()), xsltdb_xml::NodeId::DOCUMENT);
+            let input = NodeHandle::document(doc.clone());
             let seq = evaluate_query(&outcome.query, Some(input))?;
             Ok((sequence_to_document(&seq), Some(outcome)))
         }
@@ -481,6 +595,22 @@ mod tests {
     #[test]
     fn simple_stylesheet_plans_to_sql_tier() {
         let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bound.tier(), Tier::Sql);
+        let stats = ExecStats::new();
+        let docs = bound.execute(&catalog, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
+    }
+
+    #[test]
+    fn plans_are_identity_free_and_sql_names_slots() {
+        let (_catalog, view) = setup();
         let plan = plan_transform(
             &view,
             &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
@@ -488,16 +618,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.tier, Tier::Sql);
+        assert_eq!(plan.slot_count, 1);
+        let sql = plan.sql.as_ref().unwrap();
+        assert_eq!(sql.base_table, "$t0", "SQL must be over slots, not tables");
+    }
+
+    #[test]
+    fn binding_validates_shape_and_slots() {
+        let (catalog, view) = setup();
+        let src = wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#);
+        let plan = Arc::new(plan_transform(&view, &src, &RewriteOptions::default()).unwrap());
+
+        // A same-shaped view over a different table binds fine...
+        let mut t2 = Table::new("t2", &[("v", ColType::Int)]);
+        t2.insert(vec![Datum::Int(9)]).unwrap();
+        let (mut catalog2, _) = setup();
+        catalog2.add_table(t2);
+        let view2 = XmlView::new(
+            "vu2",
+            SqlXmlQuery {
+                base_table: "t2".into(),
+                where_clause: Conjunction::default(),
+                select: PubExpr::elem(
+                    "r",
+                    vec![PubExpr::elem("v", vec![PubExpr::col("t2", "v")])],
+                ),
+            },
+        );
+        let bound2 = plan.bind(&view2, &catalog2).unwrap();
         let stats = ExecStats::new();
-        let docs = plan.execute(&catalog, &stats).unwrap();
-        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
+        let docs = bound2.execute(&catalog2, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>9</o>", "rebind reads t2's rows");
+
+        // ... a differently-shaped view is a typed mismatch ...
+        let other = XmlView::new(
+            "other",
+            SqlXmlQuery {
+                base_table: "t".into(),
+                where_clause: Conjunction::default(),
+                select: PubExpr::elem("r", vec![PubExpr::elem("w", vec![PubExpr::col("t", "v")])]),
+            },
+        );
+        match plan.bind(&other, &catalog) {
+            Err(PipelineError::BindingMismatch { expected, got }) => {
+                assert_eq!(expected, plan.canonical_fp);
+                assert_ne!(got, expected);
+            }
+            other => panic!("expected BindingMismatch, got {other:?}", other = other.map(|_| ())),
+        }
+
+        // ... and an incomplete binding is a typed unbound-slot error.
+        match plan.bind_with(&view, &catalog, plan.canonical_fp, SlotBindings::new()) {
+            Err(PipelineError::UnboundSlot { slot }) => assert_eq!(slot, "$t0"),
+            other => panic!("expected UnboundSlot, got {other:?}", other = other.map(|_| ())),
+        }
     }
 
     #[test]
     fn untranslatable_sql_shape_falls_to_xquery_tier() {
         // substring() has no SQL translation but is fine in XQuery.
         let (catalog, view) = setup();
-        let plan = plan_transform(
+        let bound = plan_bound(
+            &catalog,
             &view,
             &wrap(
                 r#"<xsl:template match="r"><o><xsl:value-of select="substring(v, 1, 1)"/></o></xsl:template>"#,
@@ -505,17 +687,18 @@ mod tests {
             &RewriteOptions::default(),
         )
         .unwrap();
-        assert_eq!(plan.tier, Tier::XQuery, "{:?}", plan.fallback_reason);
-        assert!(plan.fallback_reason.is_some());
+        assert_eq!(bound.tier(), Tier::XQuery, "{:?}", bound.fallback_reason());
+        assert!(bound.fallback_reason().is_some());
         let stats = ExecStats::new();
-        let docs = plan.execute(&catalog, &stats).unwrap();
+        let docs = bound.execute(&catalog, &stats).unwrap();
         assert_eq!(xsltdb_xml::to_string(&docs[0]), "<o>7</o>");
     }
 
     #[test]
     fn unrewritable_stylesheet_falls_to_vm_tier() {
         let (catalog, view) = setup();
-        let plan = plan_transform(
+        let bound = plan_bound(
+            &catalog,
             &view,
             &wrap(
                 r#"<xsl:template match="r"><o id="{generate-id(.)}"><xsl:value-of select="v"/></o></xsl:template>"#,
@@ -523,9 +706,9 @@ mod tests {
             &RewriteOptions::default(),
         )
         .unwrap();
-        assert_eq!(plan.tier, Tier::Vm, "{:?}", plan.fallback_reason);
+        assert_eq!(bound.tier(), Tier::Vm, "{:?}", bound.fallback_reason());
         let stats = ExecStats::new();
-        let docs = plan.execute(&catalog, &stats).unwrap();
+        let docs = bound.execute(&catalog, &stats).unwrap();
         assert!(xsltdb_xml::to_string(&docs[0]).contains("<o id="));
     }
 
@@ -562,7 +745,10 @@ mod tests {
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
         let second =
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
-        assert!(Arc::ptr_eq(&first, &second), "hit must return the same prepared plan");
+        assert!(
+            Arc::ptr_eq(&first.plan, &second.plan),
+            "hit must return the same prepared plan"
+        );
         let snap = cache.stats();
         assert_eq!((snap.hits, snap.misses), (1, 1));
         let stats = ExecStats::new();
@@ -580,7 +766,7 @@ mod tests {
         catalog.create_index("t", "v").unwrap();
         let second =
             plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default()).unwrap();
-        assert!(!Arc::ptr_eq(&first, &second), "DDL must force a replan");
+        assert!(!Arc::ptr_eq(&first.plan, &second.plan), "DDL must force a replan");
         assert_eq!(cache.stats().invalidations, 1);
     }
 
@@ -605,19 +791,20 @@ mod tests {
     #[test]
     fn fresh_guard_per_execution_trips_independently() {
         let (catalog, view) = setup();
-        let plan = plan_transform(
+        let bound = plan_bound(
+            &catalog,
             &view,
             &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
             &RewriteOptions::default(),
         )
         .unwrap();
         let stats = ExecStats::new();
-        let tripped = plan
+        let tripped = bound
             .execute_with_limits(&catalog, &stats, Limits::UNLIMITED.with_fuel(1))
             .unwrap_err();
         assert!(tripped.is_guard_trip(), "got {tripped:?}");
         // The same immutable plan runs to completion on the next call.
-        let run = plan
+        let run = bound
             .execute_with_limits(&catalog, &stats, Limits::UNLIMITED)
             .unwrap();
         assert_eq!(xsltdb_xml::to_string(&run.documents[0]), "<o>7</o>");

@@ -7,10 +7,13 @@
 //! This module provides that amortisation for the in-process engine.
 //!
 //! * **Key** — a content digest of the triple that planning actually
-//!   consumes: the stylesheet text, a fingerprint of the view's structural
-//!   information ([`struct_fingerprint`]), and the [`RewriteOptions`].
-//!   Equality is exact (the full stylesheet text is compared, not just its
-//!   hash), so distinct triples can never collide to the same entry.
+//!   consumes: the stylesheet text, the **canonical** fingerprint of the
+//!   view's structural information
+//!   ([`canonicalize_view`](xsltdb_structinfo::canonicalize_view) — table
+//!   names replaced by slots, so same-shaped views share entries), and the
+//!   [`RewriteOptions`]. Equality is exact (the full stylesheet text is
+//!   compared, not just its hash), so distinct triples can never collide
+//!   to the same entry.
 //! * **Invalidation** — every entry records the [`Catalog::generation`]
 //!   observed at planning time. DDL (index creation, table/view changes)
 //!   bumps the generation, so a later lookup finds the entry stale, drops
@@ -20,19 +23,29 @@
 //!   whole capacity is simply not admitted.
 //! * **Guard composition** — cached plans are immutable; executions arm a
 //!   *fresh* [`Guard`](crate::guard::Guard) per call (see
-//!   [`TransformPlan::execute_with_limits`](crate::pipeline::TransformPlan::execute_with_limits)),
+//!   [`BoundPlan::execute_with_limits`](crate::pipeline::BoundPlan::execute_with_limits)),
 //!   so a budget trip in one call never poisons the entry for the next.
 
 // Guard-bearing hot path: a stray unwrap here is a latent panic the
 // pipeline would have to contain at a tier boundary. Keep it impossible.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// The cache hands one Arc'd plan to every caller; a stray clone of the
+// plan would silently undo the sharing the cache exists to provide.
+#![cfg_attr(not(test), deny(clippy::redundant_clone))]
 
-use crate::pipeline::TransformPlan;
+use crate::pipeline::{BoundPlan, TransformPlan};
 use crate::xqgen::RewriteOptions;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use xsltdb_relstore::{CacheSnapshot, CacheStats, XmlView};
-use xsltdb_structinfo::{struct_of_view, StructInfo};
+use xsltdb_structinfo::{canonicalize_view, ViewCanon};
+
+// Re-exported from their home crates (the digest primitive lives with the
+// slot model in `relstore::binding`; the fingerprint with the
+// canonicaliser in `structinfo::canonical`) so existing callers of
+// `plancache::{fnv64, struct_fingerprint}` keep working.
+pub use xsltdb_relstore::fnv64;
+pub use xsltdb_structinfo::struct_fingerprint;
 
 // The contract the whole concurrent engine rests on: a prepared plan is
 // immutable after build and crosses threads freely, as do the cache and
@@ -44,32 +57,12 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<TransformPlan>();
     assert_send_sync::<Arc<TransformPlan>>();
+    assert_send_sync::<BoundPlan>();
     assert_send_sync::<PlanKey>();
     assert_send_sync::<PlanCache>();
     assert_send_sync::<SharedPlanCache>();
     assert_send_sync::<crate::guard::Guard>();
 };
-
-/// FNV-1a over a byte stream — the digest primitive for cache keys. Not
-/// cryptographic; it only has to be fast, deterministic and well-spread,
-/// because entry *equality* is decided by full key comparison.
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Fingerprint of one structural-information tree. The `Debug` rendering is
-/// a canonical in-process serialisation of the whole tree (names, model
-/// groups, cardinalities, content bindings, row sources), so two views
-/// publishing the same shape fingerprint identically and any structural
-/// difference changes the digest.
-pub fn struct_fingerprint(info: &StructInfo) -> u64 {
-    fnv64(format!("{info:?}").as_bytes())
-}
 
 /// The cache key: the exact triple planning consumes. Hashing uses the
 /// derived `Hash`; equality compares the full contents, so the property
@@ -79,9 +72,12 @@ pub fn struct_fingerprint(info: &StructInfo) -> u64 {
 pub struct PlanKey {
     /// The full stylesheet source text.
     pub stylesheet: String,
-    /// [`struct_fingerprint`] of the view's structural information (or of
-    /// the derivation error, for views whose structure cannot be derived —
-    /// those still plan, to the VM tier, and still cache).
+    /// **Canonical** structure fingerprint
+    /// ([`canonicalize_view`](xsltdb_structinfo::canonicalize_view)): equal
+    /// for every view publishing the same shape, whatever its table names —
+    /// so same-shaped views share one entry. Views whose structure cannot
+    /// be derived fingerprint their derivation error (which names the
+    /// view), still plan (to the VM tier), and still cache — per view.
     pub struct_fp: u64,
     /// Canonical rendering of the [`RewriteOptions`] flags.
     pub options: String,
@@ -89,11 +85,11 @@ pub struct PlanKey {
 
 impl PlanKey {
     /// Build the key for planning `stylesheet_src` against `view`,
-    /// deriving and fingerprinting the view's structure on the spot. On
-    /// the lookup hot path prefer [`PlanCache::view_fingerprint`] +
-    /// [`PlanKey::with_fingerprint`], which memoises the derivation.
+    /// canonicalising the view's structure on the spot. On the lookup hot
+    /// path prefer [`PlanCache::view_canon`] + [`PlanKey::with_fingerprint`],
+    /// which memoises the canonicalisation.
     pub fn new(view: &XmlView, stylesheet_src: &str, opts: &RewriteOptions) -> PlanKey {
-        PlanKey::with_fingerprint(raw_view_fingerprint(view), stylesheet_src, opts)
+        PlanKey::with_fingerprint(canonicalize_view(view).fingerprint, stylesheet_src, opts)
     }
 
     /// Build the key from an already-computed structure fingerprint.
@@ -123,13 +119,41 @@ impl PlanKey {
     }
 }
 
-/// Derive `view`'s structural information and fingerprint it (or
-/// fingerprint the derivation error — such views still plan, to the VM
-/// tier, and still cache).
-fn raw_view_fingerprint(view: &XmlView) -> u64 {
-    match struct_of_view(view) {
-        Ok(info) => struct_fingerprint(&info),
-        Err(e) => fnv64(format!("unstructured:{e}").as_bytes()),
+/// Memo of view-name → (DDL generation, canonicalisation) shared — as a
+/// value, not a pointer — by both cache flavours. Canonicalising derives
+/// and walks the whole view definition, which would dominate a warm
+/// lookup; since any DDL bumps the catalog generation, a memo entry at the
+/// current generation can never describe a stale structure.
+#[derive(Default)]
+struct CanonMemo {
+    entries: HashMap<String, (u64, Arc<ViewCanon>)>,
+}
+
+impl CanonMemo {
+    /// The memoised canonicalisation of `name` at exactly `generation`.
+    fn probe(&self, name: &str, generation: u64) -> Option<Arc<ViewCanon>> {
+        match self.entries.get(name) {
+            Some((g, canon)) if *g == generation => Some(Arc::clone(canon)),
+            _ => None,
+        }
+    }
+
+    fn store(&mut self, name: &str, generation: u64, canon: Arc<ViewCanon>) {
+        self.entries.insert(name.to_string(), (generation, canon));
+    }
+
+    /// Probe-or-derive for callers holding exclusive access.
+    fn get_or_derive(&mut self, view: &XmlView, generation: u64) -> Arc<ViewCanon> {
+        if let Some(canon) = self.probe(&view.name, generation) {
+            return canon;
+        }
+        let canon = Arc::new(canonicalize_view(view));
+        self.store(&view.name, generation, Arc::clone(&canon));
+        canon
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -176,12 +200,8 @@ pub struct PlanCache {
     /// Shared handle so a [`SharedPlanCache`] can point every shard at one
     /// set of counters; a standalone cache owns its own.
     stats: Arc<CacheStats>,
-    /// Memo of view-name → (DDL generation, structure fingerprint).
-    /// Deriving structural information walks the whole view definition, which
-    /// would dominate a warm lookup; since any DDL bumps the catalog
-    /// generation, a memo entry at the current generation can never describe
-    /// a stale structure.
-    view_fps: HashMap<String, (u64, u64)>,
+    /// Per-(view, generation) canonicalisation memo (see [`CanonMemo`]).
+    canon: CanonMemo,
 }
 
 /// Default capacity: enough for every stylesheet of the XSLTMark suite with
@@ -210,22 +230,22 @@ impl PlanCache {
             bytes: 0,
             clock: 0,
             stats,
-            view_fps: HashMap::new(),
+            canon: CanonMemo::default(),
         }
     }
 
-    /// [`struct_fingerprint`] of `view`'s structure, memoised per view name
-    /// at DDL `generation`: the derivation runs once per (view, generation)
-    /// and every later lookup at the same generation is a map probe.
+    /// `view`'s canonicalisation (family fingerprint + slot bindings),
+    /// memoised per view name at DDL `generation`: it runs once per
+    /// (view, generation) and every later lookup at the same generation is
+    /// a map probe.
+    pub fn view_canon(&mut self, view: &XmlView, generation: u64) -> Arc<ViewCanon> {
+        self.canon.get_or_derive(view, generation)
+    }
+
+    /// The canonical structure fingerprint of `view`, through the same
+    /// memo as [`Self::view_canon`].
     pub fn view_fingerprint(&mut self, view: &XmlView, generation: u64) -> u64 {
-        if let Some(&(g, fp)) = self.view_fps.get(&view.name) {
-            if g == generation {
-                return fp;
-            }
-        }
-        let fp = raw_view_fingerprint(view);
-        self.view_fps.insert(view.name.clone(), (generation, fp));
-        fp
+        self.view_canon(view, generation).fingerprint
     }
 
     pub fn capacity_bytes(&self) -> usize {
@@ -251,10 +271,10 @@ impl PlanCache {
         self.stats.reset();
     }
 
-    /// Drop every entry and fingerprint memo (counters are kept).
+    /// Drop every entry and canonicalisation memo (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.view_fps.clear();
+        self.canon.clear();
         self.bytes = 0;
     }
 
@@ -357,10 +377,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct SharedPlanCache {
     shards: Box<[Mutex<PlanCache>]>,
     stats: Arc<CacheStats>,
-    /// Memo of view-name → (DDL generation, structure fingerprint), shared
-    /// across shards: the fingerprint is needed *before* a key (and thus a
-    /// shard) exists. See [`PlanCache::view_fingerprint`] for the protocol.
-    view_fps: Mutex<HashMap<String, (u64, u64)>>,
+    /// Per-(view, generation) canonicalisation memo, shared across shards:
+    /// the fingerprint is needed *before* a key (and thus a shard) exists.
+    /// See [`PlanCache::view_canon`] for the protocol.
+    canon: Mutex<CanonMemo>,
     capacity: usize,
 }
 
@@ -390,7 +410,7 @@ impl SharedPlanCache {
         SharedPlanCache {
             shards: shards.into_boxed_slice(),
             stats,
-            view_fps: Mutex::new(HashMap::new()),
+            canon: Mutex::new(CanonMemo::default()),
             capacity,
         }
     }
@@ -433,29 +453,33 @@ impl SharedPlanCache {
         self.stats.reset();
     }
 
-    /// Drop every entry and fingerprint memo (counters are kept).
+    /// Drop every entry and canonicalisation memo (counters are kept).
     pub fn clear(&self) {
         for s in self.shards.iter() {
             lock(s).clear();
         }
-        lock(&self.view_fps).clear();
+        lock(&self.canon).clear();
     }
 
-    /// [`struct_fingerprint`] of `view`'s structure, memoised per view name
-    /// at DDL `generation` — the cross-shard analogue of
-    /// [`PlanCache::view_fingerprint`]. The derivation (a full walk of the
-    /// view definition) runs outside the memo lock, so a cold fingerprint
-    /// never stalls other sessions' memo probes; concurrent cold calls for
-    /// the same view derive twice and agree (the derivation is pure).
-    pub fn view_fingerprint(&self, view: &XmlView, generation: u64) -> u64 {
-        if let Some(&(g, fp)) = lock(&self.view_fps).get(&view.name) {
-            if g == generation {
-                return fp;
-            }
+    /// `view`'s canonicalisation, memoised per view name at DDL
+    /// `generation` — the cross-shard analogue of [`PlanCache::view_canon`].
+    /// The canonicalisation (a full walk of the view definition) runs
+    /// outside the memo lock, so a cold entry never stalls other sessions'
+    /// memo probes; concurrent cold calls for the same view derive twice
+    /// and agree (the derivation is pure).
+    pub fn view_canon(&self, view: &XmlView, generation: u64) -> Arc<ViewCanon> {
+        if let Some(canon) = lock(&self.canon).probe(&view.name, generation) {
+            return canon;
         }
-        let fp = raw_view_fingerprint(view);
-        lock(&self.view_fps).insert(view.name.clone(), (generation, fp));
-        fp
+        let canon = Arc::new(canonicalize_view(view));
+        lock(&self.canon).store(&view.name, generation, Arc::clone(&canon));
+        canon
+    }
+
+    /// The canonical structure fingerprint of `view`, through the same
+    /// memo as [`Self::view_canon`].
+    pub fn view_fingerprint(&self, view: &XmlView, generation: u64) -> u64 {
+        self.view_canon(view, generation).fingerprint
     }
 
     /// Look up a plan for `key` valid at DDL `generation`, under the key's

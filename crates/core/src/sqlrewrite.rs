@@ -9,6 +9,16 @@
 //! column binding, non-column conditionals) return [`RewriteError`]; the
 //! pipeline then runs the XQuery tier instead — rewrites degrade, they
 //! never fail the transformation.
+//!
+//! The rewrite is **name-agnostic**: every table reference in the emitted
+//! [`SqlXmlQuery`] is copied verbatim from the structural information it
+//! is given. The pipeline plans against *canonical* structure
+//! ([`xsltdb_structinfo::canonicalize`]), whose table names are binding
+//! slots (`$t0`, `$t1`, …), so prepared SQL is slot-named and identity-free
+//! — concrete tables are substituted at execute time via
+//! [`xsltdb_relstore::SlotBindings`]. Nothing in this module special-cases
+//! slots; rewriting over raw (concrete-named) structure emits ordinary
+//! table names, which the executor's identity bindings pass through.
 
 use crate::error::RewriteError;
 use crate::xqgen::ROOT_VAR;
@@ -798,6 +808,32 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn canonical_info_yields_slot_named_sql() {
+        // The same rewrite over *canonicalised* structure emits the SQL the
+        // plan cache actually stores: tables are binding slots, not names.
+        let (canon, template) = xsltdb_structinfo::canonicalize(&view_info());
+        let q = parse_query(
+            "declare variable $var000 := .; \
+             for $i in $var000/r/items/i return <x>{fn:string($i/v)}</x>",
+        )
+        .unwrap();
+        let sql = rewrite_to_sql(&q, &canon.info).unwrap();
+        assert_eq!(sql.base_table, "$t0");
+        match &sql.select {
+            PubExpr::Agg { table, predicate, .. } => {
+                assert_eq!(table, "$t1");
+                assert!(predicate.iter().any(|t| matches!(
+                    t,
+                    AggPredTerm::Correlate { outer_table, .. } if outer_table == "$t0"
+                )));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The binding template maps the slots back to the concrete tables.
+        assert_eq!(template.tables, vec!["base".to_string(), "item".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Symbolic table slots and their execute-time bindings.
+//!
+//! A canonicalised plan refers to tables through slots (`$t0`, `$t1`, …)
+//! instead of concrete names, so one prepared plan can serve every view
+//! publishing the same shape. At execute time a [`SlotBindings`] maps each
+//! slot back to the concrete table the current view draws from; names that
+//! are not slots pass through unchanged, so an empty binding set is the
+//! identity and concrete (un-canonicalised) queries run exactly as before.
+
+use crate::table::StoreError;
+
+/// The name of table slot `i` (`$t0`, `$t1`, …). `$` cannot start a SQL
+/// identifier, so slots can never collide with a concrete table name.
+pub fn slot_name(i: usize) -> String {
+    format!("$t{i}")
+}
+
+/// True when `name` is a symbolic slot rather than a concrete table name.
+pub fn is_slot(name: &str) -> bool {
+    name.starts_with('$')
+}
+
+/// Slot → concrete-table map resolved against the catalog at execute time.
+///
+/// Slot counts are tiny (one per distinct table a view publishes from), so
+/// a linear probe over a small vector beats a hash map here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotBindings {
+    pairs: Vec<(String, String)>,
+}
+
+impl SlotBindings {
+    pub fn new() -> SlotBindings {
+        SlotBindings::default()
+    }
+
+    /// The empty binding set: every concrete name resolves to itself and
+    /// any slot is an error — the identity for un-canonicalised queries.
+    pub fn identity() -> SlotBindings {
+        SlotBindings::default()
+    }
+
+    /// Bind `slot` to `table` (replacing any previous binding of the slot).
+    pub fn bind(&mut self, slot: impl Into<String>, table: impl Into<String>) {
+        let slot = slot.into();
+        let table = table.into();
+        match self.pairs.iter_mut().find(|(s, _)| *s == slot) {
+            Some(pair) => pair.1 = table,
+            None => self.pairs.push((slot, table)),
+        }
+    }
+
+    /// The binding that maps slot `i` to `tables[i]` — the shape produced
+    /// by canonicalisation, consumed by plan binding.
+    pub fn from_tables<S: AsRef<str>>(tables: &[S]) -> SlotBindings {
+        let mut b = SlotBindings::new();
+        for (i, t) in tables.iter().enumerate() {
+            b.bind(slot_name(i), t.as_ref());
+        }
+        b
+    }
+
+    /// The concrete table bound to `slot`, if any.
+    pub fn get(&self, slot: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(s, _)| s == slot)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Resolve a (possibly symbolic) table name to a concrete one. Concrete
+    /// names pass through untouched; an unbound slot is a typed error — a
+    /// plan must never silently execute against the wrong relation.
+    pub fn resolve<'a>(&'a self, name: &'a str) -> Result<&'a str, StoreError> {
+        if !is_slot(name) {
+            return Ok(name);
+        }
+        self.get(name)
+            .ok_or_else(|| StoreError(format!("unbound table slot {name}")))
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The bindings in insertion (slot) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(s, t)| (s.as_str(), t.as_str()))
+    }
+}
+
+/// FNV-1a over a byte stream — the digest primitive for canonical
+/// fingerprints and cache keys. Not cryptographic; it only has to be fast,
+/// deterministic and well-spread, because cache-entry *equality* is decided
+/// by full key comparison.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_names_are_dollar_prefixed() {
+        assert_eq!(slot_name(0), "$t0");
+        assert_eq!(slot_name(12), "$t12");
+        assert!(is_slot("$t0"));
+        assert!(!is_slot("emp"));
+    }
+
+    #[test]
+    fn identity_passes_concrete_names_through() {
+        let b = SlotBindings::identity();
+        assert_eq!(b.resolve("emp").unwrap(), "emp");
+        assert!(b.resolve("$t0").is_err());
+    }
+
+    #[test]
+    fn bound_slots_resolve_and_rebind() {
+        let mut b = SlotBindings::new();
+        b.bind("$t0", "dept");
+        b.bind("$t1", "emp");
+        assert_eq!(b.resolve("$t0").unwrap(), "dept");
+        assert_eq!(b.resolve("$t1").unwrap(), "emp");
+        assert_eq!(b.len(), 2);
+        b.bind("$t1", "emp2");
+        assert_eq!(b.resolve("$t1").unwrap(), "emp2");
+        assert_eq!(b.len(), 2, "rebinding replaces, not appends");
+    }
+
+    #[test]
+    fn from_tables_assigns_slots_in_order() {
+        let b = SlotBindings::from_tables(&["dept", "emp"]);
+        assert_eq!(b.get("$t0"), Some("dept"));
+        assert_eq!(b.get("$t1"), Some("emp"));
+        assert_eq!(b.get("$t2"), None);
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_spreads() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+}

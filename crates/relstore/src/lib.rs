@@ -31,6 +31,7 @@
 //! # let _ = path;
 //! ```
 
+pub mod binding;
 pub mod catalog;
 pub mod datum;
 pub mod docstore;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod table;
 pub mod view;
 
+pub use binding::{fnv64, is_slot, slot_name, SlotBindings};
 pub use catalog::Catalog;
 pub use datum::{ArithOp, ColType, Datum, DatumKey};
 pub use docstore::{DocStorageModel, PathHit, XmlDocStore};

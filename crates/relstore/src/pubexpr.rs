@@ -7,6 +7,7 @@
 // pipeline would have to contain at a tier boundary. Keep it impossible.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+use crate::binding::SlotBindings;
 use crate::catalog::Catalog;
 use crate::exec::{guard_err, scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 use crate::stats::ExecStats;
@@ -145,6 +146,25 @@ pub fn eval_pub_guarded(
     out: &mut TreeBuilder,
     guard: &Guard,
 ) -> Result<(), StoreError> {
+    eval_pub_bound(expr, catalog, stats, bindings, out, guard, &SlotBindings::identity())
+}
+
+/// Like [`eval_pub_guarded`], but every table name in the expression is
+/// resolved through `slots` before it touches the catalog or the row
+/// bindings — the execution mode of canonicalised plans, whose expressions
+/// name tables symbolically (`$t0`, `$t1`, …). Row bindings are keyed by
+/// *resolved* names throughout, so a slot and its concrete table can never
+/// refer to different rows.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_pub_bound(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+    out: &mut TreeBuilder,
+    guard: &Guard,
+    slots: &SlotBindings,
+) -> Result<(), StoreError> {
     guard.charge(1).map_err(guard_err)?;
     match expr {
         PubExpr::Literal(s) => {
@@ -153,6 +173,7 @@ pub fn eval_pub_guarded(
             Ok(())
         }
         PubExpr::ColumnRef { table, column } => {
+            let table = slots.resolve(table)?;
             let row = bindings
                 .get(table)
                 .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
@@ -164,13 +185,13 @@ pub fn eval_pub_guarded(
         }
         PubExpr::StrConcat(parts) => {
             for p in parts {
-                eval_pub_guarded(p, catalog, stats, bindings, out, guard)?;
+                eval_pub_bound(p, catalog, stats, bindings, out, guard, slots)?;
             }
             Ok(())
         }
         PubExpr::Concat(parts) => {
             for p in parts {
-                eval_pub_guarded(p, catalog, stats, bindings, out, guard)?;
+                eval_pub_bound(p, catalog, stats, bindings, out, guard, slots)?;
             }
             Ok(())
         }
@@ -179,19 +200,24 @@ pub fn eval_pub_guarded(
             guard.note_output_nodes(1).map_err(guard_err)?;
             out.start_element(QName::local(name));
             for (aname, avalue) in attrs {
-                let text = eval_to_text_guarded(avalue, catalog, stats, bindings, guard)?;
+                let text =
+                    eval_to_text_bound(avalue, catalog, stats, bindings, guard, slots)?;
                 out.try_attribute(QName::local(aname), text)
                     .map_err(|m| StoreError(m.to_string()))?;
             }
             for c in children {
-                eval_pub_guarded(c, catalog, stats, bindings, out, guard)?;
+                eval_pub_bound(c, catalog, stats, bindings, out, guard, slots)?;
             }
             out.end_element();
             Ok(())
         }
         PubExpr::Arith { op, left, right } => {
-            let l = xsltdb_xpath::value::str_to_num(&eval_to_text_guarded(left, catalog, stats, bindings, guard)?);
-            let r = xsltdb_xpath::value::str_to_num(&eval_to_text_guarded(right, catalog, stats, bindings, guard)?);
+            let l = xsltdb_xpath::value::str_to_num(&eval_to_text_bound(
+                left, catalog, stats, bindings, guard, slots,
+            )?);
+            let r = xsltdb_xpath::value::str_to_num(&eval_to_text_bound(
+                right, catalog, stats, bindings, guard, slots,
+            )?);
             let n = match op {
                 crate::datum::ArithOp::Add => l + r,
                 crate::datum::ArithOp::Sub => l - r,
@@ -203,29 +229,32 @@ pub fn eval_pub_guarded(
             Ok(())
         }
         PubExpr::Case { cond, table, then, els } => {
+            let table = slots.resolve(table)?;
             let row = bindings
                 .get(table)
                 .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
             let t = catalog.table(table)?;
             if cond.matches(t, row)? {
-                eval_pub_guarded(then, catalog, stats, bindings, out, guard)
+                eval_pub_bound(then, catalog, stats, bindings, out, guard, slots)
             } else {
-                eval_pub_guarded(els, catalog, stats, bindings, out, guard)
+                eval_pub_bound(els, catalog, stats, bindings, out, guard, slots)
             }
         }
         PubExpr::Agg { table, predicate, order_by, body } => {
-            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard)?;
+            let table = slots.resolve(table)?;
+            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard, slots)?;
             let rows = order_rows(rows, table, order_by, catalog)?;
             for r in rows {
                 bindings.push(table, r);
-                let res = eval_pub_guarded(body, catalog, stats, bindings, out, guard);
+                let res = eval_pub_bound(body, catalog, stats, bindings, out, guard, slots);
                 bindings.pop();
                 res?;
             }
             Ok(())
         }
         PubExpr::ScalarAgg { func, column, table, predicate } => {
-            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard)?;
+            let table = slots.resolve(table)?;
+            let rows = agg_rows(table, predicate, catalog, stats, bindings, guard, slots)?;
             let text = match func {
                 AggFunc::Count => (rows.len() as i64).to_string(),
                 AggFunc::Sum => {
@@ -266,14 +295,30 @@ pub fn eval_to_text_guarded(
     bindings: &mut Bindings,
     guard: &Guard,
 ) -> Result<String, StoreError> {
+    eval_to_text_bound(expr, catalog, stats, bindings, guard, &SlotBindings::identity())
+}
+
+/// Slot-resolving variant of [`eval_to_text_guarded`].
+pub fn eval_to_text_bound(
+    expr: &PubExpr,
+    catalog: &Catalog,
+    stats: &ExecStats,
+    bindings: &mut Bindings,
+    guard: &Guard,
+    slots: &SlotBindings,
+) -> Result<String, StoreError> {
     let mut b = TreeBuilder::new();
     b.start_element(QName::local("t"));
-    eval_pub_guarded(expr, catalog, stats, bindings, &mut b, guard)?;
+    eval_pub_bound(expr, catalog, stats, bindings, &mut b, guard, slots)?;
     b.end_element();
     let doc = b.finish();
     Ok(doc.string_value(xsltdb_xml::NodeId::DOCUMENT))
 }
 
+/// `table` must already be slot-resolved by the caller; `slots` is still
+/// needed here because correlation terms name the *outer* table, which may
+/// itself be symbolic in a canonicalised plan.
+#[allow(clippy::too_many_arguments)]
 fn agg_rows(
     table: &str,
     predicate: &[AggPredTerm],
@@ -281,6 +326,7 @@ fn agg_rows(
     stats: &ExecStats,
     bindings: &Bindings,
     guard: &Guard,
+    slots: &SlotBindings,
 ) -> Result<Vec<RowId>, StoreError> {
     // Resolve correlation terms to constants from the outer bindings, so the
     // access-path planner can use an index on the correlated column too.
@@ -289,6 +335,7 @@ fn agg_rows(
         match term {
             AggPredTerm::Const(c) => conj.terms.push(c.clone()),
             AggPredTerm::Correlate { inner_column, outer_table, outer_column } => {
+                let outer_table = slots.resolve(outer_table)?;
                 let row = bindings.get(outer_table).ok_or_else(|| {
                     StoreError(format!("no outer row bound for {outer_table}"))
                 })?;
@@ -363,6 +410,20 @@ impl SqlXmlQuery {
         stats: &ExecStats,
         guard: &Guard,
     ) -> Result<Vec<Document>, StoreError> {
+        self.execute_bound(catalog, stats, guard, &SlotBindings::identity())
+    }
+
+    /// Like [`Self::execute_guarded`], but the base table and every table
+    /// named inside the publishing expression are resolved through `slots`
+    /// first — how a canonicalised plan (whose query names only `$t0`,
+    /// `$t1`, …) executes against one concrete view of the family.
+    pub fn execute_bound(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        slots: &SlotBindings,
+    ) -> Result<Vec<Document>, StoreError> {
         if let Some(kind) = guard.take_fault(FaultPoint::SqlExec) {
             match kind {
                 FaultKind::Error => {
@@ -371,15 +432,23 @@ impl SqlXmlQuery {
                 FaultKind::Panic => panic!("injected panic at SQL tier"),
             }
         }
+        let base_table = slots.resolve(&self.base_table)?;
         let (rows, _path) =
-            scan_guarded(catalog, stats, &self.base_table, &self.where_clause, guard)?;
+            scan_guarded(catalog, stats, base_table, &self.where_clause, guard)?;
         let mut out = Vec::with_capacity(rows.len());
         let mut bindings = Bindings::new();
         for r in rows {
-            bindings.push(&self.base_table, r);
+            bindings.push(base_table, r);
             let mut b = TreeBuilder::new();
-            let res =
-                eval_pub_guarded(&self.select, catalog, stats, &mut bindings, &mut b, guard);
+            let res = eval_pub_bound(
+                &self.select,
+                catalog,
+                stats,
+                &mut bindings,
+                &mut b,
+                guard,
+                slots,
+            );
             bindings.pop();
             res?;
             out.push(b.finish_lenient());
@@ -388,17 +457,27 @@ impl SqlXmlQuery {
     }
 
     /// The access path the base-table scan would take (for EXPLAIN-style
-    /// reporting).
-    pub fn explain_base_path(&self, catalog: &Catalog) -> Result<AccessPath, StoreError> {
+    /// reporting). `slots` resolves a symbolic base table; pass
+    /// [`SlotBindings::identity`] for concrete queries.
+    pub fn explain_base_path_bound(
+        &self,
+        catalog: &Catalog,
+        slots: &SlotBindings,
+    ) -> Result<AccessPath, StoreError> {
         let stats = ExecStats::new();
         let (_, path) = scan_guarded(
             catalog,
             &stats,
-            &self.base_table,
+            slots.resolve(&self.base_table)?,
             &self.where_clause,
             &Guard::unlimited(),
         )?;
         Ok(path)
+    }
+
+    /// [`Self::explain_base_path_bound`] with the identity binding.
+    pub fn explain_base_path(&self, catalog: &Catalog) -> Result<AccessPath, StoreError> {
+        self.explain_base_path_bound(catalog, &SlotBindings::identity())
     }
 }
 

@@ -22,6 +22,7 @@
 //! assert_eq!((emp.decl.name.as_str(), emp.card), ("emp", Cardinality::Many));
 //! ```
 
+pub mod canonical;
 pub mod dtd;
 pub mod from_typing;
 pub mod from_view;
@@ -29,6 +30,10 @@ pub mod model;
 pub mod sample;
 pub mod xsd;
 
+pub use canonical::{
+    canonicalize, canonicalize_view, struct_fingerprint, BindingTemplate, CanonicalStruct,
+    ViewCanon,
+};
 pub use dtd::{struct_of_dtd, DtdError};
 pub use from_typing::{struct_of_query_result, TypingError};
 pub use from_view::{struct_of_view, DeriveError};

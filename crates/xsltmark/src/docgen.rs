@@ -93,15 +93,23 @@ pub fn db_struct_info() -> StructInfo {
     struct_of_dtd(DB_DTD, "table").expect("static DTD parses")
 }
 
-/// The relational backing: a one-row anchor table (the document), a row
-/// table with B-tree indexes on `id`, `zip` and `state`, and the publishing
-/// view that constructs the same XML as [`db_xml`].
-pub fn db_catalog(rows: usize, seed: u64) -> (Catalog, XmlView) {
+/// Add the db backing under explicit table/view names: a one-row anchor
+/// table (the document), a row table with B-tree indexes on `id`, `zip`
+/// and `state`, and the publishing view over them. The helper behind
+/// [`db_catalog`] and [`db_catalog_family`].
+fn add_db_tables(
+    catalog: &mut Catalog,
+    doc_table: &str,
+    rows_table: &str,
+    view_name: &str,
+    rows: usize,
+    seed: u64,
+) -> XmlView {
     let data = db_rows(rows, seed);
-    let mut anchor = Table::new("db_doc", &[("docid", ColType::Int)]);
+    let mut anchor = Table::new(doc_table, &[("docid", ColType::Int)]);
     anchor.insert(vec![Datum::Int(1)]).expect("schema matches");
     let mut t = Table::new(
-        "db_rows",
+        rows_table,
         &[
             ("id", ColType::Int),
             ("firstname", ColType::Text),
@@ -124,23 +132,22 @@ pub fn db_catalog(rows: usize, seed: u64) -> (Catalog, XmlView) {
         ])
         .expect("schema matches");
     }
-    let mut catalog = Catalog::new();
     catalog.add_table(anchor);
     catalog.add_table(t);
-    catalog.create_index("db_rows", "id").expect("column exists");
-    catalog.create_index("db_rows", "zip").expect("column exists");
-    catalog.create_index("db_rows", "state").expect("column exists");
+    catalog.create_index(rows_table, "id").expect("column exists");
+    catalog.create_index(rows_table, "zip").expect("column exists");
+    catalog.create_index(rows_table, "state").expect("column exists");
 
-    let leaf = |n: &str| PubExpr::elem(n, vec![PubExpr::col("db_rows", n)]);
+    let leaf = |n: &str| PubExpr::elem(n, vec![PubExpr::col(rows_table, n)]);
     let view = XmlView::new(
-        "db_vu",
+        view_name,
         SqlXmlQuery {
-            base_table: "db_doc".into(),
+            base_table: doc_table.into(),
             where_clause: Conjunction::default(),
             select: PubExpr::elem(
                 "table",
                 vec![PubExpr::Agg {
-                    table: "db_rows".into(),
+                    table: rows_table.into(),
                     predicate: Vec::new(),
                     order_by: Vec::new(),
                     body: Box::new(PubExpr::elem(
@@ -160,7 +167,39 @@ pub fn db_catalog(rows: usize, seed: u64) -> (Catalog, XmlView) {
         },
     );
     catalog.add_view(view.clone());
+    view
+}
+
+/// The relational backing: a one-row anchor table (the document), a row
+/// table with B-tree indexes on `id`, `zip` and `state`, and the publishing
+/// view that constructs the same XML as [`db_xml`].
+pub fn db_catalog(rows: usize, seed: u64) -> (Catalog, XmlView) {
+    let mut catalog = Catalog::new();
+    let view = add_db_tables(&mut catalog, "db_doc", "db_rows", "db_vu", rows, seed);
     (catalog, view)
+}
+
+/// A *family* of identically-shaped db views in one catalog: view `i` is
+/// `db_vu_{i}` over its own `db_doc_{i}`/`db_rows_{i}` tables, populated
+/// with **different** data (`seed + i`) — so any plan-reuse bug that mixes
+/// one view's rows into another's output is visible in the bytes, not
+/// hidden by identical content. All views canonicalise to one shape, so a
+/// canonical-key plan cache serves the whole family from single entries.
+pub fn db_catalog_family(views: usize, rows: usize, seed: u64) -> (Catalog, Vec<XmlView>) {
+    let mut catalog = Catalog::new();
+    let views = (0..views)
+        .map(|i| {
+            add_db_tables(
+                &mut catalog,
+                &format!("db_doc_{i}"),
+                &format!("db_rows_{i}"),
+                &format!("db_vu_{i}"),
+                rows,
+                seed + i as u64,
+            )
+        })
+        .collect();
+    (catalog, views)
 }
 
 #[cfg(test)]

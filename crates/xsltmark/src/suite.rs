@@ -3,16 +3,15 @@
 
 use crate::cases::{all_cases, Case};
 use crate::docgen::{db_struct_info, db_xml};
-use std::rc::Rc;
-use std::sync::Arc;
 use xsltdb::pipeline::{
-    no_rewrite_transform, plan_cached, plan_cached_shared, plan_transform, Tier, TransformPlan,
+    no_rewrite_transform, plan_bound, plan_cached, plan_cached_shared, plan_transform,
+    BoundPlan, Tier,
 };
 use xsltdb::plancache::{PlanCache, SharedPlanCache};
 use xsltdb::xqgen::{rewrite, RewriteMode, RewriteOptions};
 use xsltdb::PipelineError;
 use xsltdb_relstore::{Catalog, ExecStats, XmlView};
-use xsltdb_xml::{parse_trimmed, to_string, NodeId};
+use xsltdb_xml::{parse_trimmed, to_string};
 use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
 use xsltdb_xslt::{compile_str, transform};
 
@@ -76,7 +75,7 @@ pub fn run_case(case: &Case, rows: usize, seed: u64) -> CaseRun {
     let info = db_struct_info();
     match rewrite(&sheet, &info, &RewriteOptions::default()) {
         Ok(outcome) => {
-            let input = NodeHandle::new(Rc::new(doc), NodeId::DOCUMENT);
+            let input = NodeHandle::document(doc);
             match evaluate_query(&outcome.query, Some(input)) {
                 Ok(seq) => {
                     let got = to_string(&sequence_to_document(&seq));
@@ -186,7 +185,7 @@ pub fn run_suite_planned_shared(
 fn run_suite_planned_with(
     rows: usize,
     seed: u64,
-    mut planner: impl FnMut(&Catalog, &XmlView, &str) -> Result<Arc<TransformPlan>, PipelineError>,
+    mut planner: impl FnMut(&Catalog, &XmlView, &str) -> Result<BoundPlan, PipelineError>,
 ) -> Vec<PlannedRun> {
     let (catalog, view) = crate::docgen::db_catalog(rows, seed);
     let stats = ExecStats::new();
@@ -213,23 +212,23 @@ fn run_suite_planned_with(
                 Err(e) => {
                     return PlannedRun {
                         name: c.name,
-                        tier: cached.tier,
+                        tier: cached.tier(),
                         matches_fresh: false,
                         matches_vm: false,
                         note: Some(format!("cached plan failed to execute: {e}")),
                     }
                 }
             };
-            let fresh = plan_transform(&view, &c.stylesheet, &RewriteOptions::default())
+            let fresh = plan_bound(&catalog, &view, &c.stylesheet, &RewriteOptions::default())
                 .and_then(|p| p.execute(&catalog, &stats))
                 .map(|docs| render(&docs));
-            let baseline = no_rewrite_transform(&catalog, &view, &cached.sheet, &stats)
+            let baseline = no_rewrite_transform(&catalog, &view, cached.sheet(), &stats)
                 .map(|r| render(&r.documents));
             let matches_fresh = fresh.as_ref().map(|f| *f == got).unwrap_or(false);
             let matches_vm = baseline.as_ref().map(|b| *b == got).unwrap_or(false);
             PlannedRun {
                 name: c.name,
-                tier: cached.tier,
+                tier: cached.tier(),
                 matches_fresh,
                 matches_vm,
                 note: (!matches_fresh || !matches_vm)

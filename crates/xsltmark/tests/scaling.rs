@@ -4,7 +4,7 @@
 //! cost linear — must be visible in the executor's own counters (a
 //! time-free check the benches then corroborate with wall clocks).
 
-use xsltdb::pipeline::{plan_transform, Tier};
+use xsltdb::pipeline::{plan_bound, Tier};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb_relstore::ExecStats;
 use xsltdb_xsltmark::{db_catalog, db_rows, db_xml, dbonerow_stylesheet, existing_id};
@@ -47,13 +47,14 @@ fn dbonerow_counters_flat_vs_linear() {
     let mut baseline_rows = Vec::new();
     for rows in [100usize, 400, 1600] {
         let (catalog, view) = db_catalog(rows, 11);
-        let plan = plan_transform(
+        let plan = plan_bound(
+            &catalog,
             &view,
             &dbonerow_stylesheet(existing_id(rows)),
             &RewriteOptions::default(),
         )
         .unwrap();
-        assert_eq!(plan.tier, Tier::Sql);
+        assert_eq!(plan.tier(), Tier::Sql);
 
         let stats = ExecStats::new();
         plan.execute(&catalog, &stats).unwrap();
@@ -61,7 +62,7 @@ fn dbonerow_counters_flat_vs_linear() {
         probe_rows.push(s.index_rows + s.rows_scanned);
 
         stats.reset();
-        xsltdb::pipeline::no_rewrite_transform(&catalog, &view, &plan.sheet, &stats)
+        xsltdb::pipeline::no_rewrite_transform(&catalog, &view, plan.sheet(), &stats)
             .unwrap();
         baseline_rows.push(stats.snapshot().rows_scanned);
     }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example guard_demo`
 
-use xsltdb::pipeline::plan_transform;
+use xsltdb::pipeline::plan_bound;
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb::{DegradePolicy, FaultKind, FaultPoint, Guard, Limits, PipelineError};
 use xsltdb_relstore::exec::Conjunction;
@@ -88,7 +88,7 @@ fn main() {
     let opts = RewriteOptions::default();
 
     // 1. Normal work under the server-default budget.
-    let plan = plan_transform(&view, SHEET, &opts).expect("planning succeeds");
+    let plan = plan_bound(&catalog, &view, SHEET, &opts).expect("planning succeeds");
     let guard = Guard::new(Limits::server_default());
     let run = plan.execute_guarded(&catalog, &stats, &guard).expect("within budget");
     println!(
@@ -100,7 +100,7 @@ fn main() {
     );
 
     // 2. A runaway stylesheet trips the recursion ceiling, on every tier.
-    let plan = plan_transform(&view, RUNAWAY, &opts).expect("planning succeeds");
+    let plan = plan_bound(&catalog, &view, RUNAWAY, &opts).expect("planning succeeds");
     let guard = Guard::new(Limits::UNLIMITED.with_max_depth(32));
     match plan.execute_guarded(&catalog, &stats, &guard) {
         Err(PipelineError::Guard(trip)) => println!("[2] runaway recursion: {trip}"),
@@ -108,7 +108,7 @@ fn main() {
     }
 
     // 3. An already-expired deadline stops the pipeline at the first charge.
-    let plan = plan_transform(&view, SHEET, &opts).expect("planning succeeds");
+    let plan = plan_bound(&catalog, &view, SHEET, &opts).expect("planning succeeds");
     let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::ZERO));
     match plan.execute_guarded(&catalog, &stats, &guard) {
         Err(PipelineError::Guard(trip)) => println!("[3] expired deadline:  {trip}"),

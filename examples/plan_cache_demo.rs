@@ -23,20 +23,21 @@ fn main() {
 
     // [1] Cold call: miss, plan from scratch, lands on the SQL tier.
     let p1 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("plans");
-    assert_eq!(p1.tier, Tier::Sql, "fallback: {:?}", p1.fallback_reason);
+    assert_eq!(p1.tier(), Tier::Sql, "fallback: {:?}", p1.fallback_reason());
     assert_eq!((cache.stats().hits, cache.stats().misses), (0, 1));
-    println!("[1] cold call: 1 miss, planned to {:?} tier", p1.tier);
+    println!("[1] cold call: 1 miss, planned to {:?} tier", p1.tier());
 
-    // [2] Warm call: hit, the very same prepared plan is shared.
+    // [2] Warm call: hit, the very same prepared plan is shared (the
+    // binding wrapper is fresh, the identity-free plan behind it is not).
     let p2 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("plans");
-    assert!(Arc::ptr_eq(&p1, &p2));
+    assert!(Arc::ptr_eq(&p1.plan, &p2.plan));
     assert_eq!(cache.stats().hits, 1);
     println!("[2] warm call: hit, same Arc — planning pipeline skipped");
 
     // [3] Cached output is byte-identical to the VM baseline.
     let stats = ExecStats::new();
     let cached = p2.execute(&catalog, &stats).expect("runs");
-    let baseline = xsltdb::pipeline::no_rewrite_transform(&catalog, &view, &p2.sheet, &stats)
+    let baseline = xsltdb::pipeline::no_rewrite_transform(&catalog, &view, p2.sheet(), &stats)
         .expect("baseline runs")
         .documents;
     let render = |docs: &[xsltdb_xml::Document]| -> Vec<String> {
@@ -51,7 +52,7 @@ fn main() {
     catalog.create_index("db_rows", "city").expect("index builds");
     assert!(catalog.generation() > g);
     let p3 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("replans");
-    assert!(!Arc::ptr_eq(&p2, &p3), "stale plan must not be served");
+    assert!(!Arc::ptr_eq(&p2.plan, &p3.plan), "stale plan must not be served");
     assert_eq!(cache.stats().invalidations, 1);
     let replanned = p3.execute(&catalog, &ExecStats::new()).expect("runs");
     assert_eq!(render(&replanned), render(&baseline));
@@ -63,7 +64,7 @@ fn main() {
         .expect_err("3 fuel cannot finish");
     assert!(err.is_guard_trip());
     let p4 = plan_cached(&mut cache, &catalog, &view, &src, &opts).expect("plans");
-    assert!(Arc::ptr_eq(&p3, &p4), "trip must not poison the entry");
+    assert!(Arc::ptr_eq(&p3.plan, &p4.plan), "trip must not poison the entry");
     let retried = p4
         .execute_with_limits(&catalog, &ExecStats::new(), Limits::UNLIMITED)
         .expect("full budget finishes");

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use xsltdb::pipeline::{no_rewrite_transform, plan_transform, Tier};
+use xsltdb::pipeline::{no_rewrite_transform, plan_bound, Tier};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb_relstore::exec::Conjunction;
 use xsltdb_relstore::pubexpr::{AggPredTerm, PubExpr, SqlXmlQuery};
@@ -127,8 +127,9 @@ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 </xsl:stylesheet>"#;
 
     // --- The rewrite chain ---------------------------------------------------
-    let plan = plan_transform(&view, stylesheet, &RewriteOptions::default())
+    let bound = plan_bound(&catalog, &view, stylesheet, &RewriteOptions::default())
         .expect("planning succeeds");
+    let plan = &bound.plan;
     println!("=== Plan tier: {:?} ===\n", plan.tier);
     assert_eq!(plan.tier, Tier::Sql);
 
@@ -148,7 +149,7 @@ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 
     // --- Execute both paths and compare --------------------------------------
     stats.reset();
-    let rewritten = plan.execute(&catalog, &stats).expect("plan executes");
+    let rewritten = bound.execute(&catalog, &stats).expect("plan executes");
     let rw_stats = stats.snapshot();
     stats.reset();
     let baseline =

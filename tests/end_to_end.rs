@@ -2,7 +2,7 @@
 //! the dept/emp schema, the dept_emp publishing view, the HTML-generating
 //! stylesheet, and the full rewrite chain XSLT → XQuery → SQL/XML.
 
-use xsltdb::pipeline::{no_rewrite_transform, plan_transform, Tier};
+use xsltdb::pipeline::{no_rewrite_transform, plan_bound, Tier};
 use xsltdb::sqlrewrite::rewrite_to_sql;
 use xsltdb::xqgen::{rewrite, RewriteMode, RewriteOptions};
 use xsltdb_relstore::exec::Conjunction;
@@ -236,8 +236,8 @@ fn sql_rewrite_produces_table7_and_matches_baseline() {
 fn planner_selects_sql_tier_for_paper_example() {
     let catalog = paper_catalog();
     let view = dept_emp_view();
-    let plan = plan_transform(&view, PAPER_STYLESHEET, &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Sql, "fallback: {:?}", plan.fallback_reason);
+    let plan = plan_bound(&catalog, &view, PAPER_STYLESHEET, &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Sql, "fallback: {:?}", plan.fallback_reason());
     let stats = ExecStats::new();
     let docs = plan.execute(&catalog, &stats).unwrap();
     assert_eq!(docs.len(), 2);
@@ -253,7 +253,7 @@ fn all_three_tiers_agree() {
     let baseline = no_rewrite_transform(&catalog, &view, &sheet, &stats).unwrap();
     let expected: Vec<String> = baseline.documents.iter().map(to_string).collect();
 
-    let plan = plan_transform(&view, PAPER_STYLESHEET, &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, PAPER_STYLESHEET, &RewriteOptions::default()).unwrap();
     let sql_docs = plan.execute(&catalog, &stats).unwrap();
     let got: Vec<String> = sql_docs.iter().map(to_string).collect();
     assert_eq!(got, expected);

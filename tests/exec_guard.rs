@@ -10,7 +10,7 @@
 use std::time::Duration;
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb::{
-    plan_transform, FaultKind, FaultPoint, Guard, GuardExceeded, Limits, PipelineError,
+    plan_bound, FaultKind, FaultPoint, Guard, GuardExceeded, Limits, PipelineError,
     Resource, Tier,
 };
 use xsltdb_relstore::exec::Conjunction;
@@ -73,11 +73,11 @@ fn expect_guard_trip(r: Result<xsltdb::GuardedRun, PipelineError>, resource: Res
 #[test]
 fn infinite_template_recursion_trips_depth() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
+    let plan = plan_bound(&catalog, &view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
         .unwrap();
     // Recursion defeats the SQL rewrite (the straightforward translation
     // keeps its recursive functions), so this planned below the SQL tier.
-    assert_ne!(plan.tier, Tier::Sql);
+    assert_ne!(plan.tier(), Tier::Sql);
     let guard = Guard::new(Limits::UNLIMITED.with_max_depth(32));
     let stats = ExecStats::new();
     expect_guard_trip(plan.execute_guarded(&catalog, &stats, &guard), Resource::Depth);
@@ -86,7 +86,7 @@ fn infinite_template_recursion_trips_depth() {
 #[test]
 fn infinite_template_recursion_trips_fuel_when_depth_is_roomy() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
+    let plan = plan_bound(&catalog, &view, &wrap(INFINITE_RECURSION), &RewriteOptions::default())
         .unwrap();
     // Small enough that the trip fires long before the runaway recursion
     // can exhaust the 2 MiB test-thread stack.
@@ -130,7 +130,7 @@ fn unbounded_flwor_expansion_trips_fuel() {
 fn ten_ms_deadline_terminates_every_tier() {
     let (catalog, view) = setup();
     for sheet in [SQL_OK, XQUERY_ONLY, VM_ONLY] {
-        let plan = plan_transform(&view, &wrap(sheet), &RewriteOptions::default()).unwrap();
+        let plan = plan_bound(&catalog, &view, &wrap(sheet), &RewriteOptions::default()).unwrap();
         let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::from_millis(10)));
         // Let the 10ms budget expire before the work starts, so the very
         // first strided clock check trips it deterministically.
@@ -143,8 +143,8 @@ fn ten_ms_deadline_terminates_every_tier() {
 #[test]
 fn guard_trips_are_terminal_not_fallback_fodder() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Sql);
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Sql);
     // Fuel so small the SQL tier trips immediately. The XQuery and VM
     // tiers must NOT be tried: the error is Guard, not TiersExhausted.
     let guard = Guard::new(Limits::UNLIMITED.with_fuel(1));
@@ -158,7 +158,7 @@ fn guard_trips_are_terminal_not_fallback_fodder() {
 #[test]
 fn server_default_limits_pass_normal_work() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let guard = Guard::new(Limits::server_default());
     let stats = ExecStats::new();
     let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
@@ -172,9 +172,9 @@ fn server_default_limits_pass_normal_work() {
 #[test]
 fn sql_fault_falls_back_to_xquery() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Sql);
-    assert!(plan.fallback_reason.is_none());
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Sql);
+    assert!(plan.fallback_reason().is_none());
     let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
     let stats = ExecStats::new();
     let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
@@ -189,7 +189,7 @@ fn sql_fault_falls_back_to_xquery() {
 #[test]
 fn sql_and_xquery_faults_fall_back_to_vm_with_full_chain() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited()
         .with_fault(FaultPoint::SqlExec, FaultKind::Error)
         .with_fault(FaultPoint::XQueryExec, FaultKind::Error);
@@ -206,10 +206,10 @@ fn sql_and_xquery_faults_fall_back_to_vm_with_full_chain() {
 #[test]
 fn xquery_fault_falls_back_to_vm() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::XQuery);
+    let plan = plan_bound(&catalog, &view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::XQuery);
     // The plan records why it could not reach the SQL tier…
-    assert!(plan.fallback_reason.is_some());
+    assert!(plan.fallback_reason().is_some());
     let guard = Guard::unlimited().with_fault(FaultPoint::XQueryExec, FaultKind::Error);
     let stats = ExecStats::new();
     let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
@@ -222,8 +222,8 @@ fn xquery_fault_falls_back_to_vm() {
 #[test]
 fn vm_hard_failure_surfaces_typed_error() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Vm);
+    let plan = plan_bound(&catalog, &view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Vm);
     let guard = Guard::unlimited().with_fault(FaultPoint::VmExec, FaultKind::Error);
     let stats = ExecStats::new();
     match plan.execute_guarded(&catalog, &stats, &guard) {
@@ -237,7 +237,7 @@ fn materialize_fault_fails_xquery_then_vm_finds_it_disarmed() {
     // The Materialize fault is one-shot: it kills the XQuery tier's view
     // materialisation, then the VM tier's own materialisation proceeds.
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(XQUERY_ONLY), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited().with_fault(FaultPoint::Materialize, FaultKind::Error);
     let stats = ExecStats::new();
     let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
@@ -250,7 +250,7 @@ fn materialize_fault_fails_xquery_then_vm_finds_it_disarmed() {
 #[test]
 fn sql_panic_is_contained_and_falls_back() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Panic);
     let stats = ExecStats::new();
     let run = plan.execute_guarded(&catalog, &stats, &guard).unwrap();
@@ -262,7 +262,7 @@ fn sql_panic_is_contained_and_falls_back() {
 #[test]
 fn vm_panic_with_no_tier_left_is_a_typed_panic_error() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(VM_ONLY), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited().with_fault(FaultPoint::VmExec, FaultKind::Panic);
     let stats = ExecStats::new();
     match plan.execute_guarded(&catalog, &stats, &guard) {
@@ -277,7 +277,7 @@ fn vm_panic_with_no_tier_left_is_a_typed_panic_error() {
 #[test]
 fn every_tier_panicking_reports_the_exhausted_chain() {
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited()
         .with_fault(FaultPoint::SqlExec, FaultKind::Panic)
         .with_fault(FaultPoint::XQueryExec, FaultKind::Panic)
@@ -297,7 +297,7 @@ fn every_tier_panicking_reports_the_exhausted_chain() {
 fn strict_policy_fails_fast_without_fallback() {
     use xsltdb::DegradePolicy;
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
     let stats = ExecStats::new();
     match plan.execute_with_policy(&catalog, &stats, &guard, DegradePolicy::Strict) {
@@ -312,7 +312,7 @@ fn shared_budget_accumulates_across_fallback_tiers() {
     // and VM attempts too: with a budget sized for exactly one clean run,
     // a post-fault fallback trips it.
     let (catalog, view) = setup();
-    let plan = plan_transform(&view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
+    let plan = plan_bound(&catalog, &view, &wrap(SQL_OK), &RewriteOptions::default()).unwrap();
     let stats = ExecStats::new();
 
     // Measure a clean XQuery-tier run's fuel appetite.

@@ -131,7 +131,7 @@ fn ddl_generation_bump_invalidates_and_replans_identically() {
     catalog.create_index("db_rows", "city").expect("column exists");
     let after = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("replans");
-    assert!(!Arc::ptr_eq(&before, &after), "stale plan must not be served after DDL");
+    assert!(!Arc::ptr_eq(&before.plan, &after.plan), "stale plan must not be served after DDL");
     let snap = cache.stats();
     assert_eq!(snap.invalidations, 1);
     assert_eq!(snap.misses, 2);
@@ -144,7 +144,7 @@ fn ddl_generation_bump_invalidates_and_replans_identically() {
     // And the replanned entry is a normal cache citizen again.
     let third = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("hits");
-    assert!(Arc::ptr_eq(&after, &third));
+    assert!(Arc::ptr_eq(&after.plan, &third.plan));
     assert_eq!(cache.stats().hits, 1);
 }
 
@@ -176,7 +176,7 @@ fn guard_trip_never_poisons_the_cached_entry() {
     // The entry is still cached and still the same prepared plan.
     let again = plan_cached(&mut cache, &catalog, &view, &src, &RewriteOptions::default())
         .expect("still cached");
-    assert!(Arc::ptr_eq(&plan, &again), "trip must not drop or rebuild the entry");
+    assert!(Arc::ptr_eq(&plan.plan, &again.plan), "trip must not drop or rebuild the entry");
     assert_eq!(cache.stats().hits, 1);
     assert_eq!(cache.stats().invalidations, 0);
 
@@ -185,7 +185,7 @@ fn guard_trip_never_poisons_the_cached_entry() {
     let run = again
         .execute_with_limits(&catalog, &stats, Limits::UNLIMITED)
         .expect("fresh budget executes");
-    let baseline = no_rewrite_transform(&catalog, &view, &again.sheet, &stats).expect("baseline");
+    let baseline = no_rewrite_transform(&catalog, &view, again.sheet(), &stats).expect("baseline");
     let got: Vec<String> = run.documents.iter().map(to_string).collect();
     let expected: Vec<String> = baseline.documents.iter().map(to_string).collect();
     assert_eq!(got, expected);
@@ -220,7 +220,7 @@ proptest! {
                 let src = named_sheet(name);
                 let plan = plan_cached(&mut cache, &catalog, &view, &src, &opts)
                     .expect("plans");
-                seen.entry((src, inline ^ flip)).or_insert(plan);
+                seen.entry((src, inline ^ flip)).or_insert(plan.plan);
             }
         }
         // One entry per distinct triple…
@@ -229,7 +229,7 @@ proptest! {
         for ((src, inl), expected) in &seen {
             let opts = RewriteOptions { inline: *inl, annotate, ..RewriteOptions::default() };
             let got = plan_cached(&mut cache, &catalog, &view, src, &opts).expect("hits");
-            prop_assert!(Arc::ptr_eq(expected, &got), "triple served a different plan");
+            prop_assert!(Arc::ptr_eq(expected, &got.plan), "triple served a different plan");
         }
     }
 

@@ -18,9 +18,8 @@ use std::sync::Arc;
 use xsltdb::pipeline::{Tier, TransformPlan};
 use xsltdb::plancache::{PlanKey, SharedPlanCache};
 use xsltdb::xqgen::RewriteOptions;
-use xsltdb_relstore::XmlView;
 use xsltdb_xslt::compile_str;
-use xsltdb_xsltmark::{db_catalog, run_suite_planned_shared};
+use xsltdb_xsltmark::run_suite_planned_shared;
 
 /// Recursive suite cases need more stack than the 2 MiB test threads get,
 /// and the concurrent phase needs that headroom on *every* session thread.
@@ -109,8 +108,9 @@ fn eight_threads_share_one_cache_byte_identically() {
 // ---------------------------------------------------------------------------
 
 /// A marker plan whose `fallback_reason` records the DDL generation it was
-/// prepared at, so a lookup can detect staleness in what it gets back.
-fn tagged_plan(view: &XmlView, generation: u64) -> Arc<TransformPlan> {
+/// prepared at, so a lookup can detect staleness in what it gets back. Its
+/// canonical fingerprint matches the `0xF00D` the test keys carry.
+fn tagged_plan(generation: u64) -> Arc<TransformPlan> {
     let sheet = compile_str(
         r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
            <xsl:template match="table"><t/></xsl:template></xsl:stylesheet>"#,
@@ -119,9 +119,10 @@ fn tagged_plan(view: &XmlView, generation: u64) -> Arc<TransformPlan> {
     Arc::new(TransformPlan {
         tier: Tier::Vm,
         sheet,
-        view: view.clone(),
         rewrite: None,
         sql: None,
+        canonical_fp: 0xF00D,
+        slot_count: 0,
         fallback_reason: Some(format!("gen:{generation}")),
     })
 }
@@ -157,7 +158,6 @@ proptest! {
                 let generation = &generation;
                 let srcs = &srcs;
                 s.spawn(move || {
-                    let (_catalog, view) = db_catalog(3, 0x5EED);
                     for &(key_idx, action) in chunk {
                         let key = PlanKey::with_fingerprint(
                             0xF00D,
@@ -169,7 +169,7 @@ proptest! {
                             // is (claimed) valid at.
                             0 => {
                                 let g = generation.load(Ordering::SeqCst);
-                                cache.insert(key, tagged_plan(&view, g), g);
+                                cache.insert(key, tagged_plan(g), g);
                             }
                             // Lookup at the current generation: whatever
                             // comes back must carry exactly that tag.

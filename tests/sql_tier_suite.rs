@@ -3,7 +3,7 @@
 //! produce byte-identical output to the functional (no-rewrite) baseline
 //! over the relationally backed db view.
 
-use xsltdb::pipeline::{no_rewrite_transform, plan_transform, Tier};
+use xsltdb::pipeline::{no_rewrite_transform, plan_bound, Tier};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb_relstore::ExecStats;
 use xsltdb_xml::to_string;
@@ -31,13 +31,13 @@ fn every_sql_planned_case_matches_baseline_inner() {
     let stats = ExecStats::new();
     let mut sql_cases = 0;
     for case in all_cases() {
-        let plan = plan_transform(&view, &case.stylesheet, &RewriteOptions::default())
+        let plan = plan_bound(&catalog, &view, &case.stylesheet, &RewriteOptions::default())
             .unwrap_or_else(|e| panic!("{} fails to plan: {e}", case.name));
-        if plan.tier != Tier::Sql {
+        if plan.tier() != Tier::Sql {
             continue;
         }
         sql_cases += 1;
-        let baseline = no_rewrite_transform(&catalog, &view, &plan.sheet, &stats)
+        let baseline = no_rewrite_transform(&catalog, &view, plan.sheet(), &stats)
             .unwrap_or_else(|e| panic!("{} baseline fails: {e}", case.name));
         let docs = plan
             .execute(&catalog, &stats)
@@ -59,12 +59,12 @@ fn xquery_planned_cases_match_baseline_too_inner() {
     let (catalog, view) = db_catalog(rows, 0xBEEF);
     let stats = ExecStats::new();
     for case in all_cases() {
-        let plan = plan_transform(&view, &case.stylesheet, &RewriteOptions::default())
+        let plan = plan_bound(&catalog, &view, &case.stylesheet, &RewriteOptions::default())
             .unwrap_or_else(|e| panic!("{} fails to plan: {e}", case.name));
-        if plan.tier != Tier::XQuery {
+        if plan.tier() != Tier::XQuery {
             continue;
         }
-        let baseline = no_rewrite_transform(&catalog, &view, &plan.sheet, &stats).unwrap();
+        let baseline = no_rewrite_transform(&catalog, &view, plan.sheet(), &stats).unwrap();
         let docs = plan
             .execute(&catalog, &stats)
             .unwrap_or_else(|e| panic!("{} XQuery plan fails: {e}", case.name));

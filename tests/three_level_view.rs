@@ -3,7 +3,7 @@
 //! nested correlated aggregation in the SQL rewrite — one level deeper than
 //! the paper's worked example.
 
-use xsltdb::pipeline::{no_rewrite_transform, plan_transform, Tier};
+use xsltdb::pipeline::{no_rewrite_transform, plan_bound, plan_transform, Tier};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb_relstore::exec::Conjunction;
 use xsltdb_relstore::pubexpr::{AggPredTerm, PubExpr, SqlXmlQuery};
@@ -120,11 +120,11 @@ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 fn three_level_view_reaches_sql_tier_and_matches_baseline() {
     let catalog = catalog();
     let view = region_view();
-    let plan = plan_transform(&view, STYLESHEET, &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Sql, "fallback: {:?}", plan.fallback_reason);
+    let plan = plan_bound(&catalog, &view, STYLESHEET, &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Sql, "fallback: {:?}", plan.fallback_reason());
 
     let stats = ExecStats::new();
-    let baseline = no_rewrite_transform(&catalog, &view, &plan.sheet, &stats).unwrap();
+    let baseline = no_rewrite_transform(&catalog, &view, plan.sheet(), &stats).unwrap();
     stats.reset();
     let docs = plan.execute(&catalog, &stats).unwrap();
 
@@ -150,10 +150,13 @@ fn three_level_sql_text_shows_nested_aggs() {
     let view = region_view();
     let plan = plan_transform(&view, STYLESHEET, &RewriteOptions::default()).unwrap();
     let text = xsltdb_relstore::sql_text(plan.sql.as_ref().unwrap());
-    // Two nested XMLAgg scopes with their correlations and the value filter.
+    // Two nested XMLAgg scopes with their correlations and the value
+    // filter. The prepared SQL is canonical: tables appear as binding
+    // slots ($T0 = region, $T1 = dept, $T2 = emp), resolved at execute
+    // time.
     assert_eq!(text.matches("XMLAgg").count(), 2, "{text}");
-    assert!(text.contains("RID = REGION.RID"), "{text}");
-    assert!(text.contains("DEPTNO = DEPT.DEPTNO"), "{text}");
+    assert!(text.contains("RID = $T0.RID"), "{text}");
+    assert!(text.contains("DEPTNO = $T1.DEPTNO"), "{text}");
     assert!(text.contains("SAL > 2000"), "{text}");
 }
 
@@ -168,8 +171,8 @@ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 <stat depts="{count(dept)}"/>
 </xsl:template>
 </xsl:stylesheet>"#;
-    let plan = plan_transform(&view, sheet_src, &RewriteOptions::default()).unwrap();
-    assert_eq!(plan.tier, Tier::Sql, "fallback: {:?}", plan.fallback_reason);
+    let plan = plan_bound(&catalog, &view, sheet_src, &RewriteOptions::default()).unwrap();
+    assert_eq!(plan.tier(), Tier::Sql, "fallback: {:?}", plan.fallback_reason());
     let stats = ExecStats::new();
     let docs = plan.execute(&catalog, &stats).unwrap();
     assert_eq!(to_string(&docs[0]), r#"<stat depts="2"/>"#);
