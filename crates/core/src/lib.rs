@@ -65,8 +65,8 @@ pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
 pub use pe::{partial_evaluate, ExecGraph, PeResult};
 pub use pipeline::{
     no_rewrite_transform, no_rewrite_transform_guarded, plan_bound, plan_cached,
-    plan_cached_shared, plan_transform, BaselineRun, BoundPlan, GuardedRun, Tier,
-    TransformPlan,
+    plan_cached_shared, plan_transform, BaselineRun, BoundPlan, GuardedRun, StreamRun,
+    Tier, TransformPlan,
 };
 pub use plancache::{
     fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, SharedPlanCache,

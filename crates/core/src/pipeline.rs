@@ -234,6 +234,40 @@ pub struct GuardedRun {
     pub fallbacks: Vec<TierFailure>,
 }
 
+/// Result of a streaming execution ([`BoundPlan::execute_to_writer`]).
+#[derive(Debug)]
+pub struct StreamRun {
+    /// Total bytes delivered to the writer.
+    pub bytes_written: u64,
+    /// The tier that produced the bytes. [`Tier::Sql`] means true
+    /// streaming (zero DOM nodes); the lower tiers materialise first and
+    /// serialize after.
+    pub tier: Tier,
+    /// Failed attempts before the successful tier, in lattice order.
+    pub fallbacks: Vec<TierFailure>,
+}
+
+/// Tracks how many bytes have reached the caller's writer, so the fallback
+/// lattice can tell a clean tier failure (nothing written — safe to retry
+/// on a lower tier) from a mid-stream one (bytes are already on the wire —
+/// falling back would corrupt the output).
+struct CountingWriter<'a> {
+    inner: &'a mut dyn std::io::Write,
+    written: u64,
+}
+
+impl std::io::Write for CountingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 impl Tier {
     fn name(self) -> &'static str {
         match self {
@@ -458,6 +492,111 @@ impl BoundPlan {
         })
     }
 
+    /// Run the plan **streaming**: result bytes go straight to `out`
+    /// instead of materialising result documents.
+    ///
+    /// On the SQL tier the rows are pulled through the iterator operators
+    /// and serialized as they are published — zero DOM nodes, with
+    /// `max_output_bytes` charged per write so trips fire mid-stream. The
+    /// XQuery and VM tiers cannot stream yet (see ROADMAP): they
+    /// materialise as in [`Self::execute_guarded`] and serialize after,
+    /// producing byte-identical output.
+    ///
+    /// Degradation follows the same lattice as [`Self::execute_guarded`],
+    /// with one extra rule: a tier that fails **after** bytes reached the
+    /// writer is terminal, because the partial output cannot be unwritten.
+    /// (The deterministic fault points all fire at tier entry, before any
+    /// write, so injected-fault fallback behaves exactly as in the
+    /// materialising path.) Guard trips are terminal as everywhere.
+    pub fn execute_to_writer(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        out: &mut dyn std::io::Write,
+    ) -> Result<StreamRun, PipelineError> {
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut w = CountingWriter { inner: out, written: 0 };
+
+        let tiers: &[Tier] = match self.plan.tier {
+            Tier::Sql => &[Tier::Sql, Tier::XQuery, Tier::Vm],
+            Tier::XQuery => &[Tier::XQuery, Tier::Vm],
+            Tier::Vm => &[Tier::Vm],
+        };
+
+        for &tier in tiers {
+            let before = w.written;
+            let result = run_tier(tier, || {
+                self.run_single_tier_to_writer(tier, catalog, stats, guard, &mut w)
+            });
+            match result {
+                Ok(()) => {
+                    return Ok(StreamRun {
+                        bytes_written: w.written,
+                        tier,
+                        fallbacks: attempts.into_iter().map(|a| a.failure).collect(),
+                    })
+                }
+                Err(attempt) => {
+                    if let Some(trip) = guard.trip() {
+                        return Err(PipelineError::Guard(trip));
+                    }
+                    let dirty = w.written > before;
+                    attempts.push(attempt);
+                    if dirty {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if attempts.len() == 1 {
+            let a = attempts.pop().expect("one attempt");
+            return Err(match a.error {
+                Some(e) => e,
+                None => PipelineError::Panic { tier: a.failure.tier, message: a.failure.reason },
+            });
+        }
+        Err(PipelineError::TiersExhausted {
+            attempts: attempts.into_iter().map(|a| a.failure).collect(),
+        })
+    }
+
+    /// One tier of the streaming path: the SQL tier streams natively, the
+    /// materialising tiers run as usual and serialize their documents.
+    fn run_single_tier_to_writer(
+        &self,
+        tier: Tier,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        out: &mut CountingWriter<'_>,
+    ) -> Result<(), PipelineError> {
+        use std::io::Write as _;
+        match tier {
+            Tier::Sql => {
+                let sql = self
+                    .plan
+                    .sql
+                    .as_ref()
+                    .ok_or_else(|| PipelineError::internal("no SQL query in plan"))?;
+                sql.execute_streaming_bound(catalog, stats, guard, &self.bindings, out)?;
+                Ok(())
+            }
+            tier => {
+                // Output bytes were already charged during construction on
+                // these tiers; serialization here is a plain copy-out.
+                let docs = self.run_single_tier(tier, catalog, stats, guard)?;
+                for d in &docs {
+                    out.write_all(xsltdb_xml::to_string(d).as_bytes()).map_err(|e| {
+                        PipelineError::internal(format!("result write failed: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Execute exactly one tier of the plan under `guard`, no fallback.
     fn run_single_tier(
         &self,
@@ -565,6 +704,7 @@ pub fn transform_document(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::{FaultKind, FaultPoint};
     use xsltdb_relstore::exec::Conjunction;
     use xsltdb_relstore::pubexpr::PubExpr;
     use xsltdb_relstore::{ColType, Datum, Table};
@@ -808,6 +948,118 @@ mod tests {
             .execute_with_limits(&catalog, &stats, Limits::UNLIMITED)
             .unwrap();
         assert_eq!(xsltdb_xml::to_string(&run.documents[0]), "<o>7</o>");
+    }
+
+    #[test]
+    fn execute_to_writer_streams_sql_tier_byte_identically() {
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bound.tier(), Tier::Sql);
+        let stats = ExecStats::new();
+        let expected: String =
+            bound.execute(&catalog, &stats).unwrap().iter().map(xsltdb_xml::to_string).collect();
+
+        let streamed_stats = ExecStats::new();
+        let mut buf = Vec::new();
+        let run = bound
+            .execute_to_writer(&catalog, &streamed_stats, &Guard::unlimited(), &mut buf)
+            .unwrap();
+        assert_eq!(run.tier, Tier::Sql);
+        assert!(run.fallbacks.is_empty());
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+        assert_eq!(run.bytes_written as usize, expected.len());
+        let snap = streamed_stats.snapshot();
+        assert_eq!(snap.streamed_bytes, run.bytes_written);
+        assert_eq!(snap.peak_materialized_nodes, 0, "SQL tier must not build DOM");
+    }
+
+    #[test]
+    fn execute_to_writer_falls_back_on_injected_sql_fault() {
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let stats = ExecStats::new();
+        let expected: String =
+            bound.execute(&catalog, &stats).unwrap().iter().map(xsltdb_xml::to_string).collect();
+
+        // The fault fires at SQL-tier entry, before any byte is written, so
+        // the lattice may retry on the XQuery tier cleanly.
+        let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
+        let mut buf = Vec::new();
+        let run = bound.execute_to_writer(&catalog, &ExecStats::new(), &guard, &mut buf).unwrap();
+        assert_eq!(run.tier, Tier::XQuery);
+        assert_eq!(run.fallbacks.len(), 1);
+        assert_eq!(run.fallbacks[0].tier, "sql");
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+    }
+
+    #[test]
+    fn execute_to_writer_guard_trip_is_terminal_with_bounded_partial_output() {
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(3));
+        let mut buf = Vec::new();
+        let err = bound
+            .execute_to_writer(&catalog, &ExecStats::new(), &guard, &mut buf)
+            .unwrap_err();
+        assert!(err.is_guard_trip(), "got {err:?}");
+        assert!(buf.len() as u64 <= 3, "partial bytes must stay under the cap");
+    }
+
+    #[test]
+    fn execute_to_writer_mid_stream_write_failure_is_terminal() {
+        struct FailAfter {
+            budget: usize,
+        }
+        impl std::io::Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.len() > self.budget {
+                    return Err(std::io::Error::other("wire broke"));
+                }
+                self.budget -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(r#"<xsl:template match="r"><o><xsl:value-of select="v"/></o></xsl:template>"#),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        // The first chunk ("<o>") fits; a later one breaks the wire. Bytes
+        // are on the wire, so no lower tier may run: the error surfaces.
+        let err = bound
+            .execute_to_writer(
+                &catalog,
+                &ExecStats::new(),
+                &Guard::unlimited(),
+                &mut FailAfter { budget: 3 },
+            )
+            .unwrap_err();
+        assert!(!err.is_guard_trip());
+        assert!(err.to_string().contains("wire broke"), "got {err}");
     }
 
     #[test]

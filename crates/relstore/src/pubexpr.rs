@@ -12,7 +12,20 @@ use crate::catalog::Catalog;
 use crate::exec::{guard_err, scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 use crate::stats::ExecStats;
 use crate::table::{RowId, StoreError};
-use xsltdb_xml::{Document, FaultKind, FaultPoint, Guard, QName, TreeBuilder};
+use xsltdb_xml::{
+    Document, FaultKind, FaultPoint, Guard, QName, SinkError, StreamWriter, TextSink, TreeSink,
+    XmlSink,
+};
+
+/// Lower a sink refusal to the store's error type. Guard trips keep their
+/// structured evidence reachable via `Guard::trip`, so the stringly form
+/// here only carries the message.
+fn sink_err(e: SinkError) -> StoreError {
+    match e {
+        SinkError::Guard(g) => guard_err(g),
+        other => StoreError(other.to_string()),
+    }
+}
 
 /// Aggregate functions usable in scalar subqueries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,25 +138,28 @@ impl Bindings {
     }
 }
 
-/// Evaluate a publishing expression into `out`.
+/// Evaluate a publishing expression, emitting construction events into any
+/// [`XmlSink`] — a [`TreeSink`] to materialise, a [`StreamWriter`] to
+/// serialize with zero DOM nodes, a [`TextSink`] for string values.
 pub fn eval_pub(
     expr: &PubExpr,
     catalog: &Catalog,
     stats: &ExecStats,
     bindings: &mut Bindings,
-    out: &mut TreeBuilder,
+    out: &mut dyn XmlSink,
 ) -> Result<(), StoreError> {
     eval_pub_guarded(expr, catalog, stats, bindings, out, &Guard::unlimited())
 }
 
 /// Like [`eval_pub`], but charges `guard` per expression node and bills
-/// produced elements/text against the output caps.
+/// produced elements against the output caps (output *bytes* are billed by
+/// the sink itself, which knows what a byte is for its representation).
 pub fn eval_pub_guarded(
     expr: &PubExpr,
     catalog: &Catalog,
     stats: &ExecStats,
     bindings: &mut Bindings,
-    out: &mut TreeBuilder,
+    out: &mut dyn XmlSink,
     guard: &Guard,
 ) -> Result<(), StoreError> {
     eval_pub_bound(expr, catalog, stats, bindings, out, guard, &SlotBindings::identity())
@@ -161,27 +177,20 @@ pub fn eval_pub_bound(
     catalog: &Catalog,
     stats: &ExecStats,
     bindings: &mut Bindings,
-    out: &mut TreeBuilder,
+    out: &mut dyn XmlSink,
     guard: &Guard,
     slots: &SlotBindings,
 ) -> Result<(), StoreError> {
     guard.charge(1).map_err(guard_err)?;
     match expr {
-        PubExpr::Literal(s) => {
-            guard.note_output_bytes(s.len() as u64).map_err(guard_err)?;
-            out.text(s);
-            Ok(())
-        }
+        PubExpr::Literal(s) => out.text(s).map_err(sink_err),
         PubExpr::ColumnRef { table, column } => {
             let table = slots.resolve(table)?;
             let row = bindings
                 .get(table)
                 .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
             let d = catalog.table(table)?.value_by_name(row, column)?.clone();
-            let text = d.to_text();
-            guard.note_output_bytes(text.len() as u64).map_err(guard_err)?;
-            out.text(&text);
-            Ok(())
+            out.text(&d.to_text()).map_err(sink_err)
         }
         PubExpr::StrConcat(parts) => {
             for p in parts {
@@ -197,19 +206,17 @@ pub fn eval_pub_bound(
         }
         PubExpr::Element { name, attrs, children } => {
             stats.add_element();
-            guard.note_output_nodes(1).map_err(guard_err)?;
-            out.start_element(QName::local(name));
+            guard.charge_output_nodes(1).map_err(guard_err)?;
+            out.start_element(QName::local(name)).map_err(sink_err)?;
             for (aname, avalue) in attrs {
                 let text =
                     eval_to_text_bound(avalue, catalog, stats, bindings, guard, slots)?;
-                out.try_attribute(QName::local(aname), text)
-                    .map_err(|m| StoreError(m.to_string()))?;
+                out.attribute(QName::local(aname), &text).map_err(sink_err)?;
             }
             for c in children {
                 eval_pub_bound(c, catalog, stats, bindings, out, guard, slots)?;
             }
-            out.end_element();
-            Ok(())
+            out.end_element().map_err(sink_err)
         }
         PubExpr::Arith { op, left, right } => {
             let l = xsltdb_xpath::value::str_to_num(&eval_to_text_bound(
@@ -225,8 +232,7 @@ pub fn eval_pub_bound(
                 crate::datum::ArithOp::Div => l / r,
                 crate::datum::ArithOp::Mod => l % r,
             };
-            out.text(&xsltdb_xpath::value::num_to_string(n));
-            Ok(())
+            out.text(&xsltdb_xpath::value::num_to_string(n)).map_err(sink_err)
         }
         PubExpr::Case { cond, table, then, els } => {
             let table = slots.resolve(table)?;
@@ -271,8 +277,7 @@ pub fn eval_pub_bound(
                     xsltdb_xpath::value::num_to_string(total)
                 }
             };
-            out.text(&text);
-            Ok(())
+            out.text(&text).map_err(sink_err)
         }
     }
 }
@@ -298,7 +303,8 @@ pub fn eval_to_text_guarded(
     eval_to_text_bound(expr, catalog, stats, bindings, guard, &SlotBindings::identity())
 }
 
-/// Slot-resolving variant of [`eval_to_text_guarded`].
+/// Slot-resolving variant of [`eval_to_text_guarded`]. A [`TextSink`]
+/// collects exactly the string-value of the events — no temporary tree.
 pub fn eval_to_text_bound(
     expr: &PubExpr,
     catalog: &Catalog,
@@ -307,12 +313,9 @@ pub fn eval_to_text_bound(
     guard: &Guard,
     slots: &SlotBindings,
 ) -> Result<String, StoreError> {
-    let mut b = TreeBuilder::new();
-    b.start_element(QName::local("t"));
-    eval_pub_bound(expr, catalog, stats, bindings, &mut b, guard, slots)?;
-    b.end_element();
-    let doc = b.finish();
-    Ok(doc.string_value(xsltdb_xml::NodeId::DOCUMENT))
+    let mut sink = TextSink::new(guard.clone());
+    eval_pub_bound(expr, catalog, stats, bindings, &mut sink, guard, slots)?;
+    Ok(sink.into_string())
 }
 
 /// `table` must already be slot-resolved by the caller; `slots` is still
@@ -439,21 +442,77 @@ impl SqlXmlQuery {
         let mut bindings = Bindings::new();
         for r in rows {
             bindings.push(base_table, r);
-            let mut b = TreeBuilder::new();
+            let mut sink = TreeSink::new(guard.clone());
             let res = eval_pub_bound(
                 &self.select,
                 catalog,
                 stats,
                 &mut bindings,
-                &mut b,
+                &mut sink,
                 guard,
                 slots,
             );
             bindings.pop();
             res?;
-            out.push(b.finish_lenient());
+            let doc = sink.finish_lenient();
+            stats.note_materialized_nodes(doc.node_count() as u64);
+            out.push(doc);
         }
         Ok(out)
+    }
+
+    /// Run the query **streaming**: rows are pulled through the same
+    /// iterator operators, but the publishing expression serializes
+    /// straight into `out` — zero DOM nodes, with every byte charged
+    /// against the guard as it is written (the paper's §5 emission model).
+    /// Result documents are concatenated with no separator, exactly the
+    /// bytes `to_string` would produce for each of
+    /// [`Self::execute_bound`]'s documents in order. Returns the number of
+    /// bytes written, which is also added to `ExecStats::streamed_bytes`.
+    pub fn execute_streaming_bound(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        slots: &SlotBindings,
+        out: &mut dyn std::io::Write,
+    ) -> Result<u64, StoreError> {
+        if let Some(kind) = guard.take_fault(FaultPoint::SqlExec) {
+            match kind {
+                FaultKind::Error => {
+                    return Err(StoreError("injected fault at SQL tier".into()))
+                }
+                FaultKind::Panic => panic!("injected panic at SQL tier"),
+            }
+        }
+        let base_table = slots.resolve(&self.base_table)?;
+        let (rows, _path) =
+            scan_guarded(catalog, stats, base_table, &self.where_clause, guard)?;
+        let mut sink = StreamWriter::new(out, guard.clone());
+        let mut bindings = Bindings::new();
+        for r in rows {
+            bindings.push(base_table, r);
+            let res = eval_pub_bound(
+                &self.select,
+                catalog,
+                stats,
+                &mut bindings,
+                &mut sink,
+                guard,
+                slots,
+            );
+            bindings.pop();
+            res?;
+            // Per-row lenient close, mirroring `finish_lenient` on the
+            // materialising path: an expression that leaves elements open
+            // must not swallow the next row into them.
+            while sink.depth() > 0 {
+                sink.end_element().map_err(sink_err)?;
+            }
+        }
+        let bytes = sink.bytes_written();
+        stats.add_streamed_bytes(bytes);
+        Ok(bytes)
     }
 
     /// The access path the base-table scan would take (for EXPLAIN-style
@@ -704,9 +763,69 @@ mod tests {
         let c = paper_catalog();
         let stats = ExecStats::new();
         let mut bindings = Bindings::new();
-        let mut b = TreeBuilder::new();
+        let mut b = TreeSink::unguarded();
         let r = eval_pub(&PubExpr::col("dept", "dname"), &c, &stats, &mut bindings, &mut b);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn streaming_matches_materialized_serialization() {
+        let c = paper_catalog();
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::default(),
+            select: dept_emp_pub(),
+        };
+        let stats = ExecStats::new();
+        let docs = q.execute(&c, &stats).unwrap();
+        let expected: String = docs.iter().map(xsltdb_xml::to_string).collect();
+        assert!(stats.snapshot().peak_materialized_nodes > 0);
+
+        let streamed_stats = ExecStats::new();
+        let mut buf = Vec::new();
+        let n = q
+            .execute_streaming_bound(
+                &c,
+                &streamed_stats,
+                &Guard::unlimited(),
+                &SlotBindings::identity(),
+                &mut buf,
+            )
+            .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+        let snap = streamed_stats.snapshot();
+        assert_eq!(snap.streamed_bytes, n);
+        assert_eq!(n as usize, expected.len());
+        // The point of the exercise: nothing was materialised.
+        assert_eq!(snap.peak_materialized_nodes, 0);
+    }
+
+    #[test]
+    fn streaming_trips_output_byte_cap_mid_stream() {
+        let c = paper_catalog();
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::default(),
+            select: dept_emp_pub(),
+        };
+        let guard = Guard::new(
+            xsltdb_xml::Limits::UNLIMITED.with_max_output_bytes(40),
+        );
+        let mut buf = Vec::new();
+        let err = q
+            .execute_streaming_bound(
+                &c,
+                &ExecStats::new(),
+                &guard,
+                &SlotBindings::identity(),
+                &mut buf,
+            )
+            .unwrap_err();
+        assert!(err.0.contains("output bytes"), "unexpected error: {err:?}");
+        assert!(guard.trip().is_some());
+        // Partial output stopped at the budget, not after a whole tree.
+        assert!(buf.len() as u64 <= 40);
+        assert!(!buf.is_empty(), "the stream should have started");
     }
 }
 

@@ -21,6 +21,12 @@ pub struct ExecStats {
     index_rows: AtomicU64,
     /// XML elements constructed by publishing functions.
     elements_built: AtomicU64,
+    /// Bytes emitted by the streaming execution path (no DOM involved).
+    streamed_bytes: AtomicU64,
+    /// Largest arena node count of any single materialised result document
+    /// (a high-water mark, not a tally): the streaming path leaves this at
+    /// zero, which is the whole point.
+    peak_materialized_nodes: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -30,6 +36,8 @@ pub struct StatsSnapshot {
     pub index_probes: u64,
     pub index_rows: u64,
     pub elements_built: u64,
+    pub streamed_bytes: u64,
+    pub peak_materialized_nodes: u64,
 }
 
 impl ExecStats {
@@ -43,6 +51,8 @@ impl ExecStats {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             index_rows: self.index_rows.load(Ordering::Relaxed),
             elements_built: self.elements_built.load(Ordering::Relaxed),
+            streamed_bytes: self.streamed_bytes.load(Ordering::Relaxed),
+            peak_materialized_nodes: self.peak_materialized_nodes.load(Ordering::Relaxed),
         }
     }
 
@@ -51,6 +61,8 @@ impl ExecStats {
         self.index_probes.store(0, Ordering::Relaxed);
         self.index_rows.store(0, Ordering::Relaxed);
         self.elements_built.store(0, Ordering::Relaxed);
+        self.streamed_bytes.store(0, Ordering::Relaxed);
+        self.peak_materialized_nodes.store(0, Ordering::Relaxed);
     }
 
     pub fn add_rows_scanned(&self, n: u64) {
@@ -64,6 +76,16 @@ impl ExecStats {
 
     pub fn add_element(&self) {
         self.elements_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_streamed_bytes(&self, n: u64) {
+        self.streamed_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record that a result document of `nodes` arena nodes was
+    /// materialised; keeps the per-document maximum.
+    pub fn note_materialized_nodes(&self, nodes: u64) {
+        self.peak_materialized_nodes.fetch_max(nodes, Ordering::Relaxed);
     }
 }
 
@@ -190,11 +212,17 @@ mod tests {
         s.add_rows_scanned(10);
         s.add_index_probe(3);
         s.add_element();
+        s.add_streamed_bytes(64);
+        s.add_streamed_bytes(16);
+        s.note_materialized_nodes(40);
+        s.note_materialized_nodes(25); // high-water mark: smaller doc keeps the peak
         let snap = s.snapshot();
         assert_eq!(snap.rows_scanned, 10);
         assert_eq!(snap.index_probes, 1);
         assert_eq!(snap.index_rows, 3);
         assert_eq!(snap.elements_built, 1);
+        assert_eq!(snap.streamed_bytes, 80);
+        assert_eq!(snap.peak_materialized_nodes, 40);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -1,23 +1,65 @@
 //! XML escaping and entity decoding.
+//!
+//! The escape functions return [`Cow`]: the common case — text with no
+//! escapable character at all — is returned borrowed, with zero allocation.
+//! This matters because escaping sits on the streaming emission hot path
+//! (`sink::StreamWriter` escapes every text node and attribute value as it
+//! writes), where a per-call `String` would dominate the profile.
+
+use std::borrow::Cow;
+
+/// Bytes that force [`escape_text`] onto the owned path. `\r` must become
+/// a character reference: a literal CR in serialized output is normalised
+/// to `\n` by any spec-conforming reparse (XML 1.0 §2.11), silently
+/// corrupting the roundtrip.
+#[inline]
+fn text_special(b: u8) -> bool {
+    matches!(b, b'&' | b'<' | b'>' | b'\r')
+}
+
+/// Bytes that force [`escape_attr`] onto the owned path: the text set plus
+/// the quote and the whitespace characters attribute-value normalisation
+/// would otherwise fold to spaces.
+#[inline]
+fn attr_special(b: u8) -> bool {
+    matches!(b, b'&' | b'<' | b'>' | b'\r' | b'"' | b'\n' | b'\t')
+}
 
 /// Escape a string for use as element character data.
-pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
+///
+/// Returns the input borrowed when it contains no escapable character —
+/// the overwhelmingly common case for real text nodes.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    let first = match s.bytes().position(text_special) {
+        None => return Cow::Borrowed(s),
+        Some(i) => i,
+    };
+    // All special bytes are ASCII, so `first` is a char boundary.
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
         match c {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Escape a string for use inside a double-quoted attribute value.
-pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
+///
+/// Returns the input borrowed when it contains no escapable character.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    let first = match s.bytes().position(attr_special) {
+        None => return Cow::Borrowed(s),
+        Some(i) => i,
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
         match c {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
@@ -25,10 +67,11 @@ pub fn escape_attr(s: &str) -> String {
             '"' => out.push_str("&quot;"),
             '\n' => out.push_str("&#10;"),
             '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Decode the five predefined entities plus numeric character references.
@@ -92,6 +135,24 @@ mod tests {
     }
 
     #[test]
+    fn carriage_return_escapes_in_text_and_attr() {
+        assert_eq!(escape_text("a\rb"), "a&#13;b");
+        assert_eq!(escape_attr("a\rb"), "a&#13;b");
+        // ... and decodes back to the literal CR.
+        assert_eq!(decode_entities("a&#13;b").unwrap(), "a\rb");
+    }
+
+    #[test]
+    fn clean_input_is_borrowed() {
+        let s = "no specials here, plain ASCII and ünïcödé";
+        assert!(matches!(escape_text(s), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr(s), Cow::Borrowed(_)));
+        // One special anywhere forces the owned path.
+        assert!(matches!(escape_text("x & y"), Cow::Owned(_)));
+        assert!(matches!(escape_attr("tab\there"), Cow::Owned(_)));
+    }
+
+    #[test]
     fn decode_predefined() {
         assert_eq!(
             decode_entities("&lt;a&gt; &amp; &apos;b&apos; &quot;c&quot;").unwrap(),
@@ -116,7 +177,8 @@ mod tests {
 
     #[test]
     fn roundtrip_escape_decode() {
-        let original = "tricky <text> with & \"quotes\" and 'apostrophes'";
+        let original = "tricky <text> with & \"quotes\" and 'apostrophes' and a \r return";
         assert_eq!(decode_entities(&escape_text(original)).unwrap(), original);
+        assert_eq!(decode_entities(&escape_attr(original)).unwrap(), original);
     }
 }

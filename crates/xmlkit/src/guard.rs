@@ -434,7 +434,7 @@ impl Guard {
 
     /// Account `n` result-tree nodes.
     #[inline]
-    pub fn note_output_nodes(&self, n: u64) -> Result<(), GuardExceeded> {
+    pub fn charge_output_nodes(&self, n: u64) -> Result<(), GuardExceeded> {
         let total = self
             .core
             .output_nodes
@@ -452,7 +452,7 @@ impl Guard {
 
     /// Account `n` serialized output bytes.
     #[inline]
-    pub fn note_output_bytes(&self, n: u64) -> Result<(), GuardExceeded> {
+    pub fn charge_output_bytes(&self, n: u64) -> Result<(), GuardExceeded> {
         let total = self
             .core
             .output_bytes
@@ -479,8 +479,8 @@ mod tests {
         for _ in 0..10_000 {
             g.charge(1_000_000).unwrap();
         }
-        g.note_output_nodes(u64::MAX / 2).unwrap();
-        g.note_output_bytes(u64::MAX / 2).unwrap();
+        g.charge_output_nodes(u64::MAX / 2).unwrap();
+        g.charge_output_bytes(u64::MAX / 2).unwrap();
         assert!(g.trip().is_none());
     }
 
@@ -513,15 +513,15 @@ mod tests {
     #[test]
     fn output_budgets_enforced() {
         let g = Guard::new(Limits::UNLIMITED.with_max_output_nodes(3));
-        g.note_output_nodes(3).unwrap();
+        g.charge_output_nodes(3).unwrap();
         assert_eq!(
-            g.note_output_nodes(1).unwrap_err().resource,
+            g.charge_output_nodes(1).unwrap_err().resource,
             Resource::OutputNodes
         );
         let g = Guard::new(Limits::UNLIMITED.with_max_output_bytes(8));
-        g.note_output_bytes(8).unwrap();
+        g.charge_output_bytes(8).unwrap();
         assert_eq!(
-            g.note_output_bytes(1).unwrap_err().resource,
+            g.charge_output_bytes(1).unwrap_err().resource,
             Resource::OutputBytes
         );
     }
@@ -576,8 +576,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..1_000 {
                         h.charge(1).unwrap();
-                        h.note_output_nodes(1).unwrap();
-                        h.note_output_bytes(2).unwrap();
+                        h.charge_output_nodes(1).unwrap();
+                        h.charge_output_bytes(2).unwrap();
                     }
                 })
             })

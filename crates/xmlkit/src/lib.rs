@@ -24,6 +24,7 @@ pub mod guard;
 pub mod model;
 pub mod qname;
 pub mod serialize;
+pub mod sink;
 
 /// Parser module, re-exported under a short name.
 pub mod parse {
@@ -39,3 +40,4 @@ pub use parser::{
 };
 pub use qname::{QName, XDB_NS, XSL_NS};
 pub use serialize::{node_to_string, to_pretty_string, to_string};
+pub use sink::{SinkError, StreamWriter, TextSink, TreeSink, XmlSink};

@@ -398,7 +398,7 @@ pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqErro
         }
         XqExpr::Call { name, args } => eval_call(name, args, env),
         XqExpr::DirectElem { name, attrs, content } => {
-            env.guard.note_output_nodes(1).map_err(guard_err)?;
+            env.guard.charge_output_nodes(1).map_err(guard_err)?;
             let mut b = TreeBuilder::new();
             b.start_element(name.clone());
             for (aname, parts) in attrs {
@@ -430,7 +430,7 @@ pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqErro
             Ok(vec![Item::Node(NodeHandle::new(doc, root))])
         }
         XqExpr::CompElem { name, content } => {
-            env.guard.note_output_nodes(1).map_err(guard_err)?;
+            env.guard.charge_output_nodes(1).map_err(guard_err)?;
             let n = eval(name, env)?;
             let lexical = n
                 .first()

@@ -259,7 +259,7 @@ impl<'a> Engine<'a> {
     fn out_text(&mut self, s: &str) -> Result<(), XsltError> {
         self.opts
             .guard
-            .note_output_bytes(s.len() as u64)
+            .charge_output_bytes(s.len() as u64)
             .map_err(guard_err)?;
         match self.sinks.last_mut().expect("a sink is always open") {
             Sink::Tree(b) => b.text(s),
@@ -270,7 +270,7 @@ impl<'a> Engine<'a> {
 
     /// Account one result-tree node against the guard's output budget.
     fn note_node(&self) -> Result<(), XsltError> {
-        self.opts.guard.note_output_nodes(1).map_err(guard_err)
+        self.opts.guard.charge_output_nodes(1).map_err(guard_err)
     }
 
     fn tree_sink(&mut self, what: &str) -> Result<&mut TreeBuilder, XsltError> {

@@ -9,7 +9,7 @@ use xsltdb::pipeline::{
 };
 use xsltdb::plancache::{PlanCache, SharedPlanCache};
 use xsltdb::xqgen::{rewrite, RewriteMode, RewriteOptions};
-use xsltdb::PipelineError;
+use xsltdb::{Guard, PipelineError};
 use xsltdb_relstore::{Catalog, ExecStats, XmlView};
 use xsltdb_xml::{parse_trimmed, to_string};
 use xsltdb_xquery::{evaluate_query, sequence_to_document, NodeHandle};
@@ -148,6 +148,9 @@ pub struct PlannedRun {
     pub matches_fresh: bool,
     /// The cached-plan output is byte-identical to the no-rewrite baseline.
     pub matches_vm: bool,
+    /// [`BoundPlan::execute_to_writer`] produced exactly the bytes of the
+    /// serialized `execute` documents — the streaming differential.
+    pub matches_streamed: bool,
     pub note: Option<String>,
 }
 
@@ -200,6 +203,7 @@ fn run_suite_planned_with(
                         tier: Tier::Vm,
                         matches_fresh: false,
                         matches_vm: false,
+                        matches_streamed: false,
                         note: Some(format!("cached planning failed: {e}")),
                     }
                 }
@@ -215,6 +219,7 @@ fn run_suite_planned_with(
                         tier: cached.tier(),
                         matches_fresh: false,
                         matches_vm: false,
+                        matches_streamed: false,
                         note: Some(format!("cached plan failed to execute: {e}")),
                     }
                 }
@@ -226,12 +231,20 @@ fn run_suite_planned_with(
                 .map(|r| render(&r.documents));
             let matches_fresh = fresh.as_ref().map(|f| *f == got).unwrap_or(false);
             let matches_vm = baseline.as_ref().map(|b| *b == got).unwrap_or(false);
+            // Streaming differential: the writer path must produce the
+            // concatenation of the serialized documents, byte for byte.
+            let mut streamed = Vec::new();
+            let matches_streamed = cached
+                .execute_to_writer(&catalog, &stats, &Guard::unlimited(), &mut streamed)
+                .is_ok()
+                && streamed == got.concat().into_bytes();
             PlannedRun {
                 name: c.name,
                 tier: cached.tier(),
                 matches_fresh,
                 matches_vm,
-                note: (!matches_fresh || !matches_vm)
+                matches_streamed,
+                note: (!matches_fresh || !matches_vm || !matches_streamed)
                     .then(|| "cached output diverges".to_string()),
             }
         })
@@ -284,6 +297,11 @@ mod tests {
             for run in &first {
                 assert!(run.matches_fresh, "case {} diverges: {:?}", run.name, run.note);
                 assert!(run.matches_vm, "case {} diverges from VM: {:?}", run.name, run.note);
+                assert!(
+                    run.matches_streamed,
+                    "case {} streams different bytes: {:?}",
+                    run.name, run.note
+                );
             }
             let after_first = cache.stats();
             assert_eq!(after_first.hits, 0);

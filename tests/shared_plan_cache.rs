@@ -48,6 +48,11 @@ fn eight_threads_share_one_cache_byte_identically() {
                 for run in &runs {
                     assert!(run.matches_fresh, "cold: {} diverged: {:?}", run.name, run.note);
                     assert!(run.matches_vm, "cold: {} vs VM: {:?}", run.name, run.note);
+                    assert!(
+                        run.matches_streamed,
+                        "cold: {} streamed different bytes: {:?}",
+                        run.name, run.note
+                    );
                 }
             })
             .expect("spawn cold pass");
@@ -79,6 +84,12 @@ fn eight_threads_share_one_cache_byte_identically() {
                                 run.matches_vm,
                                 "thread {t} pass {pass}: case {} cached output differs \
                                  from the VM baseline: {:?}",
+                                run.name, run.note
+                            );
+                            assert!(
+                                run.matches_streamed,
+                                "thread {t} pass {pass}: case {} streamed bytes differ \
+                                 from serialized execute output: {:?}",
                                 run.name, run.note
                             );
                         }
