@@ -1,0 +1,133 @@
+//! Serving report: the admission-controlled front door under K-client
+//! load, with and without injected faults.
+//!
+//! For K ∈ {1, 4, 8} the 40-case XSLTMark suite is replayed through one
+//! [`FrontDoor`] and the report prints p50/p99 latency, throughput, and
+//! the shed / retry / breaker-open counters. Every served request is
+//! checked byte-for-byte against the fresh single-threaded result; **any
+//! mismatch fails the process** (exit 1) — that is the CI contract.
+//!
+//! `--smoke` shrinks the run (CI bit-rot check); `--json` also writes
+//! `BENCH_serve.json`.
+
+use xsltdb_bench::{run_chaos, write_bench_json, ChaosConfig, ChaosReport};
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct Row {
+    clients: usize,
+    faults: bool,
+    report: ChaosReport,
+    p50_us: u64,
+    p99_us: u64,
+    throughput: f64,
+}
+
+fn run_point(clients: usize, faults: bool, smoke: bool) -> Row {
+    let mut cfg = ChaosConfig::default_chaos(clients);
+    cfg.inject_faults = faults;
+    if smoke {
+        cfg.requests_per_client = 20;
+        cfg.rows = 24;
+    }
+    let report = run_chaos(&cfg);
+    let mut lat = report.latencies_us.clone();
+    lat.sort_unstable();
+    let p50_us = percentile(&lat, 0.50);
+    let p99_us = percentile(&lat, 0.99);
+    let throughput = if report.wall_us == 0 {
+        f64::NAN
+    } else {
+        report.served as f64 / (report.wall_us as f64 / 1_000_000.0)
+    };
+    Row { clients, faults, report, p50_us, p99_us, throughput }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let ks: &[usize] = &[1, 4, 8];
+
+    println!("Serving front door — K clients × 40-case suite through one FrontDoor");
+    println!("(faulty runs inject errors/panics at every lattice edge plus budget trips)");
+    println!();
+    println!(
+        "{:>2} | {:>6} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7} | {:>7} | {:>7} | {:>7}",
+        "K", "faults", "served", "shed", "failed", "p50 (µs)", "p99 (µs)", "req/s", "retries",
+        "brk", "quiesce"
+    );
+    println!("{}", "-".repeat(100));
+
+    let mut ok = true;
+    let mut json_rows: Vec<String> = Vec::new();
+    for &k in ks {
+        for faults in [false, true] {
+            let row = run_point(k, faults, smoke);
+            let r = &row.report;
+            ok &= r.holds();
+            println!(
+                "{:>2} | {:>6} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7.0} | {:>7} | {:>7} | {:>7}",
+                row.clients,
+                row.faults,
+                r.served,
+                r.shed,
+                r.failed,
+                row.p50_us,
+                row.p99_us,
+                row.throughput,
+                r.stats.retries,
+                r.stats.breaker_opened,
+                r.quiesced,
+            );
+            if let Some(m) = &r.first_mismatch {
+                eprintln!("MISMATCH at K={k} faults={faults}: {m}");
+            }
+            json_rows.push(format!(
+                r#"{{"clients":{},"faults":{},"total":{},"served":{},"shed":{},"failed":{},"mismatches":{},"guard_trips":{},"guard_trip_retries":{},"p50_us":{},"p99_us":{},"requests_per_s":{:.1},"shed_rate":{:.4},"retries":{},"breaker_opened":{},"quiesced":{}}}"#,
+                row.clients,
+                row.faults,
+                r.total,
+                r.served,
+                r.shed,
+                r.failed,
+                r.mismatches,
+                r.guard_trips,
+                r.guard_trip_retries,
+                row.p50_us,
+                row.p99_us,
+                row.throughput,
+                r.shed_rate(),
+                r.stats.retries,
+                r.stats.breaker_opened,
+                r.quiesced,
+            ));
+        }
+    }
+
+    println!();
+    println!("Expected shape: every served request byte-identical to the fresh");
+    println!("single-threaded result; shed requests get typed rejections; guard");
+    println!("trips never retried; the global ledger quiesces to zero after each run.");
+    println!(
+        "Shape check [{}]: byte-identity, retry discipline, and ledger conservation all held: {ok}.",
+        if ok { "OK" } else { "REGRESSION" },
+    );
+
+    if json {
+        let body = format!(
+            "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"rows\": [\n    {}\n  ],\n  \"holds\": {ok}\n}}\n",
+            json_rows.join(",\n    "),
+        );
+        write_bench_json("BENCH_serve.json", &body);
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Chaos harness: the 40-case XSLTMark suite replayed at K clients
+//! through one [`FrontDoor`] while deterministic faults fire at every
+//! lattice edge.
+//!
+//! The harness proves the serving front door's contract under fire:
+//!
+//! * **Byte identity** — every *admitted and served* request's bytes equal
+//!   the fresh single-threaded result for its case, no matter which tier
+//!   served it, how many attempts it took, or which breakers were open.
+//! * **Typed shedding** — a request that gets no result gets a typed
+//!   [`Rejected`](xsltdb::admission::Rejected) or a typed pipeline error;
+//!   never a hang, never partial bytes.
+//! * **No forbidden retries** — guard-tripped requests finish in exactly
+//!   one attempt.
+//! * **Ledger conservation** — after the fleet quiesces, the global
+//!   ledger holds zero reservations.
+//!
+//! Fault selection is a pure function of `(seed, client, request)` via
+//! xorshift, so a chaos run replays identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use xsltdb::pipeline::plan_bound;
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::{FaultKind, FaultPoint, Guard, Limits};
+use xsltdb_relstore::{Catalog, ExecStats, XmlView};
+use xsltdb_serve::{FrontDoor, FrontDoorConfig, FrontDoorStats, ServeError};
+use xsltdb_xsltmark::{all_cases, db_catalog};
+
+/// Stack for suite work: the recursive cases blow the 2 MiB default.
+pub const CHAOS_STACK: usize = 64 * 1024 * 1024;
+
+/// What kind of chaos one request gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chaos {
+    /// Run clean.
+    None,
+    /// One lattice edge dies (error or panic) on the first attempt; the
+    /// same attempt degrades to the next tier.
+    OneEdge(FaultPoint, FaultKind),
+    /// Every lattice edge dies on the first attempt: the attempt exhausts
+    /// the lattice and the retry layer must recover on attempt two.
+    AllEdges(FaultKind),
+    /// The request runs with a absurdly small output budget: it must trip
+    /// its guard, classify terminal, and never be retried.
+    TripBudget,
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+const POINTS: [FaultPoint; 4] = [
+    FaultPoint::SqlExec,
+    FaultPoint::XQueryExec,
+    FaultPoint::VmExec,
+    FaultPoint::Materialize,
+];
+
+fn pick_chaos(seed: u64, client: usize, request: usize) -> Chaos {
+    let r = xorshift(seed ^ ((client as u64) << 32) ^ request as u64 ^ 0xC4A0_5EED);
+    match r % 16 {
+        0..=9 => Chaos::None,
+        10 | 11 => {
+            let point = POINTS[(r >> 8) as usize % POINTS.len()];
+            let kind =
+                if (r >> 16).is_multiple_of(2) { FaultKind::Error } else { FaultKind::Panic };
+            Chaos::OneEdge(point, kind)
+        }
+        12 => Chaos::AllEdges(FaultKind::Error),
+        13 => Chaos::AllEdges(FaultKind::Panic),
+        _ => Chaos::TripBudget,
+    }
+}
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client fires (cases cycle round-robin per client).
+    pub requests_per_client: usize,
+    /// Rows in the backing `db` table.
+    pub rows: usize,
+    /// Master seed for data generation and fault scheduling.
+    pub seed: u64,
+    /// When false, every request runs clean (pure load test).
+    pub inject_faults: bool,
+    /// Front-door tuning for the run.
+    pub door: FrontDoorConfig,
+}
+
+impl ChaosConfig {
+    /// A run sized for CI: faults everywhere, capacity tight enough that
+    /// shedding happens, deadline generous enough that most requests make
+    /// it through.
+    pub fn default_chaos(clients: usize) -> ChaosConfig {
+        ChaosConfig {
+            clients,
+            requests_per_client: 80,
+            rows: 48,
+            seed: 0xC4A0_5EED,
+            inject_faults: true,
+            door: FrontDoorConfig::server_default(),
+        }
+    }
+}
+
+/// Aggregate outcome of a chaos run.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Requests fired (`clients * requests_per_client`).
+    pub total: u64,
+    /// Admitted and served with full bytes.
+    pub served: u64,
+    /// Shed at admission with a typed rejection.
+    pub shed: u64,
+    /// Admitted but errored (guard trips, exhausted retries).
+    pub failed: u64,
+    /// Served requests whose bytes differ from the fresh single-threaded
+    /// result. **Must be zero.**
+    pub mismatches: u64,
+    /// Sample diagnostic for the first mismatch, when any.
+    pub first_mismatch: Option<String>,
+    /// Attempts that started after a previous attempt of the same request
+    /// had tripped its guard. **Must be zero** — trips are terminal, so
+    /// the retry layer must never follow one with another attempt.
+    pub guard_trip_retries: u64,
+    /// Budget-tripped requests that correctly surfaced as guard trips.
+    pub guard_trips: u64,
+    /// Wall-clock latency of every served request, microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Front-door counters at the end of the run.
+    pub stats: FrontDoorStats,
+    /// Ledger held zero reservations after the fleet quiesced.
+    pub quiesced: bool,
+    /// Wall-clock of the whole run, microseconds.
+    pub wall_us: u64,
+}
+
+impl ChaosReport {
+    /// Fraction of requests shed at the door.
+    pub fn shed_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.total as f64
+        }
+    }
+
+    /// The invariants the chaos suite (and CI) hold this run to.
+    pub fn holds(&self) -> bool {
+        self.mismatches == 0
+            && self.guard_trip_retries == 0
+            && self.quiesced
+            && self.served + self.shed + self.failed == self.total
+    }
+}
+
+/// Fresh single-threaded reference output for every case: one plan, one
+/// unlimited guard, no cache, no concurrency.
+pub fn reference_outputs(catalog: &Catalog, view: &XmlView) -> Vec<Vec<u8>> {
+    let opts = RewriteOptions::default();
+    all_cases()
+        .iter()
+        .map(|case| {
+            let bound = plan_bound(catalog, view, &case.stylesheet, &opts)
+                .unwrap_or_else(|e| panic!("{}: plan failed: {e}", case.name));
+            let mut out = Vec::new();
+            bound
+                .execute_to_writer(catalog, &ExecStats::new(), &Guard::unlimited(), &mut out)
+                .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", case.name));
+            out
+        })
+        .collect()
+}
+
+/// Run the chaos schedule and aggregate the verdict.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let started = Instant::now();
+    let (catalog, view) = db_catalog(cfg.rows, cfg.seed);
+    let cases = all_cases();
+    // The reference pass needs suite-sized stacks too.
+    let expected = {
+        let catalog = &catalog;
+        let view = &view;
+        std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .stack_size(CHAOS_STACK)
+                .spawn_scoped(s, move || reference_outputs(catalog, view))
+                .expect("spawn reference pass")
+                .join()
+                .expect("reference pass panicked")
+        })
+    };
+
+    let door = FrontDoor::new(cfg.door);
+    let served = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let guard_trip_retries = AtomicU64::new(0);
+    let guard_trips = AtomicU64::new(0);
+    let first_mismatch: Mutex<Option<String>> = Mutex::new(None);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for client in 0..cfg.clients {
+            let door = &door;
+            let catalog = &catalog;
+            let view = &view;
+            let cases = &cases;
+            let expected = &expected;
+            let served = &served;
+            let shed = &shed;
+            let failed = &failed;
+            let mismatches = &mismatches;
+            let guard_trip_retries = &guard_trip_retries;
+            let guard_trips = &guard_trips;
+            let first_mismatch = &first_mismatch;
+            let latencies = &latencies;
+            let cfg = *cfg;
+            std::thread::Builder::new()
+                .stack_size(CHAOS_STACK)
+                .spawn_scoped(s, move || {
+                    let opts = RewriteOptions::default();
+                    let mut local_lat = Vec::with_capacity(cfg.requests_per_client);
+                    for request in 0..cfg.requests_per_client {
+                        let case_idx =
+                            (client * cfg.requests_per_client + request) % cases.len();
+                        let case = &cases[case_idx];
+                        let chaos = if cfg.inject_faults {
+                            pick_chaos(cfg.seed, client, request)
+                        } else {
+                            Chaos::None
+                        };
+                        let t0 = Instant::now();
+                        // The previous attempt's guard, kept so a *new*
+                        // attempt starting after a trip — the forbidden
+                        // retry — is caught at the moment it happens, not
+                        // inferred from the final error.
+                        let prev_guard: Mutex<Option<Guard>> = Mutex::new(None);
+                        let result = door.transform_with(
+                            catalog,
+                            view,
+                            &case.stylesheet,
+                            &opts,
+                            &|limits, attempt| {
+                                let mut prev = prev_guard
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                if attempt > 0
+                                    && prev.as_ref().is_some_and(|g| g.trip().is_some())
+                                {
+                                    guard_trip_retries.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let g = match chaos {
+                                    Chaos::TripBudget => {
+                                        Guard::new(Limits::UNLIMITED.with_max_output_bytes(2))
+                                    }
+                                    Chaos::OneEdge(point, kind) if attempt == 0 => {
+                                        Guard::new(limits).with_fault(point, kind)
+                                    }
+                                    Chaos::AllEdges(kind) if attempt == 0 => POINTS
+                                        .iter()
+                                        .fold(Guard::new(limits), |g, &p| g.with_fault(p, kind)),
+                                    _ => Guard::new(limits),
+                                };
+                                *prev = Some(g.clone());
+                                g
+                            },
+                        );
+                        match result {
+                            Ok(out) => {
+                                local_lat.push(t0.elapsed().as_micros() as u64);
+                                if chaos == Chaos::TripBudget {
+                                    // A 2-byte budget must trip on every
+                                    // case in the suite; success means the
+                                    // guard was ignored.
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                    let mut slot = first_mismatch
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    slot.get_or_insert_with(|| {
+                                        format!(
+                                            "{}: budget-tripped request returned Ok",
+                                            case.name
+                                        )
+                                    });
+                                } else if out.bytes != expected[case_idx] {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                    let mut slot = first_mismatch
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    slot.get_or_insert_with(|| {
+                                        format!(
+                                            "{}: served {}B != reference {}B \
+                                             (tier {:?}, attempts {}, chaos {:?})",
+                                            case.name,
+                                            out.bytes.len(),
+                                            expected[case_idx].len(),
+                                            out.tier,
+                                            out.attempts,
+                                            chaos,
+                                        )
+                                    });
+                                }
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Rejected(_)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Pipeline { error, .. }) => {
+                                if error.is_guard_trip() {
+                                    guard_trips.fetch_add(1, Ordering::Relaxed);
+                                }
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    latencies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local_lat);
+                })
+                .expect("spawn chaos client");
+        }
+    });
+
+    let quiesced = door.is_quiesced();
+    ChaosReport {
+        total: (cfg.clients * cfg.requests_per_client) as u64,
+        served: served.into_inner(),
+        shed: shed.into_inner(),
+        failed: failed.into_inner(),
+        mismatches: mismatches.into_inner(),
+        first_mismatch: first_mismatch.into_inner().unwrap_or_else(|e| e.into_inner()),
+        guard_trip_retries: guard_trip_retries.into_inner(),
+        guard_trips: guard_trips.into_inner(),
+        latencies_us: latencies.into_inner().unwrap_or_else(|e| e.into_inner()),
+        stats: door.stats(),
+        quiesced,
+        wall_us: started.elapsed().as_micros() as u64,
+    }
+}

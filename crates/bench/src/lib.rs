@@ -29,8 +29,10 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
+pub mod chaos;
 pub mod harness;
 
+pub use chaos::{reference_outputs, run_chaos, ChaosConfig, ChaosReport, CHAOS_STACK};
 pub use harness::{
     measure_amortization, measure_concurrent, median_micros, AmortizedCost, ScalingPoint,
     Workload,

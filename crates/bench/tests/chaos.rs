@@ -1,0 +1,142 @@
+//! Acceptance tests for the serving front door under chaos.
+//!
+//! These drive the same harness as `serve_report` and pin the PR's
+//! contract: at 8 concurrent clients with faults injected at every
+//! lattice edge, every admitted-and-served request is byte-identical to
+//! the fresh single-threaded result, shed requests get typed rejections,
+//! guard trips are never retried, and the global ledger returns to zero
+//! reservations once the fleet quiesces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use xsltdb::admission::RetryPolicy;
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::{FaultKind, FaultPoint, Guard, Limits};
+use xsltdb_bench::{run_chaos, ChaosConfig, CHAOS_STACK};
+use xsltdb_serve::{FrontDoor, FrontDoorConfig, ServeError};
+use xsltdb_xml::LedgerLimits;
+use xsltdb_xsltmark::{db_catalog, dbonerow_stylesheet, existing_id};
+
+fn smoke_sized(clients: usize) -> ChaosConfig {
+    let mut cfg = ChaosConfig::default_chaos(clients);
+    cfg.requests_per_client = 20;
+    cfg.rows = 24;
+    cfg
+}
+
+/// The headline acceptance run: 8 clients, faults at every lattice edge.
+#[test]
+fn chaos_eight_clients_with_faults_holds_the_contract() {
+    let report = run_chaos(&smoke_sized(8));
+    assert!(report.served > 0, "chaos run served nothing: {report:?}");
+    assert_eq!(
+        report.mismatches, 0,
+        "served bytes diverged from the single-threaded reference: {:?}",
+        report.first_mismatch
+    );
+    assert_eq!(
+        report.guard_trip_retries, 0,
+        "an attempt started after a previous attempt tripped its guard"
+    );
+    assert!(report.quiesced, "ledger still holds reservations after quiesce");
+    assert_eq!(
+        report.served + report.shed + report.failed,
+        report.total,
+        "requests unaccounted for: {report:?}"
+    );
+    assert!(report.holds());
+    // The schedule injects a deterministic share of budget trips; they
+    // must surface as guard trips, not silent successes or hangs.
+    assert!(report.guard_trips > 0, "no budget trip surfaced: {report:?}");
+}
+
+/// Without injected faults the same fleet serves every request clean.
+#[test]
+fn chaos_eight_clients_clean_serves_everything() {
+    let mut cfg = smoke_sized(8);
+    cfg.inject_faults = false;
+    let report = run_chaos(&cfg);
+    assert_eq!(report.failed, 0, "clean run failed requests: {report:?}");
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.served + report.shed, report.total);
+    assert!(report.quiesced);
+    assert!(report.holds());
+}
+
+/// Satellite: ledger accounting under panic. Every request panics at
+/// every lattice edge on every attempt, so each one unwinds through
+/// `catch_unwind` while holding a live reservation. After 1000 such
+/// iterations across 8 threads nothing may be leaked: the ledger must
+/// be back to zero fuel / bytes / streams in flight.
+#[test]
+fn ledger_returns_reservations_after_1000_panicking_requests() {
+    let mut cfg = FrontDoorConfig::server_default();
+    // Metered limits so every request draws real fuel and byte
+    // reservations — a leak shows up as a non-quiesced ledger.
+    cfg.limits = Limits::UNLIMITED.with_fuel(1_000_000).with_max_output_bytes(1 << 20);
+    cfg.ledger = LedgerLimits::server_default();
+    // Panics classify transient, so attempts retry; zero backoff keeps
+    // 1000 iterations fast while still exercising the retry loop.
+    cfg.retry = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    };
+    let door = FrontDoor::new(cfg);
+    let (catalog, view) = db_catalog(24, 7);
+    let sheet = dbonerow_stylesheet(existing_id(24));
+    let opts = RewriteOptions::default();
+    let failures = AtomicU64::new(0);
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 125; // 8 × 125 = 1000 iterations
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let door = &door;
+            let catalog = &catalog;
+            let view = &view;
+            let sheet = &sheet;
+            let opts = &opts;
+            let failures = &failures;
+            std::thread::Builder::new()
+                .stack_size(CHAOS_STACK)
+                .spawn_scoped(s, move || {
+                    for _ in 0..PER_THREAD {
+                        let result = door.transform_with(
+                            catalog,
+                            view,
+                            sheet,
+                            opts,
+                            &|limits, _attempt| {
+                                // Panic on *every* attempt at *every*
+                                // edge: the request can never succeed.
+                                Guard::new(limits)
+                                    .with_fault(FaultPoint::SqlExec, FaultKind::Panic)
+                                    .with_fault(FaultPoint::XQueryExec, FaultKind::Panic)
+                                    .with_fault(FaultPoint::VmExec, FaultKind::Panic)
+                                    .with_fault(FaultPoint::Materialize, FaultKind::Panic)
+                            },
+                        );
+                        match result {
+                            Ok(out) => panic!(
+                                "all-edge panic request succeeded: {} bytes via {:?}",
+                                out.bytes.len(),
+                                out.tier
+                            ),
+                            Err(ServeError::Pipeline { .. }) | Err(ServeError::Rejected(_)) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn panic-chaos thread");
+        }
+    });
+
+    assert_eq!(failures.load(Ordering::Relaxed) as usize, THREADS * PER_THREAD);
+    let snap = door.queue().ledger().snapshot();
+    assert!(
+        snap.is_quiesced(),
+        "ledger leaked reservations after panic storm: {snap:?}"
+    );
+}

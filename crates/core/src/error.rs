@@ -170,7 +170,13 @@ impl From<xsltdb_xslt::XsltError> for PipelineError {
 
 impl From<xsltdb_relstore::StoreError> for PipelineError {
     fn from(e: xsltdb_relstore::StoreError) -> Self {
-        PipelineError::Store(e)
+        // A store error that is really a guard trip (a streaming sink or a
+        // scan ran out of budget mid-execution) classifies as `Guard`: the
+        // admission/retry layer must treat it as terminal, not transient.
+        match e.trip() {
+            Some(trip) => PipelineError::Guard(trip),
+            None => PipelineError::Store(e),
+        }
     }
 }
 

@@ -46,6 +46,7 @@
 //! assert_eq!(xsltdb_xml::to_string(&sequence_to_document(&seq)), "<p>CLARK</p>");
 //! ```
 
+pub mod admission;
 pub mod combined;
 pub mod docexec;
 pub mod error;
@@ -57,6 +58,10 @@ pub mod sqlrewrite;
 pub mod translate;
 pub mod xqgen;
 
+pub use admission::{
+    classify, AdmissionConfig, AdmissionQueue, AdmissionStats, BreakerConfig, BreakerView,
+    CircuitBreakerSet, FailureClass, Permit, Rejected, RetryPolicy,
+};
 pub use error::{PipelineError, RewriteError, TierFailure};
 pub use guard::{
     DegradePolicy, FaultKind, FaultPoint, Guard, GuardExceeded, Limits, Resource,
@@ -65,8 +70,8 @@ pub use docexec::{execute_indexed, index_assist, ProbeSpec, INDEXED_VAR};
 pub use pe::{partial_evaluate, ExecGraph, PeResult};
 pub use pipeline::{
     no_rewrite_transform, no_rewrite_transform_guarded, plan_bound, plan_cached,
-    plan_cached_shared, plan_transform, BaselineRun, BoundPlan, GuardedRun, StreamRun,
-    Tier, TransformPlan,
+    plan_cached_shared, plan_transform, AllowAllTiers, BaselineRun, BoundPlan, GuardedRun,
+    StreamRun, Tier, TierRouter, TransformPlan,
 };
 pub use plancache::{
     fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, SharedPlanCache,

@@ -285,6 +285,32 @@ struct Attempt {
     error: Option<PipelineError>,
 }
 
+/// Routing hook the serving layer installs over the degradation lattice:
+/// consulted before each tier runs, informed of every tier outcome.
+/// Implemented by `admission::CircuitBreakerSet`; the default
+/// [`AllowAllTiers`] routes everything and records nothing.
+pub trait TierRouter: Sync {
+    /// May the pipeline enter `tier` right now?
+    fn allow(&self, tier: Tier) -> bool;
+
+    /// Report the outcome of running `tier`. `success == false` covers
+    /// errors and contained panics; guard trips are **not** reported —
+    /// they indict the request's budget, not the tier.
+    fn record(&self, tier: Tier, success: bool);
+}
+
+/// The default router: every tier allowed, outcomes dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAllTiers;
+
+impl TierRouter for AllowAllTiers {
+    fn allow(&self, _tier: Tier) -> bool {
+        true
+    }
+
+    fn record(&self, _tier: Tier, _success: bool) {}
+}
+
 /// Run a tier body with panic containment. A panic inside an engine is an
 /// engine bug, not a reason to poison the whole session: it is caught at
 /// the tier boundary and converted into a failed attempt.
@@ -372,6 +398,16 @@ impl BoundPlan {
     /// The compiled stylesheet of the underlying plan.
     pub fn sheet(&self) -> &Stylesheet {
         &self.plan.sheet
+    }
+
+    /// The shared, immutable plan this binding draws on.
+    pub fn plan(&self) -> &Arc<TransformPlan> {
+        &self.plan
+    }
+
+    /// The slot-to-table bindings this plan executes with.
+    pub fn bindings(&self) -> &SlotBindings {
+        &self.bindings
     }
 
     /// Why the underlying plan fell below the SQL tier, if it did.
@@ -515,6 +551,23 @@ impl BoundPlan {
         guard: &Guard,
         out: &mut dyn std::io::Write,
     ) -> Result<StreamRun, PipelineError> {
+        self.execute_to_writer_routed(catalog, stats, guard, out, &AllowAllTiers)
+    }
+
+    /// [`Self::execute_to_writer`] with a [`TierRouter`] consulted at each
+    /// lattice edge. A tier the router refuses is skipped — recorded in
+    /// `fallbacks` as a non-panic failure — and execution degrades
+    /// straight to the next tier; every tier actually run reports its
+    /// outcome back to the router (guard trips excepted: those indict the
+    /// request, not the tier).
+    pub fn execute_to_writer_routed(
+        &self,
+        catalog: &Catalog,
+        stats: &ExecStats,
+        guard: &Guard,
+        out: &mut dyn std::io::Write,
+        router: &dyn TierRouter,
+    ) -> Result<StreamRun, PipelineError> {
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut w = CountingWriter { inner: out, written: 0 };
 
@@ -525,12 +578,25 @@ impl BoundPlan {
         };
 
         for &tier in tiers {
+            if !router.allow(tier) {
+                let reason = format!("{} tier skipped: circuit breaker open", tier.name());
+                attempts.push(Attempt {
+                    failure: TierFailure {
+                        tier: tier.name(),
+                        reason: "skipped: circuit breaker open".to_string(),
+                        panicked: false,
+                    },
+                    error: Some(PipelineError::Internal(reason)),
+                });
+                continue;
+            }
             let before = w.written;
             let result = run_tier(tier, || {
                 self.run_single_tier_to_writer(tier, catalog, stats, guard, &mut w)
             });
             match result {
                 Ok(()) => {
+                    router.record(tier, true);
                     return Ok(StreamRun {
                         bytes_written: w.written,
                         tier,
@@ -541,6 +607,7 @@ impl BoundPlan {
                     if let Some(trip) = guard.trip() {
                         return Err(PipelineError::Guard(trip));
                     }
+                    router.record(tier, false);
                     let dirty = w.written > before;
                     attempts.push(attempt);
                     if dirty {

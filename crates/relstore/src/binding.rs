@@ -76,7 +76,7 @@ impl SlotBindings {
             return Ok(name);
         }
         self.get(name)
-            .ok_or_else(|| StoreError(format!("unbound table slot {name}")))
+            .ok_or_else(|| StoreError::new(format!("unbound table slot {name}")))
     }
 
     pub fn len(&self) -> usize {

@@ -12,7 +12,11 @@ use std::collections::HashMap;
 /// key their entries to the generation observed at planning time: a plan
 /// built against an older catalog shape is stale — the planner might now
 /// choose a different tier or access path — and must be rebuilt.
-#[derive(Debug, Default)]
+///
+/// `Clone` takes a full snapshot (tables, indexes, views, generation): a
+/// session that clones the catalog keeps executing against the shape it
+/// planned for even while DDL reshapes the original underneath it.
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     indexes: Vec<Index>,
@@ -43,7 +47,7 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
         self.tables
             .get(name)
-            .ok_or_else(|| StoreError(format!("unknown table {name}")))
+            .ok_or_else(|| StoreError::new(format!("unknown table {name}")))
     }
 
     /// Mutable access for loading data. After bulk changes call
@@ -51,7 +55,7 @@ impl Catalog {
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
         self.tables
             .get_mut(name)
-            .ok_or_else(|| StoreError(format!("unknown table {name}")))
+            .ok_or_else(|| StoreError::new(format!("unknown table {name}")))
     }
 
     /// Create (or rebuild) a B-tree index on `table.column`.
@@ -93,7 +97,7 @@ impl Catalog {
     pub fn view(&self, name: &str) -> Result<&XmlView, StoreError> {
         self.views
             .get(name)
-            .ok_or_else(|| StoreError(format!("unknown view {name}")))
+            .ok_or_else(|| StoreError::new(format!("unknown view {name}")))
     }
 
     pub fn table_names(&self) -> Vec<&str> {

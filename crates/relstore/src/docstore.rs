@@ -59,7 +59,7 @@ impl XmlDocStore {
     /// Insert a document from text; returns its index.
     pub fn insert(&mut self, text: &str) -> Result<usize, StoreError> {
         let doc = xsltdb_xml::parse::parse(text)
-            .map_err(|e| StoreError(format!("stored document does not parse: {e}")))?;
+            .map_err(|e| StoreError::new(format!("stored document does not parse: {e}")))?;
         let idx = self.texts.len();
         if let Some(index) = &mut self.index {
             index_document(index, &doc, idx);
@@ -103,7 +103,7 @@ impl XmlDocStore {
             DocStorageModel::Clob => {
                 self.reparses.set(self.reparses.get() + 1);
                 let parsed = xsltdb_xml::parse::parse(&self.texts[doc])
-                    .map_err(|e| StoreError(format!("stored CLOB does not parse: {e}")))?;
+                    .map_err(|e| StoreError::new(format!("stored CLOB does not parse: {e}")))?;
                 Ok(Rc::new(parsed))
             }
         }
@@ -121,7 +121,7 @@ impl XmlDocStore {
         let index = self
             .index
             .as_ref()
-            .ok_or_else(|| StoreError("document store has no path/value index".into()))?;
+            .ok_or_else(|| StoreError::new("document store has no path/value index"))?;
         let hits = index
             .get(&(path.to_string(), DatumKey(value.clone())))
             .cloned()

@@ -15,7 +15,7 @@ use std::ops::Bound;
 use xsltdb_xml::{Guard, GuardExceeded};
 
 pub(crate) fn guard_err(e: GuardExceeded) -> StoreError {
-    StoreError(e.to_string())
+    StoreError::from_trip(e)
 }
 
 /// Comparison operators in predicates.
@@ -372,7 +372,7 @@ mod tests {
         let stats = ExecStats::new();
         let guard = Guard::new(Limits::UNLIMITED.with_fuel(2));
         let err = scan_guarded(&c, &stats, "emp", &Conjunction::default(), &guard).unwrap_err();
-        assert!(err.0.contains("fuel"), "unexpected error: {}", err.0);
+        assert!(err.message().contains("fuel"), "unexpected error: {}", err.message());
         let trip = guard.trip().expect("trip recorded");
         assert_eq!(trip.resource, Resource::Fuel);
         assert_eq!(trip.limit, 2);
@@ -393,7 +393,7 @@ mod tests {
             &guard,
         )
         .unwrap_err();
-        assert!(err.0.contains("fuel"), "unexpected error: {}", err.0);
+        assert!(err.message().contains("fuel"), "unexpected error: {}", err.message());
         assert_eq!(guard.trip().unwrap().resource, Resource::Fuel);
     }
 
@@ -406,7 +406,7 @@ mod tests {
         let guard = Guard::new(Limits::UNLIMITED.with_deadline(Duration::from_secs(0)));
         std::thread::sleep(Duration::from_millis(2));
         let err = scan_guarded(&c, &stats, "emp", &Conjunction::default(), &guard).unwrap_err();
-        assert!(err.0.contains("deadline"), "unexpected error: {}", err.0);
+        assert!(err.message().contains("deadline"), "unexpected error: {}", err.message());
         assert_eq!(guard.trip().unwrap().resource, Resource::Deadline);
     }
 }

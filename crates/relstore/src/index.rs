@@ -19,7 +19,7 @@ impl Index {
     pub fn build(table: &Table, column: &str) -> Result<Index, StoreError> {
         let ci = table
             .col_index(column)
-            .ok_or_else(|| StoreError(format!("no column {column} in {}", table.name)))?;
+            .ok_or_else(|| StoreError::new(format!("no column {column} in {}", table.name)))?;
         let mut map: BTreeMap<DatumKey, Vec<RowId>> = BTreeMap::new();
         for (rid, row) in table.rows.iter().enumerate() {
             let d = &row[ci];

@@ -23,7 +23,7 @@ use xsltdb_xml::{
 fn sink_err(e: SinkError) -> StoreError {
     match e {
         SinkError::Guard(g) => guard_err(g),
-        other => StoreError(other.to_string()),
+        other => StoreError::new(other.to_string()),
     }
 }
 
@@ -188,7 +188,7 @@ pub fn eval_pub_bound(
             let table = slots.resolve(table)?;
             let row = bindings
                 .get(table)
-                .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
+                .ok_or_else(|| StoreError::new(format!("no row bound for table {table}")))?;
             let d = catalog.table(table)?.value_by_name(row, column)?.clone();
             out.text(&d.to_text()).map_err(sink_err)
         }
@@ -238,7 +238,7 @@ pub fn eval_pub_bound(
             let table = slots.resolve(table)?;
             let row = bindings
                 .get(table)
-                .ok_or_else(|| StoreError(format!("no row bound for table {table}")))?;
+                .ok_or_else(|| StoreError::new(format!("no row bound for table {table}")))?;
             let t = catalog.table(table)?;
             if cond.matches(t, row)? {
                 eval_pub_bound(then, catalog, stats, bindings, out, guard, slots)
@@ -266,7 +266,7 @@ pub fn eval_pub_bound(
                 AggFunc::Sum => {
                     let col = column
                         .as_deref()
-                        .ok_or_else(|| StoreError("sum() needs a column".into()))?;
+                        .ok_or_else(|| StoreError::new("sum() needs a column"))?;
                     let t = catalog.table(table)?;
                     let mut total = 0.0;
                     for r in &rows {
@@ -340,7 +340,7 @@ fn agg_rows(
             AggPredTerm::Correlate { inner_column, outer_table, outer_column } => {
                 let outer_table = slots.resolve(outer_table)?;
                 let row = bindings.get(outer_table).ok_or_else(|| {
-                    StoreError(format!("no outer row bound for {outer_table}"))
+                    StoreError::new(format!("no outer row bound for {outer_table}"))
                 })?;
                 let v = catalog
                     .table(outer_table)?
@@ -368,7 +368,7 @@ fn order_rows(
     for o in order_by {
         let ci = t
             .col_index(&o.column)
-            .ok_or_else(|| StoreError(format!("no column {} in {table}", o.column)))?;
+            .ok_or_else(|| StoreError::new(format!("no column {} in {table}", o.column)))?;
         cols.push((ci, o.descending));
     }
     rows.sort_by(|&a, &b| {
@@ -430,7 +430,7 @@ impl SqlXmlQuery {
         if let Some(kind) = guard.take_fault(FaultPoint::SqlExec) {
             match kind {
                 FaultKind::Error => {
-                    return Err(StoreError("injected fault at SQL tier".into()))
+                    return Err(StoreError::new("injected fault at SQL tier"))
                 }
                 FaultKind::Panic => panic!("injected panic at SQL tier"),
             }
@@ -480,7 +480,7 @@ impl SqlXmlQuery {
         if let Some(kind) = guard.take_fault(FaultPoint::SqlExec) {
             match kind {
                 FaultKind::Error => {
-                    return Err(StoreError("injected fault at SQL tier".into()))
+                    return Err(StoreError::new("injected fault at SQL tier"))
                 }
                 FaultKind::Panic => panic!("injected panic at SQL tier"),
             }
@@ -821,8 +821,11 @@ mod tests {
                 &mut buf,
             )
             .unwrap_err();
-        assert!(err.0.contains("output bytes"), "unexpected error: {err:?}");
+        assert!(err.message().contains("output bytes"), "unexpected error: {err:?}");
         assert!(guard.trip().is_some());
+        // The error itself carries the structured trip evidence — layers
+        // above can classify it without the Guard side channel.
+        assert_eq!(err.trip(), guard.trip());
         // Partial output stopped at the budget, not after a whole tree.
         assert!(buf.len() as u64 <= 40);
         assert!(!buf.is_empty(), "the stream should have started");

@@ -2,6 +2,7 @@
 
 use crate::datum::{ColType, Datum};
 use std::fmt;
+use xsltdb_xml::GuardExceeded;
 
 /// Row identifier within a table (heap position).
 pub type RowId = usize;
@@ -14,12 +15,44 @@ pub struct Column {
 }
 
 /// An error from the storage layer.
+///
+/// A guard trip that surfaces through the store (a scan, a publishing
+/// expression, or a streaming sink refusing to emit) keeps its structured
+/// [`GuardExceeded`] evidence attached — callers above (the pipeline's
+/// retry/admission layers in particular) classify "budget exhausted" vs
+/// "engine failure" from the error value itself, without depending on the
+/// `Guard::trip` side channel or parsing messages.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StoreError(pub String);
+pub struct StoreError {
+    message: String,
+    trip: Option<GuardExceeded>,
+}
+
+impl StoreError {
+    /// A plain (non-trip) store error.
+    pub fn new(message: impl Into<String>) -> StoreError {
+        StoreError { message: message.into(), trip: None }
+    }
+
+    /// A store error carrying the structured evidence of a guard trip.
+    pub fn from_trip(trip: GuardExceeded) -> StoreError {
+        StoreError { message: trip.to_string(), trip: Some(trip) }
+    }
+
+    /// The failure message (without the `store error:` prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The guard trip this error carries, when it is a budget trip.
+    pub fn trip(&self) -> Option<GuardExceeded> {
+        self.trip
+    }
+}
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "store error: {}", self.0)
+        write!(f, "store error: {}", self.message)
     }
 }
 
@@ -52,7 +85,7 @@ impl Table {
     /// Insert a row; validates arity and (loosely) types.
     pub fn insert(&mut self, row: Vec<Datum>) -> Result<RowId, StoreError> {
         if row.len() != self.columns.len() {
-            return Err(StoreError(format!(
+            return Err(StoreError::new(format!(
                 "table {}: expected {} columns, got {}",
                 self.name,
                 self.columns.len(),
@@ -69,7 +102,7 @@ impl Table {
                     | (ColType::Text, Datum::Text(_))
             );
             if !ok {
-                return Err(StoreError(format!(
+                return Err(StoreError::new(format!(
                     "table {}: column {} has type {:?}, got {d:?}",
                     self.name, c.name, c.ty
                 )));
@@ -87,7 +120,7 @@ impl Table {
     pub fn value_by_name(&self, row: RowId, col: &str) -> Result<&Datum, StoreError> {
         let i = self
             .col_index(col)
-            .ok_or_else(|| StoreError(format!("table {} has no column {col}", self.name)))?;
+            .ok_or_else(|| StoreError::new(format!("table {} has no column {col}", self.name)))?;
         Ok(&self.rows[row][i])
     }
 

@@ -42,7 +42,7 @@ impl XmlView {
         if let Some(kind) = guard.take_fault(FaultPoint::Materialize) {
             match kind {
                 FaultKind::Error => {
-                    return Err(StoreError(format!(
+                    return Err(StoreError::new(format!(
                         "injected fault materialising view {}",
                         self.name
                     )))

@@ -1,0 +1,87 @@
+//! `serve` — run the admission-controlled front door over the demo
+//! XSLTMark catalog on a loopback socket.
+//!
+//! ```text
+//! serve [--port N] [--rows N] [--once]
+//! ```
+//!
+//! Binds `127.0.0.1:PORT` (default 7747, `--port 0` picks an ephemeral
+//! port and prints it), registers the 40-case benchmark view as `db`, and
+//! serves until killed. `--once` accepts a short self-test: the process
+//! sends itself one request through the socket, prints the result size,
+//! and exits — used by CI to prove the binary actually serves.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use xsltdb_serve::{
+    read_response, write_request, FrontDoor, FrontDoorConfig, Request, Server, Status,
+};
+use xsltdb_xsltmark::{db_catalog, dbonerow_stylesheet, existing_id};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut port: u16 = 7747;
+    let mut rows: usize = 64;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                let v = args.next().unwrap_or_else(|| fail("--port needs a value"));
+                port = v.parse().unwrap_or_else(|_| fail("--port must be 0..=65535"));
+            }
+            "--rows" => {
+                let v = args.next().unwrap_or_else(|| fail("--rows needs a value"));
+                rows = v.parse().unwrap_or_else(|_| fail("--rows must be a number"));
+            }
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("usage: serve [--port N] [--rows N] [--once]");
+                return;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let (catalog, view) = db_catalog(rows, 7);
+    let door = FrontDoor::new(FrontDoorConfig::server_default());
+    let mut server = Server::new(door, catalog);
+    server.register_view("db", view);
+    let handle = match server.serve(port) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("bind failed: {e}")),
+    };
+    println!("serving view \"db\" ({rows} rows) on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+
+    if once {
+        let mut conn =
+            TcpStream::connect(handle.addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+        let req = Request {
+            view: "db".into(),
+            stylesheet: dbonerow_stylesheet(existing_id(rows)),
+        };
+        write_request(&mut conn, &req).unwrap_or_else(|e| fail(&format!("send: {e}")));
+        let resp = read_response(&mut conn).unwrap_or_else(|e| fail(&format!("recv: {e}")));
+        if resp.status != Status::Ok {
+            fail(&format!(
+                "self-test got {:?}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+        println!("self-test ok: {} result bytes", resp.body.len());
+        drop(conn);
+        handle.shutdown();
+        return;
+    }
+
+    // Serve forever: park this thread; the accept loop owns the work.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,352 @@
+//! [`FrontDoor`]: admission + retry + breaker routing around the engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use xsltdb::admission::{
+    AdmissionConfig, AdmissionQueue, AdmissionStats, BreakerConfig, CircuitBreakerSet,
+    Rejected, RetryPolicy,
+};
+use xsltdb::pipeline::{plan_cached_shared, StreamRun, Tier};
+use xsltdb::plancache::SharedPlanCache;
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::{Guard, Limits, PipelineError};
+use xsltdb_relstore::{Catalog, ExecStats};
+use xsltdb_xml::LedgerLimits;
+use xsltdb_relstore::XmlView;
+
+/// Everything tunable about a [`FrontDoor`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrontDoorConfig {
+    /// Per-request guard budget; also the amount reserved on the ledger.
+    pub limits: Limits,
+    /// Fleet-wide ceilings.
+    pub ledger: LedgerLimits,
+    /// Queue depth and default admission deadline.
+    pub admission: AdmissionConfig,
+    /// Retry bound and backoff schedule.
+    pub retry: RetryPolicy,
+    /// Per-tier breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl FrontDoorConfig {
+    pub fn server_default() -> FrontDoorConfig {
+        FrontDoorConfig {
+            limits: Limits::server_default(),
+            ledger: LedgerLimits::server_default(),
+            admission: AdmissionConfig::server_default(),
+            retry: RetryPolicy::server_default(),
+            breaker: BreakerConfig::server_default(),
+        }
+    }
+}
+
+/// Why a request got no result bytes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Shed at the door — never executed, no bytes produced.
+    Rejected(Rejected),
+    /// Admitted but failed (terminally, or transiently `attempts` times).
+    Pipeline {
+        error: PipelineError,
+        /// Execution attempts made (≥ 1).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "{r}"),
+            ServeError::Pipeline { error, attempts } => {
+                write!(f, "{error} (after {attempts} attempt(s))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful transform.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The serialized result, complete (never partial).
+    pub bytes: Vec<u8>,
+    /// The lattice tier that produced it.
+    pub tier: Tier,
+    /// Execution attempts it took (1 = first try).
+    pub attempts: u32,
+    /// Tiers that failed or were breaker-skipped before `tier` succeeded,
+    /// on the winning attempt.
+    pub fallbacks: usize,
+}
+
+/// Counters the front door exports for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontDoorStats {
+    pub admitted: u64,
+    pub shed_overloaded: u64,
+    pub shed_timeout: u64,
+    pub retries: u64,
+    pub breaker_opened: u64,
+}
+
+/// The admission-controlled request path. Cheap to share behind an `Arc`;
+/// every method takes `&self`.
+pub struct FrontDoor {
+    config: FrontDoorConfig,
+    queue: AdmissionQueue,
+    breakers: CircuitBreakerSet,
+    cache: SharedPlanCache,
+    retries: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl FrontDoor {
+    pub fn new(config: FrontDoorConfig) -> FrontDoor {
+        FrontDoor {
+            config,
+            queue: AdmissionQueue::with_limits(config.ledger, config.admission),
+            breakers: CircuitBreakerSet::new(config.breaker),
+            cache: SharedPlanCache::default(),
+            retries: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &FrontDoorConfig {
+        &self.config
+    }
+
+    /// The admission queue (exposed so harnesses can inspect the ledger).
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
+    /// The shared plan cache behind the door.
+    pub fn cache(&self) -> &SharedPlanCache {
+        &self.cache
+    }
+
+    pub fn stats(&self) -> FrontDoorStats {
+        let AdmissionStats { admitted, shed_overloaded, shed_timeout } = self.queue.stats();
+        FrontDoorStats {
+            admitted,
+            shed_overloaded,
+            shed_timeout,
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_opened: self.breakers.opened_total(),
+        }
+    }
+
+    /// True when no request holds any ledger reservation.
+    pub fn is_quiesced(&self) -> bool {
+        self.queue.ledger().snapshot().is_quiesced()
+    }
+
+    /// Serve one transform with a plain per-attempt guard.
+    pub fn transform(
+        &self,
+        catalog: &Catalog,
+        view: &XmlView,
+        stylesheet_src: &str,
+        opts: &RewriteOptions,
+    ) -> Result<ServeOutcome, ServeError> {
+        self.transform_with(catalog, view, stylesheet_src, opts, &|limits, _attempt| {
+            Guard::new(limits)
+        })
+    }
+
+    /// Serve one transform, building each attempt's [`Guard`] through
+    /// `make_guard` — the hook the chaos harness uses to arm
+    /// [`Guard::with_fault`] injections per attempt. Every attempt gets a
+    /// fresh guard **and a fresh buffer**: bytes from a failed attempt are
+    /// discarded wholesale, so a retried request can never interleave or
+    /// leak partial output.
+    pub fn transform_with(
+        &self,
+        catalog: &Catalog,
+        view: &XmlView,
+        stylesheet_src: &str,
+        opts: &RewriteOptions,
+        make_guard: &dyn Fn(Limits, u32) -> Guard,
+    ) -> Result<ServeOutcome, ServeError> {
+        let limits = self.config.limits;
+        let (fuel, bytes) = reservation_units(limits);
+        let deadline = self.config.admission.default_deadline;
+        let permit = self
+            .queue
+            .admit_within(fuel, bytes, deadline)
+            .map_err(ServeError::Rejected)?;
+        let seed = self.seq.fetch_add(1, Ordering::Relaxed);
+
+        let stats = ExecStats::new();
+        let mut attempt: u32 = 0;
+        loop {
+            let plan = match plan_cached_shared(&self.cache, catalog, view, stylesheet_src, opts)
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    drop(permit);
+                    return Err(ServeError::Pipeline { error: e, attempts: attempt + 1 });
+                }
+            };
+            let guard = make_guard(limits, attempt);
+            let mut buf: Vec<u8> = Vec::new();
+            let result: Result<StreamRun, PipelineError> =
+                plan.execute_to_writer_routed(catalog, &stats, &guard, &mut buf, &self.breakers);
+            match result {
+                Ok(run) => {
+                    drop(permit);
+                    return Ok(ServeOutcome {
+                        bytes: buf,
+                        tier: run.tier,
+                        attempts: attempt + 1,
+                        fallbacks: run.fallbacks.len(),
+                    });
+                }
+                Err(error) => {
+                    if self.config.retry.should_retry(attempt, &error) {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                        let backoff = self.config.retry.backoff(attempt, seed);
+                        if backoff > Duration::ZERO {
+                            std::thread::sleep(backoff);
+                        }
+                        continue;
+                    }
+                    drop(permit);
+                    return Err(ServeError::Pipeline { error, attempts: attempt + 1 });
+                }
+            }
+        }
+    }
+}
+
+/// How much a request with these per-call limits draws from the ledger.
+/// Unlimited axes reserve nothing on that axis (the stream slot still
+/// counts), so an unmetered dev config never overflows the counters.
+fn reservation_units(limits: Limits) -> (u64, u64) {
+    let fuel = if limits.fuel == u64::MAX { 0 } else { limits.fuel };
+    let bytes = if limits.max_output_bytes == u64::MAX { 0 } else { limits.max_output_bytes };
+    (fuel, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsltdb_xsltmark::{db_catalog, dbonerow_stylesheet, existing_id};
+
+    fn small_door(streams: u64) -> FrontDoor {
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.ledger = LedgerLimits::UNLIMITED.with_max_concurrent_streams(streams);
+        cfg.admission.max_queue_depth = 2;
+        cfg.admission.default_deadline = Duration::from_millis(20);
+        FrontDoor::new(cfg)
+    }
+
+    #[test]
+    fn serves_a_transform_and_quiesces() {
+        let door = small_door(4);
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let out = door
+            .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .expect("serves");
+        assert!(!out.bytes.is_empty());
+        assert_eq!(out.attempts, 1);
+        assert!(door.is_quiesced());
+        assert_eq!(door.stats().admitted, 1);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_plan_cache() {
+        let door = small_door(4);
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        for _ in 0..5 {
+            door.transform(&catalog, &view, &sheet, &RewriteOptions::default())
+                .expect("serves");
+        }
+        let snap = door.cache().stats();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hits, 4);
+    }
+
+    #[test]
+    fn guard_trip_is_terminal_not_retried() {
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.limits = Limits::UNLIMITED.with_max_output_bytes(8);
+        let door = FrontDoor::new(cfg);
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let err = door
+            .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .unwrap_err();
+        match err {
+            ServeError::Pipeline { error, attempts } => {
+                assert!(error.is_guard_trip(), "{error:?}");
+                assert_eq!(attempts, 1, "a guard trip must never be retried");
+            }
+            other => panic!("expected pipeline error, got {other}"),
+        }
+        assert_eq!(door.stats().retries, 0);
+        assert!(door.is_quiesced());
+    }
+
+    #[test]
+    fn injected_panic_is_retried_and_succeeds() {
+        use xsltdb::{FaultKind, FaultPoint};
+        let door = small_door(4);
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let clean = door
+            .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .expect("baseline");
+        // Attempt 0 panics at *every* lattice edge (so the whole lattice
+        // fails); attempt 1 runs clean and must reproduce the bytes.
+        let out = door
+            .transform_with(
+                &catalog,
+                &view,
+                &sheet,
+                &RewriteOptions::default(),
+                &|limits, attempt| {
+                    let g = Guard::new(limits);
+                    if attempt == 0 {
+                        g.with_fault(FaultPoint::SqlExec, FaultKind::Panic)
+                            .with_fault(FaultPoint::XQueryExec, FaultKind::Panic)
+                            .with_fault(FaultPoint::VmExec, FaultKind::Panic)
+                            .with_fault(FaultPoint::Materialize, FaultKind::Panic)
+                    } else {
+                        g
+                    }
+                },
+            )
+            .expect("second attempt succeeds");
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.bytes, clean.bytes, "retry produced different bytes");
+        assert!(door.stats().retries >= 1);
+        assert!(door.is_quiesced());
+    }
+
+    #[test]
+    fn saturated_door_sheds_with_typed_rejection() {
+        let door = std::sync::Arc::new(small_door(1));
+        let (catalog, view) = db_catalog(24, 7);
+        // Hold the only stream slot via a raw ledger reservation.
+        let held = door.queue().ledger().try_reserve(0, 0).unwrap();
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let err = door
+            .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Rejected(Rejected::QueueTimeout { .. })),
+            "{err}"
+        );
+        drop(held);
+        door.transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .expect("capacity returned");
+        assert!(door.is_quiesced());
+    }
+}

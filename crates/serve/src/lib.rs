@@ -1,0 +1,31 @@
+//! The serving front door: admission-controlled, retrying, breaker-routed
+//! XSLT transforms over a shared plan cache.
+//!
+//! The engine below this crate is overload-*correct* but overload-*blind*:
+//! every transform carries its own [`Guard`] budget, yet N concurrent
+//! callers can each stay within budget while collectively exhausting the
+//! process. [`FrontDoor`] closes the gap by composing the pieces from
+//! `xsltdb::admission`:
+//!
+//! 1. **Admit** — reserve the request's full guard budget (fuel + output
+//!    bytes + one stream slot) against the global
+//!    [`ResourceLedger`](xsltdb_xml::ResourceLedger) via the
+//!    [`AdmissionQueue`]; shed with a typed [`Rejected`] when capacity
+//!    does not free up within the deadline.
+//! 2. **Execute** — route `BoundPlan::execute_to_writer_routed` through
+//!    the per-tier [`CircuitBreakerSet`], with a **fresh guard and a
+//!    fresh output buffer per attempt** so a retried request can never
+//!    leak partial bytes from a failed attempt.
+//! 3. **Retry** — bounded, jitter-backoff retries for transient failures
+//!    only; guard trips and binding errors return immediately.
+//!
+//! [`Server`] puts a minimal length-prefixed TCP protocol in front of a
+//! `FrontDoor` (thread per connection, loopback only) — see [`proto`].
+
+pub mod frontdoor;
+pub mod proto;
+pub mod server;
+
+pub use frontdoor::{FrontDoor, FrontDoorConfig, FrontDoorStats, ServeError, ServeOutcome};
+pub use proto::{read_frame, read_response, write_frame, write_request, Request, Response, Status};
+pub use server::{Server, ServerHandle};

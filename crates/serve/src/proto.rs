@@ -1,0 +1,174 @@
+//! Wire protocol for the local serve socket.
+//!
+//! Minimal length-prefixed frames over a loopback TCP stream; one
+//! connection carries any number of request/response pairs in order.
+//!
+//! ```text
+//! request  := u32 view_len  | view bytes (UTF-8 view name)
+//!           | u32 sheet_len | sheet bytes (UTF-8 stylesheet source)
+//! response := u8 status | u32 body_len | body bytes
+//! ```
+//!
+//! All integers are big-endian. `status` is [`Status`]: `Ok` bodies are
+//! the complete transform output (never partial — a failed attempt's
+//! bytes are discarded before the response is framed); `Rejected` and
+//! `Error` bodies are UTF-8 diagnostics.
+
+use std::io::{self, Read, Write};
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Admitted and executed; the body is the full result.
+    Ok = 0,
+    /// Shed at admission (overload or queue timeout); body is the typed
+    /// rejection rendered as text.
+    Rejected = 1,
+    /// Admitted but failed terminally (or exhausted retries).
+    Error = 2,
+}
+
+impl Status {
+    pub fn from_byte(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Rejected),
+            2 => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One transform request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Name of a view registered with the server.
+    pub view: String,
+    /// XSLT stylesheet source to apply.
+    pub stylesheet: String,
+}
+
+/// One transform response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: Status,
+    pub body: Vec<u8>,
+}
+
+/// Frames larger than this are refused — the door sheds oversized inputs
+/// before they allocate.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+fn read_len(r: &mut dyn Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    let n = u32::from_be_bytes(b);
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    Ok(n)
+}
+
+fn read_chunk(r: &mut dyn Read) -> io::Result<Vec<u8>> {
+    let n = read_len(r)? as usize;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn utf8(bytes: Vec<u8>, what: &str) -> io::Result<String> {
+    String::from_utf8(bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("{what} is not UTF-8")))
+}
+
+/// Read one request frame. `Ok(None)` means the peer closed cleanly at a
+/// frame boundary.
+pub fn read_frame(r: &mut dyn Read) -> io::Result<Option<Request>> {
+    let mut first = [0u8; 4];
+    match r.read_exact(&mut first) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let view_len = u32::from_be_bytes(first);
+    if view_len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "view name frame too large"));
+    }
+    let mut view = vec![0u8; view_len as usize];
+    r.read_exact(&mut view)?;
+    let sheet = read_chunk(r)?;
+    Ok(Some(Request {
+        view: utf8(view, "view name")?,
+        stylesheet: utf8(sheet, "stylesheet")?,
+    }))
+}
+
+/// Write one request frame.
+pub fn write_request(w: &mut dyn Write, req: &Request) -> io::Result<()> {
+    w.write_all(&(req.view.len() as u32).to_be_bytes())?;
+    w.write_all(req.view.as_bytes())?;
+    w.write_all(&(req.stylesheet.len() as u32).to_be_bytes())?;
+    w.write_all(req.stylesheet.as_bytes())?;
+    w.flush()
+}
+
+/// Write one response frame.
+pub fn write_frame(w: &mut dyn Write, resp: &Response) -> io::Result<()> {
+    w.write_all(&[resp.status as u8])?;
+    w.write_all(&(resp.body.len() as u32).to_be_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+/// Read one response frame.
+pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
+    let mut status = [0u8; 1];
+    r.read_exact(&mut status)?;
+    let status = Status::from_byte(status[0]).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad status byte {}", status[0]))
+    })?;
+    let body = read_chunk(r)?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request { view: "db_vu".into(), stylesheet: "<xsl/>".into() };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap().expect("one frame");
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for status in [Status::Ok, Status::Rejected, Status::Error] {
+            let resp = Response { status, body: b"payload".to_vec() };
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &resp).unwrap();
+            let got = read_response(&mut buf.as_slice()).unwrap();
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_error() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }).unwrap().is_none());
+        let truncated = [0u8, 0, 0, 5, b'a'];
+        assert!(read_frame(&mut truncated.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_refused() {
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Global resource ledger: aggregate admission budgets across requests.
+//!
+//! [`Guard`](crate::Guard) budgets are strictly per-call — N concurrent
+//! callers can each stay within their own limits while collectively
+//! exhausting the process. The [`ResourceLedger`] closes that gap: it holds
+//! fleet-wide ceilings (aggregate fuel, bytes-in-flight, concurrent
+//! streams) as lock-free atomic counters, and hands out RAII
+//! [`Reservation`]s that draw the ceilings down on admission and return
+//! every unit on `Drop` — including when the drop happens during a panic
+//! unwind, which is what makes the ledger safe to combine with the
+//! pipeline's `catch_unwind` tier containment.
+//!
+//! Invariants (checked by the chaos suite):
+//!
+//! 1. **Conservation** — for each resource, `in_flight` equals the sum of
+//!    live reservations; after every reservation drops, `in_flight == 0`.
+//! 2. **No overshoot** — a reservation is all-or-nothing: if any resource
+//!    would pierce its ceiling the whole request is refused and nothing is
+//!    drawn down.
+//! 3. **Panic safety** — a reservation dropped mid-unwind returns its
+//!    units exactly once (plain `Drop`, no `mem::forget` paths).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fleet-wide ceilings for a [`ResourceLedger`]. `u64::MAX` means
+/// unmetered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerLimits {
+    /// Aggregate fuel reservable across all in-flight requests.
+    pub max_total_fuel: u64,
+    /// Aggregate output bytes reservable across all in-flight requests.
+    pub max_bytes_in_flight: u64,
+    /// Maximum concurrently admitted streams.
+    pub max_concurrent_streams: u64,
+}
+
+impl LedgerLimits {
+    /// No ceilings at all; every admission succeeds.
+    pub const UNLIMITED: LedgerLimits = LedgerLimits {
+        max_total_fuel: u64::MAX,
+        max_bytes_in_flight: u64::MAX,
+        max_concurrent_streams: u64::MAX,
+    };
+
+    /// Serving defaults: roomy enough for tens of concurrent
+    /// `Limits::server_default` guards, small enough that a stampede is
+    /// shed instead of swallowed.
+    pub fn server_default() -> LedgerLimits {
+        LedgerLimits {
+            max_total_fuel: 2_000_000_000,
+            max_bytes_in_flight: 2 * 1024 * 1024 * 1024,
+            max_concurrent_streams: 256,
+        }
+    }
+
+    pub fn with_max_total_fuel(mut self, v: u64) -> LedgerLimits {
+        self.max_total_fuel = v;
+        self
+    }
+
+    pub fn with_max_bytes_in_flight(mut self, v: u64) -> LedgerLimits {
+        self.max_bytes_in_flight = v;
+        self
+    }
+
+    pub fn with_max_concurrent_streams(mut self, v: u64) -> LedgerLimits {
+        self.max_concurrent_streams = v;
+        self
+    }
+}
+
+/// Why the ledger refused an admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerDenied {
+    /// Admitting would push aggregate fuel past the ceiling.
+    Fuel { requested: u64, available: u64 },
+    /// Admitting would push bytes-in-flight past the ceiling.
+    Bytes { requested: u64, available: u64 },
+    /// All concurrent-stream slots are taken.
+    Streams { ceiling: u64 },
+}
+
+impl fmt::Display for LedgerDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerDenied::Fuel { requested, available } => {
+                write!(f, "ledger: fuel exhausted ({requested} requested, {available} free)")
+            }
+            LedgerDenied::Bytes { requested, available } => {
+                write!(f, "ledger: bytes-in-flight exhausted ({requested} requested, {available} free)")
+            }
+            LedgerDenied::Streams { ceiling } => {
+                write!(f, "ledger: all {ceiling} stream slots in use")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerDenied {}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    fuel_in_flight: AtomicU64,
+    bytes_in_flight: AtomicU64,
+    streams_in_flight: AtomicU64,
+    admitted_total: AtomicU64,
+    denied_total: AtomicU64,
+}
+
+/// A point-in-time view of the ledger counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerSnapshot {
+    pub fuel_in_flight: u64,
+    pub bytes_in_flight: u64,
+    pub streams_in_flight: u64,
+    pub admitted_total: u64,
+    pub denied_total: u64,
+}
+
+impl LedgerSnapshot {
+    /// True when no request holds any reservation.
+    pub fn is_quiesced(&self) -> bool {
+        self.fuel_in_flight == 0 && self.bytes_in_flight == 0 && self.streams_in_flight == 0
+    }
+}
+
+/// The global ledger. Cheap to clone (an `Arc` handle); all operations are
+/// lock-free CAS loops on relaxed-to-acquire atomics.
+#[derive(Debug, Clone)]
+pub struct ResourceLedger {
+    limits: LedgerLimits,
+    inner: Arc<LedgerInner>,
+}
+
+impl ResourceLedger {
+    pub fn new(limits: LedgerLimits) -> ResourceLedger {
+        ResourceLedger { limits, inner: Arc::new(LedgerInner::default()) }
+    }
+
+    /// An unmetered ledger (tests, single-shot tools).
+    pub fn unlimited() -> ResourceLedger {
+        ResourceLedger::new(LedgerLimits::UNLIMITED)
+    }
+
+    pub fn limits(&self) -> LedgerLimits {
+        self.limits
+    }
+
+    /// Try to admit a request that wants `fuel` fuel units and `bytes`
+    /// output bytes. All-or-nothing: on any refusal, nothing stays drawn
+    /// down. On success the returned [`Reservation`] holds the units until
+    /// it drops.
+    pub fn try_reserve(&self, fuel: u64, bytes: u64) -> Result<Reservation, LedgerDenied> {
+        let denied = |d: LedgerDenied| {
+            self.inner.denied_total.fetch_add(1, Ordering::Relaxed);
+            d
+        };
+        // Streams first: it is the cheapest to undo and the most common
+        // refusal under stampede.
+        if let Err(ceiling) = draw(
+            &self.inner.streams_in_flight,
+            1,
+            self.limits.max_concurrent_streams,
+        ) {
+            let _ = ceiling;
+            return Err(denied(LedgerDenied::Streams {
+                ceiling: self.limits.max_concurrent_streams,
+            }));
+        }
+        if let Err(available) =
+            draw(&self.inner.fuel_in_flight, fuel, self.limits.max_total_fuel)
+        {
+            self.inner.streams_in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(denied(LedgerDenied::Fuel { requested: fuel, available }));
+        }
+        if let Err(available) =
+            draw(&self.inner.bytes_in_flight, bytes, self.limits.max_bytes_in_flight)
+        {
+            self.inner.fuel_in_flight.fetch_sub(fuel, Ordering::AcqRel);
+            self.inner.streams_in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(denied(LedgerDenied::Bytes { requested: bytes, available }));
+        }
+        self.inner.admitted_total.fetch_add(1, Ordering::Relaxed);
+        Ok(Reservation { inner: Arc::clone(&self.inner), fuel, bytes })
+    }
+
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            fuel_in_flight: self.inner.fuel_in_flight.load(Ordering::Acquire),
+            bytes_in_flight: self.inner.bytes_in_flight.load(Ordering::Acquire),
+            streams_in_flight: self.inner.streams_in_flight.load(Ordering::Acquire),
+            admitted_total: self.inner.admitted_total.load(Ordering::Relaxed),
+            denied_total: self.inner.denied_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// CAS-draw `amount` units from `counter` without letting it pierce
+/// `ceiling`. Returns the free headroom on refusal.
+fn draw(counter: &AtomicU64, amount: u64, ceiling: u64) -> Result<(), u64> {
+    if ceiling == u64::MAX {
+        // Unmetered: still count, so snapshots stay truthful.
+        counter.fetch_add(amount, Ordering::AcqRel);
+        return Ok(());
+    }
+    let mut current = counter.load(Ordering::Acquire);
+    loop {
+        let free = ceiling.saturating_sub(current);
+        if amount > free {
+            return Err(free);
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + amount,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Ok(()),
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// A live draw against the ledger. Returns every unit on drop — exactly
+/// once, including when dropped during a panic unwind.
+#[derive(Debug)]
+pub struct Reservation {
+    inner: Arc<LedgerInner>,
+    fuel: u64,
+    bytes: u64,
+}
+
+impl Reservation {
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.inner.fuel_in_flight.fetch_sub(self.fuel, Ordering::AcqRel);
+        self.inner.bytes_in_flight.fetch_sub(self.bytes, Ordering::AcqRel);
+        self.inner.streams_in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_drop_round_trips_to_zero() {
+        let ledger = ResourceLedger::new(LedgerLimits::server_default());
+        let r = ledger.try_reserve(1_000, 2_000).unwrap();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.fuel_in_flight, 1_000);
+        assert_eq!(snap.bytes_in_flight, 2_000);
+        assert_eq!(snap.streams_in_flight, 1);
+        drop(r);
+        assert!(ledger.snapshot().is_quiesced());
+        assert_eq!(ledger.snapshot().admitted_total, 1);
+    }
+
+    #[test]
+    fn refusal_is_all_or_nothing() {
+        let limits = LedgerLimits::UNLIMITED
+            .with_max_total_fuel(100)
+            .with_max_bytes_in_flight(50)
+            .with_max_concurrent_streams(8);
+        let ledger = ResourceLedger::new(limits);
+        // Bytes ceiling refuses — fuel and the stream slot must both be
+        // returned.
+        let err = ledger.try_reserve(10, 51).unwrap_err();
+        assert!(matches!(err, LedgerDenied::Bytes { requested: 51, available: 50 }));
+        assert!(ledger.snapshot().is_quiesced());
+        assert_eq!(ledger.snapshot().denied_total, 1);
+        // Fuel ceiling refuses — the stream slot must be returned.
+        let err = ledger.try_reserve(101, 0).unwrap_err();
+        assert!(matches!(err, LedgerDenied::Fuel { requested: 101, available: 100 }));
+        assert!(ledger.snapshot().is_quiesced());
+    }
+
+    #[test]
+    fn stream_slots_refuse_at_ceiling() {
+        let ledger =
+            ResourceLedger::new(LedgerLimits::UNLIMITED.with_max_concurrent_streams(2));
+        let a = ledger.try_reserve(1, 1).unwrap();
+        let b = ledger.try_reserve(1, 1).unwrap();
+        let err = ledger.try_reserve(1, 1).unwrap_err();
+        assert!(matches!(err, LedgerDenied::Streams { ceiling: 2 }));
+        drop(a);
+        let c = ledger.try_reserve(1, 1).unwrap();
+        drop(b);
+        drop(c);
+        assert!(ledger.snapshot().is_quiesced());
+    }
+
+    #[test]
+    fn reservation_returns_units_during_panic_unwind() {
+        let ledger = ResourceLedger::new(LedgerLimits::server_default());
+        let res = ledger.try_reserve(500, 500).unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _held = res;
+            panic!("tier blew up");
+        }));
+        assert!(outcome.is_err());
+        assert!(ledger.snapshot().is_quiesced(), "{:?}", ledger.snapshot());
+    }
+
+    #[test]
+    fn concurrent_reservations_conserve_units() {
+        let ledger = ResourceLedger::new(
+            LedgerLimits::UNLIMITED
+                .with_max_total_fuel(1_000_000)
+                .with_max_bytes_in_flight(1_000_000)
+                .with_max_concurrent_streams(64),
+        );
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let ledger = &ledger;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let fuel = 1 + ((t * 31 + i * 7) % 97) as u64;
+                        if let Ok(r) = ledger.try_reserve(fuel, fuel * 2) {
+                            assert_eq!(r.fuel(), fuel);
+                            let snap = ledger.snapshot();
+                            assert!(snap.fuel_in_flight <= 1_000_000);
+                            assert!(snap.bytes_in_flight <= 1_000_000);
+                            assert!(snap.streams_in_flight <= 64);
+                            drop(r);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(ledger.snapshot().is_quiesced(), "{:?}", ledger.snapshot());
+    }
+
+    #[test]
+    fn unlimited_ledger_still_counts_in_flight() {
+        let ledger = ResourceLedger::unlimited();
+        let r = ledger.try_reserve(42, 7).unwrap();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.fuel_in_flight, 42);
+        assert_eq!(snap.bytes_in_flight, 7);
+        assert_eq!(snap.streams_in_flight, 1);
+        drop(r);
+        assert!(ledger.snapshot().is_quiesced());
+    }
+}

@@ -301,7 +301,7 @@ fn strict_policy_fails_fast_without_fallback() {
     let guard = Guard::unlimited().with_fault(FaultPoint::SqlExec, FaultKind::Error);
     let stats = ExecStats::new();
     match plan.execute_with_policy(&catalog, &stats, &guard, DegradePolicy::Strict) {
-        Err(PipelineError::Store(e)) => assert!(e.0.contains("injected fault")),
+        Err(PipelineError::Store(e)) => assert!(e.message().contains("injected fault")),
         other => panic!("expected the SQL tier's own error, got {other:?}"),
     }
 }

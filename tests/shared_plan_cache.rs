@@ -14,12 +14,15 @@
 
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
-use xsltdb::pipeline::{Tier, TransformPlan};
+use xsltdb::pipeline::{plan_cached_shared, Tier, TransformPlan};
 use xsltdb::plancache::{PlanKey, SharedPlanCache};
 use xsltdb::xqgen::RewriteOptions;
+use xsltdb::Guard;
+use xsltdb_relstore::{ColType, ExecStats, Table};
 use xsltdb_xslt::compile_str;
-use xsltdb_xsltmark::run_suite_planned_shared;
+use xsltdb_xsltmark::{db_catalog, dbonerow_stylesheet, existing_id, run_suite_planned_shared};
 
 /// Recursive suite cases need more stack than the 2 MiB test threads get,
 /// and the concurrent phase needs that headroom on *every* session thread.
@@ -111,6 +114,101 @@ fn eight_threads_share_one_cache_byte_identically() {
         snap.hits,
         snap.lookups()
     );
+}
+
+// ---------------------------------------------------------------------------
+// DDL bump while a streamed execution is in flight: the in-flight call
+// finishes byte-identically against its catalog snapshot; the next lookup
+// at the bumped generation replans instead of serving the stale entry.
+// ---------------------------------------------------------------------------
+
+/// A writer that parks the streaming thread mid-flight: the first `write`
+/// signals `started` and then blocks on `gate`, so the test can run DDL
+/// while bytes are provably on the wire.
+struct GatedWriter {
+    bytes: Vec<u8>,
+    started: Option<mpsc::Sender<()>>,
+    gate: mpsc::Receiver<()>,
+}
+
+impl std::io::Write for GatedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if let Some(tx) = self.started.take() {
+            let _ = tx.send(());
+            let _ = self.gate.recv();
+        }
+        self.bytes.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn ddl_bump_mid_stream_finishes_in_flight_call_and_replans_next_lookup() {
+    let (mut catalog, view) = db_catalog(24, 0xDD1);
+    let cache = SharedPlanCache::default();
+    let sheet = dbonerow_stylesheet(existing_id(24));
+    let opts = RewriteOptions::default();
+    let gen0 = catalog.generation();
+
+    // Plan at generation 0 and take the reference output single-threaded.
+    let bound = plan_cached_shared(&cache, &catalog, &view, &sheet, &opts).expect("plans");
+    let plan0 = Arc::clone(bound.plan());
+    let mut expected = Vec::new();
+    bound
+        .execute_to_writer(&catalog, &ExecStats::new(), &Guard::unlimited(), &mut expected)
+        .expect("reference run");
+    assert!(!expected.is_empty());
+
+    // The in-flight session executes against its own catalog snapshot —
+    // the shape it planned for — while DDL reshapes the original.
+    let snapshot = catalog.clone();
+    let (started_tx, started_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let streamer = {
+        let bound = plan_cached_shared(&cache, &snapshot, &view, &sheet, &opts).expect("plans");
+        std::thread::Builder::new()
+            .stack_size(SUITE_STACK)
+            .spawn(move || {
+                let mut w =
+                    GatedWriter { bytes: Vec::new(), started: Some(started_tx), gate: gate_rx };
+                let run = bound
+                    .execute_to_writer(&snapshot, &ExecStats::new(), &Guard::unlimited(), &mut w)
+                    .expect("in-flight stream completes");
+                (w.bytes, run)
+            })
+            .expect("spawn streaming session")
+    };
+
+    // Wait until the stream has bytes on the wire, then run DDL on the
+    // original catalog while the execution is parked mid-write.
+    started_rx.recv().expect("stream started");
+    catalog.add_table(Table::new("ddl_bump_marker", &[("a", ColType::Int)]));
+    assert_eq!(catalog.generation(), gen0 + 1);
+
+    // A lookup at the new generation must replan — the generation-0 entry
+    // is stale and may not be served.
+    let rebound = plan_cached_shared(&cache, &catalog, &view, &sheet, &opts).expect("replans");
+    assert!(
+        !Arc::ptr_eq(&plan0, rebound.plan()),
+        "lookup after the DDL bump served the stale generation-0 plan"
+    );
+
+    // Release the gate: the in-flight call finishes byte-identically.
+    gate_tx.send(()).expect("release gate");
+    let (bytes, run) = streamer.join().expect("streaming session panicked");
+    assert_eq!(bytes, expected, "in-flight stream diverged after DDL bump (tier {:?})", run.tier);
+    assert!(run.fallbacks.is_empty(), "in-flight stream fell back: {:?}", run.fallbacks);
+
+    // And the replanned entry serves the same bytes at the new generation.
+    let mut after = Vec::new();
+    rebound
+        .execute_to_writer(&catalog, &ExecStats::new(), &Guard::unlimited(), &mut after)
+        .expect("replanned run");
+    assert_eq!(after, expected);
 }
 
 // ---------------------------------------------------------------------------

@@ -159,6 +159,48 @@ fn max_output_bytes_trips_mid_stream_with_bounded_partial_output() {
     );
 }
 
+/// A guard trip surfacing through the streaming store path (`SinkError::Guard`
+/// inside `execute_streaming_bound`) classifies as a guard trip from the
+/// error value alone — the retry layer must never re-run a budget-tripped
+/// request, and it cannot rely on having the tripping `Guard` in hand.
+#[test]
+fn streaming_guard_trip_classifies_without_the_guard_side_channel() {
+    use xsltdb::error::PipelineError;
+
+    let rows = 200;
+    let (catalog, view) = db_catalog(rows, 7);
+    let sheet = r#"<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+        <xsl:template match="table">
+          <out><xsl:apply-templates select="row"/></out>
+        </xsl:template>
+        <xsl:template match="row">
+          <r><xsl:value-of select="lastname"/></r>
+        </xsl:template>
+        </xsl:stylesheet>"#;
+    let bound = plan_bound(&catalog, &view, sheet, &RewriteOptions::default()).unwrap();
+    assert_eq!(bound.tier(), Tier::Sql, "{:?}", bound.fallback_reason());
+    let sql = bound.plan().sql.as_ref().expect("SQL tier plan");
+
+    let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(64));
+    let mut out = Vec::new();
+    let store_err = sql
+        .execute_streaming_bound(
+            &catalog,
+            &ExecStats::new(),
+            &guard,
+            bound.bindings(),
+            &mut out,
+        )
+        .unwrap_err();
+    // The StoreError itself carries the structured trip …
+    assert_eq!(store_err.trip(), guard.trip());
+    assert!(store_err.trip().is_some(), "trip evidence lost: {store_err:?}");
+    // … so the From conversion classifies it as Guard (terminal) even when
+    // the caller never looks at the Guard.
+    let err = PipelineError::from(store_err);
+    assert!(err.is_guard_trip(), "misclassified as retryable: {err:?}");
+}
+
 #[test]
 fn injected_sql_fault_falls_back_and_streams_identical_bytes() {
     let rows = 50;
