@@ -1,0 +1,253 @@
+//! Invalidation report: warm transform-result-cache hits versus fresh
+//! execution, and exact eviction targeting under DML/DDL.
+//!
+//! Two verdicts, both CI-gated (exit 1 on failure):
+//!
+//! * **Latency** — across the XSLTMark suite, the median warm hit through
+//!   the front door must cost at most 5% of the median uncached
+//!   execution of the same request.
+//! * **Targeting** — in a family of same-shaped views over disjoint
+//!   tables, DML on one view's row table evicts *exactly one* cached
+//!   result, index-add DDL on another evicts *exactly one* more, and DDL
+//!   on a table outside every read set evicts *zero* — counts asserted
+//!   exactly against the shared cache's eviction counters.
+//!
+//! `--smoke` shrinks the run (CI bit-rot check); `--json` also writes
+//! `BENCH_invalidate.json`.
+
+use std::time::Instant;
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb_bench::{write_bench_json, CHAOS_STACK};
+use xsltdb_relstore::{ColType, Datum, Table};
+use xsltdb_serve::{FrontDoor, FrontDoorConfig};
+use xsltdb_xsltmark::{all_cases, db_catalog, db_catalog_family};
+
+const HIT_THRESHOLD: f64 = 0.05;
+
+fn median(mut v: Vec<u64>) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+struct LatencyPoint {
+    cases: usize,
+    uncached_p50_us: u64,
+    warm_hit_p50_us: u64,
+    ratio: f64,
+    holds: bool,
+}
+
+/// Median uncached vs. warm-hit latency over the suite, both through the
+/// same front-door serving path.
+fn latency_point(smoke: bool) -> LatencyPoint {
+    // The 5% gate needs the full case mix even in smoke: the suite's
+    // cheap prefix alone pushes the uncached median down to the hit
+    // path's fixed overhead and the ratio loses its meaning. Smoke
+    // shrinks repetitions and data, not coverage.
+    let (catalog, view) = db_catalog(if smoke { 32 } else { 48 }, 7);
+    let cases = all_cases();
+    let take = cases.len();
+    let reps = if smoke { 2 } else { 5 };
+    let opts = RewriteOptions::default();
+
+    let mut uncached_cfg = FrontDoorConfig::server_default();
+    uncached_cfg.result_cache_bytes = 0;
+    let uncached_door = FrontDoor::new(uncached_cfg);
+    let cached_door = FrontDoor::new(FrontDoorConfig::server_default());
+
+    let mut uncached = Vec::with_capacity(take * reps);
+    let mut warm = Vec::with_capacity(take * reps);
+    for case in cases.iter().take(take) {
+        // Prime both paths: plan cache for the uncached door, plan +
+        // result caches for the cached one.
+        uncached_door
+            .transform(&catalog, &view, &case.stylesheet, &opts)
+            .unwrap_or_else(|e| panic!("{}: uncached prime failed: {e}", case.name));
+        cached_door
+            .transform(&catalog, &view, &case.stylesheet, &opts)
+            .unwrap_or_else(|e| panic!("{}: cached prime failed: {e}", case.name));
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            uncached_door
+                .transform(&catalog, &view, &case.stylesheet, &opts)
+                .unwrap_or_else(|e| panic!("{}: uncached run failed: {e}", case.name));
+            uncached.push(t0.elapsed().as_micros() as u64);
+
+            let t1 = Instant::now();
+            let out = cached_door
+                .transform(&catalog, &view, &case.stylesheet, &opts)
+                .unwrap_or_else(|e| panic!("{}: warm run failed: {e}", case.name));
+            warm.push(t1.elapsed().as_micros() as u64);
+            assert!(out.cached, "{}: warm request missed the result cache", case.name);
+        }
+    }
+
+    let uncached_p50_us = median(uncached);
+    let warm_hit_p50_us = median(warm);
+    let ratio = if uncached_p50_us == 0 {
+        f64::NAN
+    } else {
+        warm_hit_p50_us as f64 / uncached_p50_us as f64
+    };
+    LatencyPoint {
+        cases: take,
+        uncached_p50_us,
+        warm_hit_p50_us,
+        ratio,
+        holds: ratio <= HIT_THRESHOLD,
+    }
+}
+
+struct EvictionRow {
+    mutation: &'static str,
+    expected: u64,
+    observed: u64,
+    survivors_served: u64,
+}
+
+/// Exact eviction targeting: each mutation against a warm 4-view family
+/// must cost exactly the predicted number of entries, and every survivor
+/// must still serve from the cache afterwards.
+fn eviction_rows(smoke: bool) -> Vec<EvictionRow> {
+    let views_n = 4;
+    let (mut catalog, views) = db_catalog_family(views_n, if smoke { 8 } else { 24 }, 7);
+    let case = &all_cases()[0];
+    let opts = RewriteOptions::default();
+    let door = FrontDoor::new(FrontDoorConfig::server_default());
+
+    let warm_all = |catalog: &xsltdb_relstore::Catalog| {
+        for v in &views {
+            door.transform(catalog, v, &case.stylesheet, &opts)
+                .unwrap_or_else(|e| panic!("{}: warm fill failed: {e}", v.name));
+        }
+    };
+    // Fill one entry per view, then confirm all four serve warm.
+    warm_all(&catalog);
+    warm_all(&catalog);
+
+    let mut rows = Vec::new();
+    let mut last_invalidations = door.stats().result_invalidations;
+    let mut probe = |name: &'static str,
+                     expected: u64,
+                     catalog: &xsltdb_relstore::Catalog,
+                     door: &FrontDoor| {
+        // Serve every view once: evicted entries re-execute, survivors hit.
+        let mut survivors = 0;
+        for v in &views {
+            let out = door
+                .transform(catalog, v, &case.stylesheet, &opts)
+                .unwrap_or_else(|e| panic!("{}: post-mutation serve failed: {e}", v.name));
+            if out.cached {
+                survivors += 1;
+            }
+        }
+        let now = door.stats().result_invalidations;
+        rows.push(EvictionRow {
+            mutation: name,
+            expected,
+            observed: now - last_invalidations,
+            survivors_served: survivors,
+        });
+        last_invalidations = now;
+    };
+
+    // DML on view 0's row table: exactly its one entry dies.
+    catalog
+        .table_mut("db_rows_0")
+        .expect("table exists")
+        .insert(vec![
+            Datum::Int(900_001),
+            Datum::Text("Churn".into()),
+            Datum::Text("Writer".into()),
+            Datum::Text("1 Churn St".into()),
+            Datum::Text("Churnville".into()),
+            Datum::Text("ZZ".into()),
+            Datum::Int(99_999),
+        ])
+        .expect("schema");
+    catalog.reindex("db_rows_0").expect("reindex");
+    probe("dml db_rows_0", 1, &catalog, &door);
+
+    // Index-add DDL on view 1's row table: exactly its one entry dies.
+    catalog.create_index("db_rows_1", "firstname").expect("index DDL");
+    probe("create_index db_rows_1", 1, &catalog, &door);
+
+    // DDL on a table outside every read set: nothing dies.
+    catalog.add_table(Table::new("invalidate_scratch", &[("tick", ColType::Int)]));
+    probe("add_table scratch", 0, &catalog, &door);
+
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+
+    // Suite cases recurse; run the whole report on a big stack.
+    let (latency, evictions) = std::thread::Builder::new()
+        .stack_size(CHAOS_STACK)
+        .spawn(move || (latency_point(smoke), eviction_rows(smoke)))
+        .expect("spawn report thread")
+        .join()
+        .expect("report thread panicked");
+
+    println!("Transform-result cache — warm hits vs fresh execution, eviction targeting");
+    println!();
+    println!(
+        "latency over {} cases: uncached p50 {} µs, warm hit p50 {} µs, ratio {:.3} (threshold {HIT_THRESHOLD})",
+        latency.cases, latency.uncached_p50_us, latency.warm_hit_p50_us, latency.ratio,
+    );
+    println!();
+    println!(
+        "{:<24} | {:>8} | {:>8} | {:>9}",
+        "mutation", "expected", "observed", "survivors"
+    );
+    println!("{}", "-".repeat(60));
+    let mut targeting_ok = true;
+    for r in &evictions {
+        targeting_ok &= r.expected == r.observed;
+        println!(
+            "{:<24} | {:>8} | {:>8} | {:>9}",
+            r.mutation, r.expected, r.observed, r.survivors_served
+        );
+    }
+
+    let ok = latency.holds && targeting_ok;
+    println!();
+    println!("Expected shape: a warm hit costs ≤ 5% of an uncached execution, and");
+    println!("each mutation evicts exactly the read-set-affected entries — no");
+    println!("collateral eviction, no survivor re-executed.");
+    println!(
+        "Shape check [{}]: hit-latency bound and exact eviction targeting held: {ok}.",
+        if ok { "OK" } else { "REGRESSION" },
+    );
+
+    if json {
+        let eviction_rows_json: Vec<String> = evictions
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"mutation":"{}","expected_evictions":{},"observed_evictions":{},"survivors_served":{}}}"#,
+                    r.mutation, r.expected, r.observed, r.survivors_served
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"bench\": \"invalidate\",\n  \"smoke\": {smoke},\n  \"latency\": {{\"cases\": {}, \"uncached_p50_us\": {}, \"warm_hit_p50_us\": {}, \"ratio\": {:.4}, \"threshold\": {HIT_THRESHOLD}, \"holds\": {}}},\n  \"evictions\": [\n    {}\n  ],\n  \"holds\": {ok}\n}}\n",
+            latency.cases,
+            latency.uncached_p50_us,
+            latency.warm_hit_p50_us,
+            latency.ratio,
+            latency.holds,
+            eviction_rows_json.join(",\n    "),
+        );
+        write_bench_json("BENCH_invalidate.json", &body);
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -23,17 +23,19 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 struct Row {
     clients: usize,
     faults: bool,
+    churn: bool,
     report: ChaosReport,
     p50_us: u64,
     p99_us: u64,
     throughput: f64,
 }
 
-fn run_point(clients: usize, faults: bool, smoke: bool) -> Row {
-    let mut cfg = ChaosConfig::default_chaos(clients);
+fn run_point(clients: usize, faults: bool, churn: bool, smoke: bool) -> Row {
+    let mut cfg =
+        if churn { ChaosConfig::churn_chaos(clients) } else { ChaosConfig::default_chaos(clients) };
     cfg.inject_faults = faults;
     if smoke {
-        cfg.requests_per_client = 20;
+        cfg.requests_per_client = if churn { 10 } else { 20 };
         cfg.rows = 24;
     }
     let report = run_chaos(&cfg);
@@ -46,7 +48,7 @@ fn run_point(clients: usize, faults: bool, smoke: bool) -> Row {
     } else {
         report.served as f64 / (report.wall_us as f64 / 1_000_000.0)
     };
-    Row { clients, faults, report, p50_us, p99_us, throughput }
+    Row { clients, faults, churn, report, p50_us, p99_us, throughput }
 }
 
 fn main() {
@@ -55,54 +57,65 @@ fn main() {
     let ks: &[usize] = &[1, 4, 8];
 
     println!("Serving front door — K clients × 40-case suite through one FrontDoor");
-    println!("(faulty runs inject errors/panics at every lattice edge plus budget trips)");
+    println!("(faulty runs inject errors/panics at every lattice edge plus budget trips;");
+    println!(" churn runs race DML/DDL writers against the readers and gate every served");
+    println!(" byte on a fresh uncached execution under the same catalog lock)");
     println!();
     println!(
-        "{:>2} | {:>6} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7} | {:>7} | {:>7} | {:>7}",
-        "K", "faults", "served", "shed", "failed", "p50 (µs)", "p99 (µs)", "req/s", "retries",
-        "brk", "quiesce"
+        "{:>2} | {:>6} | {:>5} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7} | {:>7} | {:>5} | {:>5} | {:>7}",
+        "K", "faults", "churn", "served", "shed", "failed", "p50 (µs)", "p99 (µs)", "req/s",
+        "hit%", "stale", "brk", "quiesce"
     );
-    println!("{}", "-".repeat(100));
+    println!("{}", "-".repeat(118));
 
     let mut ok = true;
     let mut json_rows: Vec<String> = Vec::new();
     for &k in ks {
-        for faults in [false, true] {
-            let row = run_point(k, faults, smoke);
+        for (faults, churn) in [(false, false), (true, false), (true, true)] {
+            let row = run_point(k, faults, churn, smoke);
             let r = &row.report;
             ok &= r.holds();
             println!(
-                "{:>2} | {:>6} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7.0} | {:>7} | {:>7} | {:>7}",
+                "{:>2} | {:>6} | {:>5} | {:>6} | {:>5} | {:>6} | {:>9} | {:>9} | {:>7.0} | {:>6.1}% | {:>5} | {:>5} | {:>7}",
                 row.clients,
                 row.faults,
+                row.churn,
                 r.served,
                 r.shed,
                 r.failed,
                 row.p50_us,
                 row.p99_us,
                 row.throughput,
-                r.stats.retries,
+                100.0 * r.result_hit_rate(),
+                r.stale_serves,
                 r.stats.breaker_opened,
                 r.quiesced,
             );
             if let Some(m) = &r.first_mismatch {
-                eprintln!("MISMATCH at K={k} faults={faults}: {m}");
+                eprintln!("MISMATCH at K={k} faults={faults} churn={churn}: {m}");
             }
             json_rows.push(format!(
-                r#"{{"clients":{},"faults":{},"total":{},"served":{},"shed":{},"failed":{},"mismatches":{},"guard_trips":{},"guard_trip_retries":{},"p50_us":{},"p99_us":{},"requests_per_s":{:.1},"shed_rate":{:.4},"retries":{},"breaker_opened":{},"quiesced":{}}}"#,
+                r#"{{"clients":{},"faults":{},"churn":{},"total":{},"served":{},"shed":{},"failed":{},"mismatches":{},"stale_serves":{},"guard_trips":{},"guard_trip_retries":{},"p50_us":{},"p99_us":{},"requests_per_s":{:.1},"shed_rate":{:.4},"result_hit_rate":{:.4},"result_hits":{},"result_misses":{},"result_invalidations":{},"writer_mutations":{},"retries":{},"breaker_opened":{},"quiesced":{}}}"#,
                 row.clients,
                 row.faults,
+                row.churn,
                 r.total,
                 r.served,
                 r.shed,
                 r.failed,
                 r.mismatches,
+                r.stale_serves,
                 r.guard_trips,
                 r.guard_trip_retries,
                 row.p50_us,
                 row.p99_us,
                 row.throughput,
                 r.shed_rate(),
+                r.result_hit_rate(),
+                r.stats.result_hits,
+                r.stats.result_misses,
+                r.stats.result_invalidations,
+                r.writer_mutations,
                 r.stats.retries,
                 r.stats.breaker_opened,
                 r.quiesced,
@@ -112,10 +125,12 @@ fn main() {
 
     println!();
     println!("Expected shape: every served request byte-identical to the fresh");
-    println!("single-threaded result; shed requests get typed rejections; guard");
-    println!("trips never retried; the global ledger quiesces to zero after each run.");
+    println!("reference (static outputs without churn, per-request differentials");
+    println!("with churn); zero stale serves from the result cache; shed requests");
+    println!("get typed rejections; guard trips never retried; the global ledger");
+    println!("quiesces to zero after each run.");
     println!(
-        "Shape check [{}]: byte-identity, retry discipline, and ledger conservation all held: {ok}.",
+        "Shape check [{}]: byte-identity, cache freshness, retry discipline, and ledger conservation all held: {ok}.",
         if ok { "OK" } else { "REGRESSION" },
     );
 

@@ -14,17 +14,23 @@
 //!   one attempt.
 //! * **Ledger conservation** — after the fleet quiesces, the global
 //!   ledger holds zero reservations.
+//! * **Cache freshness under churn** — with `churn_writers > 0`, writer
+//!   threads interleave DML (+`reindex`) on the read-set table and DDL on
+//!   an unrelated scratch table with the reader fleet. Every served
+//!   request is then compared against a *fresh uncached* execution under
+//!   the same catalog read lock; a byte mismatch on a result served from
+//!   the transform-result cache is a **stale serve** and must be zero.
 //!
 //! Fault selection is a pure function of `(seed, client, request)` via
 //! xorshift, so a chaos run replays identically.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 use xsltdb::pipeline::plan_bound;
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb::{FaultKind, FaultPoint, Guard, Limits};
-use xsltdb_relstore::{Catalog, ExecStats, XmlView};
+use xsltdb_relstore::{Catalog, ColType, Datum, ExecStats, Table, XmlView};
 use xsltdb_serve::{FrontDoor, FrontDoorConfig, FrontDoorStats, ServeError};
 use xsltdb_xsltmark::{all_cases, db_catalog};
 
@@ -90,6 +96,11 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// When false, every request runs clean (pure load test).
     pub inject_faults: bool,
+    /// Writer threads mutating the catalog concurrently with the readers:
+    /// DML + `reindex` on the read-set table, DDL on an unrelated scratch
+    /// table. With churn on, every served request is checked against a
+    /// fresh uncached execution under the same catalog read lock.
+    pub churn_writers: usize,
     /// Front-door tuning for the run.
     pub door: FrontDoorConfig,
 }
@@ -105,7 +116,19 @@ impl ChaosConfig {
             rows: 48,
             seed: 0xC4A0_5EED,
             inject_faults: true,
+            churn_writers: 0,
             door: FrontDoorConfig::server_default(),
+        }
+    }
+
+    /// The churn differential run: readers race DML/DDL writers and every
+    /// served byte is re-derived fresh under the same lock. Smaller per
+    /// client because each served request pays a reference execution.
+    pub fn churn_chaos(clients: usize) -> ChaosConfig {
+        ChaosConfig {
+            requests_per_client: 40,
+            churn_writers: 2,
+            ..ChaosConfig::default_chaos(clients)
         }
     }
 }
@@ -132,6 +155,12 @@ pub struct ChaosReport {
     pub guard_trip_retries: u64,
     /// Budget-tripped requests that correctly surfaced as guard trips.
     pub guard_trips: u64,
+    /// Served-from-cache responses whose bytes differ from a fresh
+    /// execution under the same catalog lock. **Must be zero** — one stale
+    /// serve means invalidation has a hole.
+    pub stale_serves: u64,
+    /// Catalog mutations the churn writers landed (0 without churn).
+    pub writer_mutations: u64,
     /// Wall-clock latency of every served request, microseconds.
     pub latencies_us: Vec<u64>,
     /// Front-door counters at the end of the run.
@@ -152,9 +181,20 @@ impl ChaosReport {
         }
     }
 
+    /// Fraction of lookups the transform-result cache answered.
+    pub fn result_hit_rate(&self) -> f64 {
+        let lookups = self.stats.result_hits + self.stats.result_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.stats.result_hits as f64 / lookups as f64
+        }
+    }
+
     /// The invariants the chaos suite (and CI) hold this run to.
     pub fn holds(&self) -> bool {
         self.mismatches == 0
+            && self.stale_serves == 0
             && self.guard_trip_retries == 0
             && self.quiesced
             && self.served + self.shed + self.failed == self.total
@@ -179,13 +219,39 @@ pub fn reference_outputs(catalog: &Catalog, view: &XmlView) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Fresh uncached output for one stylesheet against the catalog as it is
+/// *right now* — the churn differential's reference side, run under the
+/// same read lock as the served request it gates.
+fn fresh_output(catalog: &Catalog, view: &XmlView, stylesheet: &str, name: &str) -> Vec<u8> {
+    let opts = RewriteOptions::default();
+    let bound = plan_bound(catalog, view, stylesheet, &opts)
+        .unwrap_or_else(|e| panic!("{name}: differential plan failed: {e}"));
+    let mut out = Vec::new();
+    bound
+        .execute_to_writer(catalog, &ExecStats::new(), &Guard::unlimited(), &mut out)
+        .unwrap_or_else(|e| panic!("{name}: differential run failed: {e}"));
+    out
+}
+
+/// The unrelated table the churn writers churn DDL/DML through: it is in
+/// no request's read set, so mutating it must never cost a cached result.
+fn scratch_table(tick: u64) -> Table {
+    let mut t = Table::new("chaos_scratch", &[("tick", ColType::Int)]);
+    t.insert(vec![Datum::Int(tick as i64)]).expect("scratch schema");
+    t
+}
+
 /// Run the chaos schedule and aggregate the verdict.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let started = Instant::now();
     let (catalog, view) = db_catalog(cfg.rows, cfg.seed);
     let cases = all_cases();
-    // The reference pass needs suite-sized stacks too.
-    let expected = {
+    // The reference pass needs suite-sized stacks too. Under churn the
+    // static reference is useless (the data moves), so each served request
+    // pays a fresh differential instead.
+    let expected = if cfg.churn_writers > 0 {
+        Vec::new()
+    } else {
         let catalog = &catalog;
         let view = &view;
         std::thread::scope(|s| {
@@ -199,20 +265,78 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
 
     let door = FrontDoor::new(cfg.door);
+    let store = RwLock::new(catalog);
     let served = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
     let guard_trip_retries = AtomicU64::new(0);
     let guard_trips = AtomicU64::new(0);
+    let stale_serves = AtomicU64::new(0);
+    let writer_mutations = AtomicU64::new(0);
+    let readers_done = AtomicUsize::new(0);
     let first_mismatch: Mutex<Option<String>> = Mutex::new(None);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
     std::thread::scope(|s| {
+        for writer in 0..cfg.churn_writers {
+            let store = &store;
+            let readers_done = &readers_done;
+            let writer_mutations = &writer_mutations;
+            let cfg = *cfg;
+            std::thread::Builder::new()
+                .spawn_scoped(s, move || {
+                    let mut tick = 0u64;
+                    while readers_done.load(Ordering::Acquire) < cfg.clients {
+                        let r = xorshift(
+                            cfg.seed ^ ((writer as u64) << 48) ^ tick ^ 0xD31A_B017,
+                        );
+                        {
+                            let mut cat = store
+                                .write()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            if r.is_multiple_of(4) {
+                                // Unrelated DDL + DML: replacing the scratch
+                                // table bumps the global DDL clock and the
+                                // scratch data generation — neither is in
+                                // any request's read set, so cached results
+                                // must survive this.
+                                cat.add_table(scratch_table(tick));
+                            } else {
+                                // Read-set DML: new row, then reindex so
+                                // the index-backed SQL tier and the heap
+                                // tiers see the same data.
+                                let id = 1_000_000 + (writer as i64) * 100_000 + tick as i64;
+                                cat.table_mut("db_rows")
+                                    .expect("db_rows exists")
+                                    .insert(vec![
+                                        Datum::Int(id),
+                                        Datum::Text(format!("Churn{writer}")),
+                                        Datum::Text("Writer".into()),
+                                        Datum::Text(format!("{tick} Churn St")),
+                                        Datum::Text("Churnville".into()),
+                                        Datum::Text("ZZ".into()),
+                                        Datum::Int(99_000 + (tick % 999) as i64),
+                                    ])
+                                    .expect("db_rows schema");
+                                cat.reindex("db_rows").expect("reindex db_rows");
+                            }
+                        }
+                        writer_mutations.fetch_add(1, Ordering::Relaxed);
+                        tick += 1;
+                        // Let readers in between writes: churn, not a
+                        // write-lock convoy.
+                        std::thread::sleep(Duration::from_micros(250));
+                    }
+                })
+                .expect("spawn churn writer");
+        }
         for client in 0..cfg.clients {
             let door = &door;
-            let catalog = &catalog;
+            let store = &store;
             let view = &view;
+            let stale_serves = &stale_serves;
+            let readers_done = &readers_done;
             let cases = &cases;
             let expected = &expected;
             let served = &served;
@@ -227,6 +351,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             std::thread::Builder::new()
                 .stack_size(CHAOS_STACK)
                 .spawn_scoped(s, move || {
+                    // Counted on drop (not at fall-through) so the churn
+                    // writers stop even if this reader panics.
+                    struct DoneTick<'a>(&'a AtomicUsize);
+                    impl Drop for DoneTick<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_add(1, Ordering::Release);
+                        }
+                    }
+                    let _done = DoneTick(readers_done);
                     let opts = RewriteOptions::default();
                     let mut local_lat = Vec::with_capacity(cfg.requests_per_client);
                     for request in 0..cfg.requests_per_client {
@@ -239,13 +372,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                             Chaos::None
                         };
                         let t0 = Instant::now();
+                        // The catalog read lock pins the data for the whole
+                        // request: the served bytes and (under churn) the
+                        // fresh differential below see the same state.
+                        let cat = store.read().unwrap_or_else(PoisonError::into_inner);
                         // The previous attempt's guard, kept so a *new*
                         // attempt starting after a trip — the forbidden
                         // retry — is caught at the moment it happens, not
                         // inferred from the final error.
                         let prev_guard: Mutex<Option<Guard>> = Mutex::new(None);
                         let result = door.transform_with(
-                            catalog,
+                            &cat,
                             view,
                             &case.stylesheet,
                             &opts,
@@ -291,23 +428,45 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                                             case.name
                                         )
                                     });
-                                } else if out.bytes != expected[case_idx] {
-                                    mismatches.fetch_add(1, Ordering::Relaxed);
-                                    let mut slot = first_mismatch
-                                        .lock()
-                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                                    slot.get_or_insert_with(|| {
-                                        format!(
-                                            "{}: served {}B != reference {}B \
-                                             (tier {:?}, attempts {}, chaos {:?})",
+                                } else {
+                                    // Under churn the reference is derived
+                                    // fresh under the read lock we still
+                                    // hold; static runs use the precomputed
+                                    // single-threaded outputs.
+                                    let differential;
+                                    let reference: &[u8] = if cfg.churn_writers > 0 {
+                                        differential = fresh_output(
+                                            &cat,
+                                            view,
+                                            &case.stylesheet,
                                             case.name,
-                                            out.bytes.len(),
-                                            expected[case_idx].len(),
-                                            out.tier,
-                                            out.attempts,
-                                            chaos,
-                                        )
-                                    });
+                                        );
+                                        &differential
+                                    } else {
+                                        &expected[case_idx]
+                                    };
+                                    if out.bytes != reference {
+                                        mismatches.fetch_add(1, Ordering::Relaxed);
+                                        if out.cached {
+                                            stale_serves.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        let mut slot = first_mismatch
+                                            .lock()
+                                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                        slot.get_or_insert_with(|| {
+                                            format!(
+                                                "{}: served {}B != reference {}B \
+                                                 (tier {:?}, attempts {}, cached {}, chaos {:?})",
+                                                case.name,
+                                                out.bytes.len(),
+                                                reference.len(),
+                                                out.tier,
+                                                out.attempts,
+                                                out.cached,
+                                                chaos,
+                                            )
+                                        });
+                                    }
                                 }
                                 served.fetch_add(1, Ordering::Relaxed);
                             }
@@ -341,6 +500,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         first_mismatch: first_mismatch.into_inner().unwrap_or_else(|e| e.into_inner()),
         guard_trip_retries: guard_trip_retries.into_inner(),
         guard_trips: guard_trips.into_inner(),
+        stale_serves: stale_serves.into_inner(),
+        writer_mutations: writer_mutations.into_inner(),
         latencies_us: latencies.into_inner().unwrap_or_else(|e| e.into_inner()),
         stats: door.stats(),
         quiesced,

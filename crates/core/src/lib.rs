@@ -54,6 +54,7 @@ pub mod guard;
 pub mod pe;
 pub mod pipeline;
 pub mod plancache;
+pub mod resultcache;
 pub mod sqlrewrite;
 pub mod translate;
 pub mod xqgen;
@@ -76,6 +77,10 @@ pub use pipeline::{
 pub use plancache::{
     fnv64, plan_cost, struct_fingerprint, PlanCache, PlanKey, SharedPlanCache,
     DEFAULT_PLAN_CACHE_BYTES, DEFAULT_PLAN_CACHE_SHARDS,
+};
+pub use resultcache::{
+    CachedResult, ResultCache, ResultKey, SharedResultCache, DEFAULT_RESULT_CACHE_BYTES,
+    DEFAULT_RESULT_CACHE_SHARDS,
 };
 pub use sqlrewrite::rewrite_to_sql;
 pub use xqgen::{rewrite, rewrite_straightforward, RewriteMode, RewriteOptions, RewriteOutcome};

@@ -114,16 +114,34 @@ pub fn plan_bound(
     plan.bind(view, catalog)
 }
 
+/// The validity floor for plans over `view`: the newest per-table DDL
+/// stamp across the view's read-set. A cached plan planned at or after
+/// this instant cannot have missed any DDL that touched a table it reads;
+/// DDL on *unrelated* tables moves the global clock but not this floor, so
+/// same-shaped sibling plans stay cached (plan-aware invalidation).
+///
+/// This is conservative in the safe direction on both sides: planning
+/// consults only the view definition (access paths are chosen per
+/// execution by the scan planner), so serving an "older" plan is always
+/// byte-identical — the floor just preserves the replan-on-relevant-DDL
+/// contract without the collateral eviction.
+fn plan_valid_at(catalog: &Catalog, view: &XmlView) -> u64 {
+    let tables = view.referenced_tables();
+    catalog.max_ddl_stamp(tables.iter().map(String::as_str))
+}
+
 /// The front door for repeated transforms: plan through a [`PlanCache`].
 ///
 /// A lookup hit returns the shared prepared plan without touching the
 /// compile → partial-evaluate → rewrite pipeline at all; a miss plans from
 /// scratch and admits the result. Entries are keyed by the content of
 /// (stylesheet text × **canonical** structure fingerprint × options) and
-/// validated against `catalog`'s DDL [generation](Catalog::generation), so
-/// `create_index` / table / view changes transparently force a replan —
-/// and two views publishing the same shape share one entry, with the
-/// returned [`BoundPlan`] binding the shared plan to *this* view's tables.
+/// validated against the per-table DDL stamps of the view's read-set
+/// ([`Catalog::max_ddl_stamp`]), so `create_index` / table replacement on
+/// a table the plan *reads* transparently forces a replan while DDL on
+/// unrelated tables leaves the entry warm — and two views publishing the
+/// same shape share one entry, with the returned [`BoundPlan`] binding the
+/// shared plan to *this* view's tables.
 ///
 /// Cached plans are immutable — execute them with a fresh [`Guard`] per
 /// call ([`BoundPlan::execute_with_limits`]); a budget trip in one
@@ -135,14 +153,15 @@ pub fn plan_cached(
     stylesheet_src: &str,
     opts: &RewriteOptions,
 ) -> Result<BoundPlan, PipelineError> {
-    let generation = catalog.generation();
-    let canon = cache.view_canon(view, generation);
+    // The canonicalisation memo keys on the view's registration stamp:
+    // only re-registering the view can change what canonicalisation sees.
+    let canon = cache.view_canon(view, catalog.view_stamp(&view.name));
     let key = PlanKey::with_fingerprint(canon.fingerprint, stylesheet_src, opts);
-    let plan = match cache.lookup(&key, generation) {
+    let plan = match cache.lookup(&key, plan_valid_at(catalog, view)) {
         Some(plan) => plan,
         None => {
             let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
-            cache.insert(key, Arc::clone(&plan), generation);
+            cache.insert(key, Arc::clone(&plan), catalog.generation());
             plan
         }
     };
@@ -158,7 +177,8 @@ pub fn plan_cached(
 /// insert (last write stays cached). Planning is deterministic, so the two
 /// plans are equivalent — the race costs one redundant planning pass,
 /// never correctness. Stale entries are invalidated under the shard lock,
-/// so a plan built at an older DDL generation is never returned.
+/// so a plan planned before the newest DDL on a table it reads is never
+/// returned (see [`plan_cached`] for the read-set floor).
 pub fn plan_cached_shared(
     cache: &SharedPlanCache,
     catalog: &Catalog,
@@ -166,14 +186,13 @@ pub fn plan_cached_shared(
     stylesheet_src: &str,
     opts: &RewriteOptions,
 ) -> Result<BoundPlan, PipelineError> {
-    let generation = catalog.generation();
-    let canon = cache.view_canon(view, generation);
+    let canon = cache.view_canon(view, catalog.view_stamp(&view.name));
     let key = PlanKey::with_fingerprint(canon.fingerprint, stylesheet_src, opts);
-    let plan = match cache.lookup(&key, generation) {
+    let plan = match cache.lookup(&key, plan_valid_at(catalog, view)) {
         Some(plan) => plan,
         None => {
             let plan = Arc::new(plan_transform(view, stylesheet_src, opts)?);
-            cache.insert(key, Arc::clone(&plan), generation);
+            cache.insert(key, Arc::clone(&plan), catalog.generation());
             plan
         }
     };
@@ -408,6 +427,28 @@ impl BoundPlan {
     /// The slot-to-table bindings this plan executes with.
     pub fn bindings(&self) -> &SlotBindings {
         &self.bindings
+    }
+
+    /// The *read-set* of this binding: every concrete table an execution
+    /// can touch. For canonicalised plans this is the tables behind the
+    /// resolved slots; plans without slots (underivable structure — the VM
+    /// tier materialises the view functionally) fall back to the view
+    /// definition's referenced tables. Result caches key freshness on the
+    /// version coordinates of exactly this set.
+    pub fn read_set(&self) -> Vec<String> {
+        if self.plan.slot_count > 0 {
+            let mut out = Vec::with_capacity(self.plan.slot_count);
+            for i in 0..self.plan.slot_count {
+                if let Some(table) = self.bindings.get(&slot_name(i)) {
+                    if !out.iter().any(|t: &String| t == table) {
+                        out.push(table.to_string());
+                    }
+                }
+            }
+            out
+        } else {
+            self.view.referenced_tables()
+        }
     }
 
     /// Why the underlying plan fell below the SQL tier, if it did.

@@ -14,10 +14,19 @@
 //!   [`RewriteOptions`]. Equality is exact (the full stylesheet text is
 //!   compared, not just its hash), so distinct triples can never collide
 //!   to the same entry.
-//! * **Invalidation** — every entry records the [`Catalog::generation`]
-//!   observed at planning time. DDL (index creation, table/view changes)
-//!   bumps the generation, so a later lookup finds the entry stale, drops
-//!   it, and replans: the tier chosen may change, the output must not.
+//! * **Invalidation** — every entry records the global DDL clock
+//!   ([`Catalog::generation`](xsltdb_relstore::Catalog::generation))
+//!   observed at planning time (`planned_at`). A lookup passes a *validity
+//!   floor* (`valid_at`): the entry is served iff it was planned at or
+//!   after that floor, and dropped otherwise. Callers that pass
+//!   `catalog.generation()` get the old nuke-on-any-DDL protocol;
+//!   [`plan_cached`](crate::pipeline::plan_cached) passes the newest
+//!   per-table DDL stamp
+//!   ([`Catalog::max_ddl_stamp`](xsltdb_relstore::Catalog::max_ddl_stamp))
+//!   over the tables the plan actually binds, so DDL on unrelated tables
+//!   leaves same-shaped siblings cached (plan-aware invalidation). Either
+//!   way a stale entry is dropped under the lock and replanned: the tier
+//!   chosen may change, the output must not.
 //! * **Budgeting** — the cache is bounded in (estimated) bytes, not entry
 //!   count, and evicts least-recently-used entries. A plan larger than the
 //!   whole capacity is simply not admitted.
@@ -119,36 +128,39 @@ impl PlanKey {
     }
 }
 
-/// Memo of view-name → (DDL generation, canonicalisation) shared — as a
-/// value, not a pointer — by both cache flavours. Canonicalising derives
-/// and walks the whole view definition, which would dominate a warm
-/// lookup; since any DDL bumps the catalog generation, a memo entry at the
-/// current generation can never describe a stale structure.
+/// Memo of view-name → (stamp, canonicalisation) shared — as a value, not
+/// a pointer — by both cache flavours. Canonicalising derives and walks the
+/// whole view definition, which would dominate a warm lookup. The stamp is
+/// whatever clock value the caller keys the view's *definition* by: the
+/// pipeline passes [`Catalog::view_stamp`](xsltdb_relstore::Catalog::view_stamp)
+/// (the registration instant — only re-registering the view moves it, so
+/// unrelated DDL keeps the memo warm); callers without per-view stamps can
+/// still pass the global generation and get the old, coarser protocol.
 #[derive(Default)]
 struct CanonMemo {
     entries: HashMap<String, (u64, Arc<ViewCanon>)>,
 }
 
 impl CanonMemo {
-    /// The memoised canonicalisation of `name` at exactly `generation`.
-    fn probe(&self, name: &str, generation: u64) -> Option<Arc<ViewCanon>> {
+    /// The memoised canonicalisation of `name` at exactly `stamp`.
+    fn probe(&self, name: &str, stamp: u64) -> Option<Arc<ViewCanon>> {
         match self.entries.get(name) {
-            Some((g, canon)) if *g == generation => Some(Arc::clone(canon)),
+            Some((g, canon)) if *g == stamp => Some(Arc::clone(canon)),
             _ => None,
         }
     }
 
-    fn store(&mut self, name: &str, generation: u64, canon: Arc<ViewCanon>) {
-        self.entries.insert(name.to_string(), (generation, canon));
+    fn store(&mut self, name: &str, stamp: u64, canon: Arc<ViewCanon>) {
+        self.entries.insert(name.to_string(), (stamp, canon));
     }
 
     /// Probe-or-derive for callers holding exclusive access.
-    fn get_or_derive(&mut self, view: &XmlView, generation: u64) -> Arc<ViewCanon> {
-        if let Some(canon) = self.probe(&view.name, generation) {
+    fn get_or_derive(&mut self, view: &XmlView, stamp: u64) -> Arc<ViewCanon> {
+        if let Some(canon) = self.probe(&view.name, stamp) {
             return canon;
         }
         let canon = Arc::new(canonicalize_view(view));
-        self.store(&view.name, generation, Arc::clone(&canon));
+        self.store(&view.name, stamp, Arc::clone(&canon));
         canon
     }
 
@@ -181,8 +193,8 @@ pub fn plan_cost(plan: &TransformPlan) -> usize {
 struct Entry {
     plan: Arc<TransformPlan>,
     /// [`Catalog::generation`](xsltdb_relstore::Catalog::generation) at
-    /// planning time.
-    generation: u64,
+    /// planning time — compared against the validity floor a lookup passes.
+    planned_at: u64,
     /// Estimated bytes this entry pins (key + plan).
     cost: usize,
     /// LRU clock value of the last hit (or the insert).
@@ -278,12 +290,17 @@ impl PlanCache {
         self.bytes = 0;
     }
 
-    /// Look up a plan for `key` valid at DDL `generation`. Counts exactly
-    /// one hit or one miss; a stale entry additionally counts an
-    /// invalidation and is dropped.
-    pub fn lookup(&mut self, key: &PlanKey, generation: u64) -> Option<Arc<TransformPlan>> {
+    /// Look up a plan for `key` whose planning instant is at or after the
+    /// validity floor `valid_at`. Passing `catalog.generation()` demands a
+    /// plan from the current instant (any DDL invalidates — the coarse
+    /// protocol); passing `catalog.max_ddl_stamp(bound tables)` accepts any
+    /// plan newer than the last DDL that could have affected it (the
+    /// plan-aware protocol of [`plan_cached`](crate::pipeline::plan_cached)).
+    /// Counts exactly one hit or one miss; a stale entry additionally
+    /// counts an invalidation and is dropped.
+    pub fn lookup(&mut self, key: &PlanKey, valid_at: u64) -> Option<Arc<TransformPlan>> {
         match self.entries.get_mut(key) {
-            Some(entry) if entry.generation == generation => {
+            Some(entry) if entry.planned_at >= valid_at => {
                 self.clock += 1;
                 entry.last_used = self.clock;
                 self.stats.add_hit();
@@ -306,10 +323,12 @@ impl PlanCache {
         }
     }
 
-    /// Admit a freshly prepared plan. Evicts LRU entries until the budget
-    /// fits; a plan that alone exceeds the capacity is not admitted (the
-    /// caller still gets its `Arc`, it just will not be shared).
-    pub fn insert(&mut self, key: PlanKey, plan: Arc<TransformPlan>, generation: u64) {
+    /// Admit a freshly prepared plan, stamped with the global DDL clock
+    /// value `planned_at` observed when planning ran. Evicts LRU entries
+    /// until the budget fits; a plan that alone exceeds the capacity is not
+    /// admitted (the caller still gets its `Arc`, it just will not be
+    /// shared).
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<TransformPlan>, planned_at: u64) {
         let cost = key.cost() + plan_cost(&plan);
         if cost > self.capacity {
             self.stats.add_uncacheable();
@@ -332,7 +351,7 @@ impl PlanCache {
             self.stats.add_eviction();
         }
         self.clock += 1;
-        self.entries.insert(key, Entry { plan, generation, cost, last_used: self.clock });
+        self.entries.insert(key, Entry { plan, planned_at, cost, last_used: self.clock });
         self.bytes += cost;
     }
 }
@@ -362,9 +381,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 ///   bound `bytes_in_use ≤ capacity` holds at every instant without any
 ///   global lock. (A skewed key population can evict from a full shard
 ///   while another sits empty — the classic striping trade-off.)
-/// * **Invalidation** — the same generation-based compare-and-drop
-///   protocol as [`PlanCache`]: every entry records the DDL generation at
-///   planning time and a lookup at a newer generation drops it. The check
+/// * **Invalidation** — the same validity-floor protocol as
+///   [`PlanCache`]: every entry records the global DDL clock at planning
+///   time and a lookup whose floor exceeds that stamp drops it. The check
 ///   happens under the shard lock, so a stale plan is never returned, no
 ///   matter how lookups and DDL bumps interleave across threads.
 /// * **Miss races** — two threads missing on the same key both plan and
@@ -482,19 +501,20 @@ impl SharedPlanCache {
         self.view_canon(view, generation).fingerprint
     }
 
-    /// Look up a plan for `key` valid at DDL `generation`, under the key's
-    /// shard lock. Counts exactly one hit or one miss; a stale entry
+    /// Look up a plan for `key` whose planning instant is at or after the
+    /// validity floor `valid_at` (see [`PlanCache::lookup`]), under the
+    /// key's shard lock. Counts exactly one hit or one miss; a stale entry
     /// additionally counts an invalidation and is dropped before the lock
     /// is released, so no later lookup — on any thread — can observe it.
-    pub fn lookup(&self, key: &PlanKey, generation: u64) -> Option<Arc<TransformPlan>> {
-        lock(self.shard(key)).lookup(key, generation)
+    pub fn lookup(&self, key: &PlanKey, valid_at: u64) -> Option<Arc<TransformPlan>> {
+        lock(self.shard(key)).lookup(key, valid_at)
     }
 
-    /// Admit a freshly prepared plan into its key's shard (evicting that
-    /// shard's LRU entries to fit its byte slice).
-    pub fn insert(&self, key: PlanKey, plan: Arc<TransformPlan>, generation: u64) {
+    /// Admit a freshly prepared plan stamped `planned_at` into its key's
+    /// shard (evicting that shard's LRU entries to fit its byte slice).
+    pub fn insert(&self, key: PlanKey, plan: Arc<TransformPlan>, planned_at: u64) {
         let shard = self.shard(&key);
-        lock(shard).insert(key, plan, generation);
+        lock(shard).insert(key, plan, planned_at);
     }
 }
 

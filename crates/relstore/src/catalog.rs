@@ -5,6 +5,30 @@ use crate::table::{StoreError, Table};
 use crate::view::XmlView;
 use std::collections::HashMap;
 
+/// Per-table version coordinates, maintained by the catalog.
+///
+/// `ddl_stamp` is the value of the *global* DDL clock at the last DDL that
+/// touched this table (creation, replacement, index add/rebuild) — stamps
+/// from different tables are comparable because they come from one clock.
+/// `data_gen` is a per-table DML counter: every mutable access to the
+/// table's rows bumps it, and nothing else does. Together they say "this
+/// exact shape, this exact data".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableMeta {
+    pub ddl_stamp: u64,
+    pub data_gen: u64,
+}
+
+/// A named snapshot of one table's [`TableMeta`] — the unit of a cached
+/// result's *read-set*: the entry is valid exactly while every read table
+/// still reports the same coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableVersion {
+    pub table: String,
+    pub ddl_stamp: u64,
+    pub data_gen: u64,
+}
+
 /// An in-memory database: tables, secondary indexes, XMLType views.
 ///
 /// Every DDL change (table/view registration, index creation) bumps a
@@ -12,6 +36,13 @@ use std::collections::HashMap;
 /// key their entries to the generation observed at planning time: a plan
 /// built against an older catalog shape is stale — the planner might now
 /// choose a different tier or access path — and must be rebuilt.
+///
+/// On top of the global clock the catalog keeps *per-table* coordinates
+/// ([`TableMeta`]): the stamp of the last DDL that touched each table and a
+/// DML data generation bumped by [`table_mut`](Self::table_mut). Caches that
+/// know their read-set can use [`max_ddl_stamp`](Self::max_ddl_stamp) and
+/// [`versions_of`](Self::versions_of) to invalidate narrowly — a DDL on an
+/// unrelated table no longer has to nuke them.
 ///
 /// `Clone` takes a full snapshot (tables, indexes, views, generation): a
 /// session that clones the catalog keeps executing against the shape it
@@ -23,6 +54,10 @@ pub struct Catalog {
     views: HashMap<String, XmlView>,
     /// Monotonic DDL counter; see [`Self::generation`].
     generation: u64,
+    /// Per-table DDL stamp + DML data generation.
+    meta: HashMap<String, TableMeta>,
+    /// Global-clock stamp of each view's registration.
+    view_stamps: HashMap<String, u64>,
 }
 
 impl Catalog {
@@ -40,8 +75,13 @@ impl Catalog {
     }
 
     pub fn add_table(&mut self, table: Table) {
-        self.tables.insert(table.name.clone(), table);
+        let name = table.name.clone();
+        self.tables.insert(name.clone(), table);
         self.generation += 1;
+        let m = self.meta.entry(name).or_default();
+        m.ddl_stamp = self.generation;
+        // Replacing a table replaces its rows: that is a data change too.
+        m.data_gen += 1;
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
@@ -52,10 +92,19 @@ impl Catalog {
 
     /// Mutable access for loading data. After bulk changes call
     /// [`reindex`](Self::reindex) to rebuild that table's indexes.
+    ///
+    /// Handing out the mutable borrow counts as a write: the table's
+    /// [data generation](Self::data_generation) is bumped even if the
+    /// caller ends up not touching a row — conservative, never stale.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        self.tables
+        if !self.tables.contains_key(name) {
+            return Err(StoreError::new(format!("unknown table {name}")));
+        }
+        self.meta.entry(name.to_string()).or_default().data_gen += 1;
+        Ok(self
+            .tables
             .get_mut(name)
-            .ok_or_else(|| StoreError::new(format!("unknown table {name}")))
+            .expect("presence checked above"))
     }
 
     /// Create (or rebuild) a B-tree index on `table.column`.
@@ -66,6 +115,7 @@ impl Catalog {
             .retain(|i| !(i.table == table && i.column.eq_ignore_ascii_case(column)));
         self.indexes.push(idx);
         self.generation += 1;
+        self.meta.entry(table.to_string()).or_default().ddl_stamp = self.generation;
         Ok(())
     }
 
@@ -90,8 +140,10 @@ impl Catalog {
     }
 
     pub fn add_view(&mut self, view: XmlView) {
-        self.views.insert(view.name.clone(), view);
+        let name = view.name.clone();
+        self.views.insert(name.clone(), view);
         self.generation += 1;
+        self.view_stamps.insert(name, self.generation);
     }
 
     pub fn view(&self, name: &str) -> Result<&XmlView, StoreError> {
@@ -102,6 +154,67 @@ impl Catalog {
 
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// The per-table DML data generation — bumped by every
+    /// [`table_mut`](Self::table_mut) and by table replacement, never by
+    /// DDL on *other* tables. Unknown tables report 0.
+    pub fn data_generation(&self, table: &str) -> u64 {
+        self.meta.get(table).map_or(0, |m| m.data_gen)
+    }
+
+    /// The global-clock stamp of the last DDL that touched `table`
+    /// (creation, replacement, index create/rebuild). Unknown tables
+    /// report 0.
+    pub fn table_ddl_stamp(&self, table: &str) -> u64 {
+        self.meta.get(table).map_or(0, |m| m.ddl_stamp)
+    }
+
+    /// The global-clock stamp of `view`'s registration (0 if unknown).
+    /// A plan memoised for a view definition stays valid while this stamp
+    /// does not move — re-registering the view is the only way to change
+    /// what the planner would see.
+    pub fn view_stamp(&self, view: &str) -> u64 {
+        self.view_stamps.get(view).copied().unwrap_or(0)
+    }
+
+    /// The newest [`table_ddl_stamp`](Self::table_ddl_stamp) over `tables`:
+    /// the earliest planning instant a cached plan bound to exactly these
+    /// tables could still be valid at. An empty set yields 0 (nothing the
+    /// plan reads can have changed shape).
+    pub fn max_ddl_stamp<'a, I>(&self, tables: I) -> u64
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        tables
+            .into_iter()
+            .map(|t| self.table_ddl_stamp(t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot the version coordinates of one table.
+    pub fn version_of(&self, table: &str) -> TableVersion {
+        let m = self.meta.get(table).copied().unwrap_or_default();
+        TableVersion { table: table.to_string(), ddl_stamp: m.ddl_stamp, data_gen: m.data_gen }
+    }
+
+    /// Snapshot the version coordinates of a read-set, in the given order.
+    pub fn versions_of<'a, I>(&self, tables: I) -> Vec<TableVersion>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        tables.into_iter().map(|t| self.version_of(t)).collect()
+    }
+
+    /// Is every read-set coordinate still what this catalog reports?
+    /// The freshness test of a result-cache entry: any DDL *or* DML on any
+    /// read table since the snapshot makes this false.
+    pub fn versions_current(&self, reads: &[TableVersion]) -> bool {
+        reads.iter().all(|v| {
+            let m = self.meta.get(&v.table).copied().unwrap_or_default();
+            m.ddl_stamp == v.ddl_stamp && m.data_gen == v.data_gen
+        })
     }
 }
 
@@ -157,5 +270,89 @@ mod tests {
         assert_eq!(c.generation(), 2);
         c.reindex("t").unwrap();
         assert_eq!(c.generation(), 3);
+    }
+
+    #[test]
+    fn per_table_data_generation_tracks_only_the_touched_table() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("a", &[("x", ColType::Int)]));
+        c.add_table(Table::new("b", &[("x", ColType::Int)]));
+        let (a0, b0) = (c.data_generation("a"), c.data_generation("b"));
+        c.table_mut("a").unwrap().insert(vec![Datum::Int(1)]).unwrap();
+        assert_eq!(c.data_generation("a"), a0 + 1, "DML on a bumps a");
+        assert_eq!(c.data_generation("b"), b0, "DML on a must not bump b");
+        // DDL elsewhere does not move data generations at all.
+        c.add_table(Table::new("zz", &[("x", ColType::Int)]));
+        assert_eq!(c.data_generation("a"), a0 + 1);
+        assert_eq!(c.data_generation("b"), b0);
+        // Unknown tables read as 0 and failed DML bumps nothing.
+        assert_eq!(c.data_generation("missing"), 0);
+        assert!(c.table_mut("missing").is_err());
+        assert_eq!(c.data_generation("missing"), 0);
+    }
+
+    #[test]
+    fn ddl_stamps_come_from_the_global_clock_per_table() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("a", &[("x", ColType::Int)]));
+        c.add_table(Table::new("b", &[("x", ColType::Int)]));
+        assert_eq!(c.table_ddl_stamp("a"), 1);
+        assert_eq!(c.table_ddl_stamp("b"), 2);
+        c.create_index("a", "x").unwrap();
+        assert_eq!(c.table_ddl_stamp("a"), 3, "index DDL restamps its table");
+        assert_eq!(c.table_ddl_stamp("b"), 2, "…and only its table");
+        assert_eq!(c.max_ddl_stamp(["a", "b"]), 3);
+        assert_eq!(c.max_ddl_stamp(["b"]), 2);
+        assert_eq!(c.max_ddl_stamp(std::iter::empty::<&str>()), 0);
+        // Replacing a table restamps it and bumps its data generation.
+        let gen_before = c.data_generation("b");
+        c.add_table(Table::new("b", &[("y", ColType::Int)]));
+        assert_eq!(c.table_ddl_stamp("b"), c.generation());
+        assert_eq!(c.data_generation("b"), gen_before + 1);
+    }
+
+    #[test]
+    fn versions_snapshot_and_currency() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("a", &[("x", ColType::Int)]));
+        c.add_table(Table::new("b", &[("x", ColType::Int)]));
+        let reads = c.versions_of(["a", "b"]);
+        assert_eq!(reads.len(), 2);
+        assert!(c.versions_current(&reads));
+        // DML on a table outside the snapshot's read-set: still current.
+        c.add_table(Table::new("other", &[("x", ColType::Int)]));
+        c.table_mut("other").unwrap().insert(vec![Datum::Int(1)]).unwrap();
+        assert!(c.versions_current(&reads));
+        // DML on a read table: stale.
+        c.table_mut("a").unwrap().insert(vec![Datum::Int(1)]).unwrap();
+        assert!(!c.versions_current(&reads));
+        let reads = c.versions_of(["a", "b"]);
+        assert!(c.versions_current(&reads));
+        // DDL on a read table: stale again.
+        c.create_index("b", "x").unwrap();
+        assert!(!c.versions_current(&reads));
+    }
+
+    #[test]
+    fn view_stamps_track_registration() {
+        use crate::exec::Conjunction;
+        use crate::pubexpr::{PubExpr, SqlXmlQuery};
+        let mut c = Catalog::new();
+        assert_eq!(c.view_stamp("vu"), 0);
+        c.add_table(Table::new("t", &[("a", ColType::Int)]));
+        let q = SqlXmlQuery {
+            base_table: "t".into(),
+            where_clause: Conjunction::default(),
+            select: PubExpr::elem("row", vec![PubExpr::col("t", "a")]),
+        };
+        c.add_view(XmlView::new("vu", q.clone()));
+        let s1 = c.view_stamp("vu");
+        assert_eq!(s1, c.generation());
+        // Unrelated DDL does not move the view stamp.
+        c.add_table(Table::new("zz", &[("a", ColType::Int)]));
+        assert_eq!(c.view_stamp("vu"), s1);
+        // Re-registering does.
+        c.add_view(XmlView::new("vu", q));
+        assert!(c.view_stamp("vu") > s1);
     }
 }

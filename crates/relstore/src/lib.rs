@@ -44,7 +44,7 @@ pub mod table;
 pub mod view;
 
 pub use binding::{fnv64, is_slot, slot_name, SlotBindings};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableMeta, TableVersion};
 pub use datum::{ArithOp, ColType, Datum, DatumKey};
 pub use docstore::{DocStorageModel, PathHit, XmlDocStore};
 pub use exec::{scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};

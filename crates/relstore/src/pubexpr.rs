@@ -108,6 +108,61 @@ impl PubExpr {
     pub fn lit(s: &str) -> PubExpr {
         PubExpr::Literal(s.to_string())
     }
+
+    /// Append every table name this expression can read to `out`
+    /// (deduplicated, first-mention order): column references, aggregate
+    /// subquery tables, correlation *outer* tables, CASE condition tables.
+    /// Mirrors the walk canonicalisation performs, so a canonical plan's
+    /// slots cover exactly this set.
+    pub fn collect_tables(&self, out: &mut Vec<String>) {
+        fn push(out: &mut Vec<String>, t: &str) {
+            if !out.iter().any(|x| x == t) {
+                out.push(t.to_string());
+            }
+        }
+        fn preds(out: &mut Vec<String>, predicate: &[AggPredTerm]) {
+            for term in predicate {
+                if let AggPredTerm::Correlate { outer_table, .. } = term {
+                    push(out, outer_table);
+                }
+            }
+        }
+        match self {
+            PubExpr::Literal(_) => {}
+            PubExpr::ColumnRef { table, .. } => push(out, table),
+            PubExpr::Concat(parts) | PubExpr::StrConcat(parts) => {
+                for p in parts {
+                    p.collect_tables(out);
+                }
+            }
+            PubExpr::Element { attrs, children, .. } => {
+                for (_, a) in attrs {
+                    a.collect_tables(out);
+                }
+                for c in children {
+                    c.collect_tables(out);
+                }
+            }
+            PubExpr::Arith { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            PubExpr::Case { table, then, els, .. } => {
+                push(out, table);
+                then.collect_tables(out);
+                els.collect_tables(out);
+            }
+            PubExpr::Agg { table, predicate, body, .. } => {
+                push(out, table);
+                preds(out, predicate);
+                body.collect_tables(out);
+            }
+            PubExpr::ScalarAgg { table, predicate, .. } => {
+                push(out, table);
+                preds(out, predicate);
+            }
+        }
+    }
 }
 
 /// Row bindings during evaluation: innermost binding of a table name wins.
@@ -538,6 +593,16 @@ impl SqlXmlQuery {
     pub fn explain_base_path(&self, catalog: &Catalog) -> Result<AccessPath, StoreError> {
         self.explain_base_path_bound(catalog, &SlotBindings::identity())
     }
+
+    /// Every table this query can read — the base table plus everything the
+    /// publishing expression references (deduplicated, base table first).
+    /// This is the query's *read-set*: a result computed from it can only
+    /// change if one of these tables changes.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = vec![self.base_table.clone()];
+        self.select.collect_tables(&mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -756,6 +821,45 @@ mod tests {
         };
         let docs = q.execute(&c, &stats).unwrap();
         assert_eq!(xsltdb_xml::to_string(&docs[0]), "<s>1300</s><s>2450</s>");
+    }
+
+    #[test]
+    fn referenced_tables_walks_the_whole_expression() {
+        let q = SqlXmlQuery {
+            base_table: "dept".into(),
+            where_clause: Conjunction::default(),
+            select: dept_emp_pub(),
+        };
+        // Base table first, then first-mention order; correlation outer
+        // tables dedupe against the base table.
+        assert_eq!(q.referenced_tables(), vec!["dept".to_string(), "emp".to_string()]);
+
+        let scalar = SqlXmlQuery {
+            base_table: "a".into(),
+            where_clause: Conjunction::default(),
+            select: PubExpr::Concat(vec![
+                PubExpr::Case {
+                    cond: ColumnCmp::new("x", CmpOp::Eq, crate::datum::Datum::Int(1)),
+                    table: "b".into(),
+                    then: Box::new(PubExpr::col("c", "y")),
+                    els: Box::new(PubExpr::lit("")),
+                },
+                PubExpr::ScalarAgg {
+                    func: AggFunc::Count,
+                    column: None,
+                    table: "d".into(),
+                    predicate: vec![AggPredTerm::Correlate {
+                        inner_column: "k".into(),
+                        outer_table: "e".into(),
+                        outer_column: "k".into(),
+                    }],
+                },
+            ]),
+        };
+        assert_eq!(
+            scalar.referenced_tables(),
+            vec!["a", "b", "c", "d", "e"].into_iter().map(String::from).collect::<Vec<_>>()
+        );
     }
 
     #[test]

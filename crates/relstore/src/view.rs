@@ -19,6 +19,12 @@ impl XmlView {
         XmlView { name: name.to_string(), query }
     }
 
+    /// The view's read-set: every table its query can touch. See
+    /// [`SqlXmlQuery::referenced_tables`].
+    pub fn referenced_tables(&self) -> Vec<String> {
+        self.query.referenced_tables()
+    }
+
     /// Materialise the view: one document per base row. This is the
     /// expensive step the paper's rewrite avoids — the no-rewrite baseline
     /// must call this before it can run XSLT functionally.

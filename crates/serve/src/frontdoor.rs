@@ -1,6 +1,7 @@
 //! [`FrontDoor`]: admission + retry + breaker routing around the engine.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use xsltdb::admission::{
     AdmissionConfig, AdmissionQueue, AdmissionStats, BreakerConfig, CircuitBreakerSet,
@@ -8,9 +9,11 @@ use xsltdb::admission::{
 };
 use xsltdb::pipeline::{plan_cached_shared, StreamRun, Tier};
 use xsltdb::plancache::SharedPlanCache;
+use xsltdb::resultcache::{CachedResult, ResultKey, SharedResultCache};
 use xsltdb::xqgen::RewriteOptions;
-use xsltdb::{Guard, Limits, PipelineError};
-use xsltdb_relstore::{Catalog, ExecStats};
+use xsltdb::{Guard, Limits, PipelineError, DEFAULT_RESULT_CACHE_BYTES};
+use xsltdb_relstore::{slot_name, Catalog, ExecStats};
+use xsltdb_structinfo::ViewCanon;
 use xsltdb_xml::LedgerLimits;
 use xsltdb_relstore::XmlView;
 
@@ -27,6 +30,8 @@ pub struct FrontDoorConfig {
     pub retry: RetryPolicy,
     /// Per-tier breaker tuning.
     pub breaker: BreakerConfig,
+    /// Byte budget of the transform-result cache (0 disables it).
+    pub result_cache_bytes: usize,
 }
 
 impl FrontDoorConfig {
@@ -37,6 +42,7 @@ impl FrontDoorConfig {
             admission: AdmissionConfig::server_default(),
             retry: RetryPolicy::server_default(),
             breaker: BreakerConfig::server_default(),
+            result_cache_bytes: DEFAULT_RESULT_CACHE_BYTES,
         }
     }
 }
@@ -72,13 +78,16 @@ impl std::error::Error for ServeError {}
 pub struct ServeOutcome {
     /// The serialized result, complete (never partial).
     pub bytes: Vec<u8>,
-    /// The lattice tier that produced it.
+    /// The lattice tier that produced it (for a cached serve, the tier
+    /// that originally produced the memoised bytes).
     pub tier: Tier,
     /// Execution attempts it took (1 = first try).
     pub attempts: u32,
     /// Tiers that failed or were breaker-skipped before `tier` succeeded,
     /// on the winning attempt.
     pub fallbacks: usize,
+    /// Served from the result cache — no tier executed at all.
+    pub cached: bool,
 }
 
 /// Counters the front door exports for reporting.
@@ -89,6 +98,12 @@ pub struct FrontDoorStats {
     pub shed_timeout: u64,
     pub retries: u64,
     pub breaker_opened: u64,
+    /// Result-cache hits (requests served from memoised bytes).
+    pub result_hits: u64,
+    /// Result-cache misses (including read-set invalidations).
+    pub result_misses: u64,
+    /// Result-cache entries dropped because a read table changed.
+    pub result_invalidations: u64,
 }
 
 /// The admission-controlled request path. Cheap to share behind an `Arc`;
@@ -98,6 +113,7 @@ pub struct FrontDoor {
     queue: AdmissionQueue,
     breakers: CircuitBreakerSet,
     cache: SharedPlanCache,
+    results: SharedResultCache,
     retries: AtomicU64,
     seq: AtomicU64,
 }
@@ -109,6 +125,7 @@ impl FrontDoor {
             queue: AdmissionQueue::with_limits(config.ledger, config.admission),
             breakers: CircuitBreakerSet::new(config.breaker),
             cache: SharedPlanCache::default(),
+            results: SharedResultCache::new(config.result_cache_bytes),
             retries: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         }
@@ -128,14 +145,23 @@ impl FrontDoor {
         &self.cache
     }
 
+    /// The transform-result cache behind the door (capacity 0 = disabled).
+    pub fn results(&self) -> &SharedResultCache {
+        &self.results
+    }
+
     pub fn stats(&self) -> FrontDoorStats {
         let AdmissionStats { admitted, shed_overloaded, shed_timeout } = self.queue.stats();
+        let results = self.results.stats();
         FrontDoorStats {
             admitted,
             shed_overloaded,
             shed_timeout,
             retries: self.retries.load(Ordering::Relaxed),
             breaker_opened: self.breakers.opened_total(),
+            result_hits: results.hits,
+            result_misses: results.misses,
+            result_invalidations: results.invalidations,
         }
     }
 
@@ -163,6 +189,15 @@ impl FrontDoor {
     /// fresh guard **and a fresh buffer**: bytes from a failed attempt are
     /// discarded wholesale, so a retried request can never interleave or
     /// leak partial output.
+    ///
+    /// A result-cache hit short-circuits the lattice entirely, but a
+    /// cached byte is never free: it is charged against the request's
+    /// guard (so a starved byte budget trips exactly as it would on a
+    /// fresh run — which also keeps trips out of the cache's blast radius)
+    /// and reserved as `bytes_in_flight` on the global ledger for the
+    /// duration of the serve. The freshness check runs against the same
+    /// `catalog` borrow the execution would use, so a hit is byte-identical
+    /// to what a fresh execution would produce at this instant.
     pub fn transform_with(
         &self,
         catalog: &Catalog,
@@ -172,8 +207,25 @@ impl FrontDoor {
         make_guard: &dyn Fn(Limits, u32) -> Guard,
     ) -> Result<ServeOutcome, ServeError> {
         let limits = self.config.limits;
-        let (fuel, bytes) = reservation_units(limits);
         let deadline = self.config.admission.default_deadline;
+
+        // Probe the result cache before paying for admission at the full
+        // request budget: a hit reserves exactly the bytes it puts in
+        // flight instead of the worst-case output cap.
+        let canon = self.cache.view_canon(view, catalog.view_stamp(&view.name));
+        let key = ResultKey::new(
+            canon.fingerprint,
+            stylesheet_src,
+            opts,
+            result_key_tables(&canon, view),
+        );
+        if self.results.enabled() {
+            if let Some(hit) = self.results.lookup(&key, catalog) {
+                return self.serve_cached(hit, limits, deadline, make_guard);
+            }
+        }
+
+        let (fuel, bytes) = reservation_units(limits);
         let permit = self
             .queue
             .admit_within(fuel, bytes, deadline)
@@ -197,12 +249,24 @@ impl FrontDoor {
                 plan.execute_to_writer_routed(catalog, &stats, &guard, &mut buf, &self.breakers);
             match result {
                 Ok(run) => {
+                    // Only complete, successful output is memoised — an
+                    // error or guard trip never reaches this point, so a
+                    // trip can never be replayed from the cache. The
+                    // read-set snapshot comes from the same immutable
+                    // catalog borrow the execution ran against, so bytes
+                    // and versions are mutually consistent.
+                    if self.results.enabled() {
+                        let reads =
+                            catalog.versions_of(key.tables.iter().map(String::as_str));
+                        self.results.insert(key, Arc::from(&buf[..]), run.tier, reads);
+                    }
                     drop(permit);
                     return Ok(ServeOutcome {
                         bytes: buf,
                         tier: run.tier,
                         attempts: attempt + 1,
                         fallbacks: run.fallbacks.len(),
+                        cached: false,
                     });
                 }
                 Err(error) => {
@@ -220,6 +284,61 @@ impl FrontDoor {
                 }
             }
         }
+    }
+
+    /// Serve memoised bytes: charge the request's guard, reserve the bytes
+    /// on the ledger, copy out under the reservation.
+    fn serve_cached(
+        &self,
+        hit: CachedResult,
+        limits: Limits,
+        deadline: Duration,
+        make_guard: &dyn Fn(Limits, u32) -> Guard,
+    ) -> Result<ServeOutcome, ServeError> {
+        // The guard sees every byte exactly as a fresh execution's sink
+        // would: a budget too small for the output trips terminally, with
+        // no retry (the cached bytes are not going to shrink).
+        let guard = make_guard(limits, 0);
+        if let Err(trip) = guard.charge_output_bytes(hit.bytes.len() as u64) {
+            return Err(ServeError::Pipeline { error: trip.into(), attempts: 1 });
+        }
+        // The hit's bytes are in flight until the outcome is handed back:
+        // a hit storm is bounded by the ledger byte ceiling like any other
+        // traffic (no fuel draw — nothing executes).
+        let permit = self
+            .queue
+            .admit_within(0, hit.bytes.len() as u64, deadline)
+            .map_err(ServeError::Rejected)?;
+        let outcome = ServeOutcome {
+            bytes: hit.bytes.to_vec(),
+            tier: hit.tier,
+            attempts: 1,
+            fallbacks: 0,
+            cached: true,
+        };
+        drop(permit);
+        Ok(outcome)
+    }
+}
+
+/// The concrete tables a result over `view` is a function of, in slot
+/// order (deduplicated) — the identity component of a [`ResultKey`]. Plans
+/// without slots (underivable structure) read whatever the view definition
+/// references. Mirrors `BoundPlan::read_set`, computable before a plan
+/// exists.
+fn result_key_tables(canon: &ViewCanon, view: &XmlView) -> Vec<String> {
+    if canon.slot_count > 0 {
+        let mut out = Vec::with_capacity(canon.slot_count);
+        for i in 0..canon.slot_count {
+            if let Some(table) = canon.bindings.get(&slot_name(i)) {
+                if !out.iter().any(|t: &String| t == table) {
+                    out.push(table.to_string());
+                }
+            }
+        }
+        out
+    } else {
+        view.referenced_tables()
     }
 }
 
@@ -261,16 +380,77 @@ mod tests {
 
     #[test]
     fn repeated_requests_hit_the_plan_cache() {
-        let door = small_door(4);
+        // Result cache off, so every request exercises the plan cache.
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.ledger = LedgerLimits::UNLIMITED.with_max_concurrent_streams(4);
+        cfg.result_cache_bytes = 0;
+        let door = FrontDoor::new(cfg);
         let (catalog, view) = db_catalog(24, 7);
         let sheet = dbonerow_stylesheet(existing_id(24));
         for _ in 0..5 {
-            door.transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            let out = door
+                .transform(&catalog, &view, &sheet, &RewriteOptions::default())
                 .expect("serves");
+            assert!(!out.cached, "disabled result cache must never serve");
         }
         let snap = door.cache().stats();
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.hits, 4);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_result_cache() {
+        let door = small_door(4);
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let first = door
+            .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+            .expect("fills");
+        assert!(!first.cached);
+        for _ in 0..4 {
+            let hit = door
+                .transform(&catalog, &view, &sheet, &RewriteOptions::default())
+                .expect("serves from memory");
+            assert!(hit.cached, "warm identical request must be a result hit");
+            assert_eq!(hit.bytes, first.bytes, "cached bytes differ from fresh");
+            assert_eq!(hit.tier, first.tier);
+            assert_eq!(hit.attempts, 1);
+        }
+        let stats = door.stats();
+        assert_eq!(stats.result_hits, 4);
+        assert_eq!(stats.result_misses, 1);
+        // The lattice ran exactly once: one plan-cache lookup in total.
+        assert_eq!(door.cache().stats().lookups(), 1);
+        assert!(door.is_quiesced());
+    }
+
+    #[test]
+    fn dml_on_a_read_table_forces_fresh_execution() {
+        let door = small_door(4);
+        let (mut catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let opts = RewriteOptions::default();
+        door.transform(&catalog, &view, &sheet, &opts).expect("fills");
+        // DML on a read table: the memoised bytes are stale and must not
+        // be served; the request re-executes against the new data.
+        use xsltdb_relstore::Datum;
+        catalog
+            .table_mut("db_rows")
+            .unwrap()
+            .insert(vec![
+                Datum::Int(990_001),
+                Datum::Text("Churn".into()),
+                Datum::Text("Writer".into()),
+                Datum::Text("1 Churn St".into()),
+                Datum::Text("Churnville".into()),
+                Datum::Text("CA".into()),
+                Datum::Int(99_999),
+            ])
+            .unwrap();
+        catalog.reindex("db_rows").unwrap();
+        let after = door.transform(&catalog, &view, &sheet, &opts).expect("re-executes");
+        assert!(!after.cached, "stale entry must not be served after DML");
+        assert!(door.stats().result_invalidations >= 1);
     }
 
     #[test]
@@ -297,7 +477,14 @@ mod tests {
     #[test]
     fn injected_panic_is_retried_and_succeeds() {
         use xsltdb::{FaultKind, FaultPoint};
-        let door = small_door(4);
+        // Result cache off: the baseline call would otherwise memoise the
+        // bytes and the faulty call would never reach the lattice.
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.ledger = LedgerLimits::UNLIMITED.with_max_concurrent_streams(4);
+        cfg.admission.max_queue_depth = 2;
+        cfg.admission.default_deadline = Duration::from_millis(20);
+        cfg.result_cache_bytes = 0;
+        let door = FrontDoor::new(cfg);
         let (catalog, view) = db_catalog(24, 7);
         let sheet = dbonerow_stylesheet(existing_id(24));
         let clean = door
@@ -327,6 +514,94 @@ mod tests {
         assert_eq!(out.attempts, 2);
         assert_eq!(out.bytes, clean.bytes, "retry produced different bytes");
         assert!(door.stats().retries >= 1);
+        assert!(door.is_quiesced());
+    }
+
+    #[test]
+    fn cache_hit_reserves_bytes_on_the_ledger() {
+        // A result-cache hit still moves bytes through the door, so it
+        // must reserve them on the global ledger like any other response.
+        // Ceiling below the output length: the warm hit must be shed, not
+        // served outside the byte budget.
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let opts = RewriteOptions::default();
+        let probe = small_door(4);
+        let len = probe
+            .transform(&catalog, &view, &sheet, &opts)
+            .expect("probe")
+            .bytes
+            .len() as u64;
+        assert!(len > 1);
+
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.limits = Limits::UNLIMITED;
+        cfg.ledger = LedgerLimits::UNLIMITED
+            .with_max_concurrent_streams(4)
+            .with_max_bytes_in_flight(len - 1);
+        cfg.admission.max_queue_depth = 2;
+        cfg.admission.default_deadline = Duration::from_millis(20);
+        let door = FrontDoor::new(cfg);
+        // Miss path under UNLIMITED output limits reserves 0 bytes, so
+        // the first call succeeds and fills the cache…
+        let first = door.transform(&catalog, &view, &sheet, &opts).expect("fills");
+        assert!(!first.cached);
+        // …and the warm hit must now fail admission: its exact byte
+        // length does not fit under the ledger ceiling.
+        let err = door.transform(&catalog, &view, &sheet, &opts).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Rejected(_)),
+            "cache hit bypassed the byte ledger: {err}"
+        );
+        assert!(door.is_quiesced(), "hit path leaked a ledger reservation");
+    }
+
+    #[test]
+    fn cache_hit_storm_stays_under_the_ledger_ceiling() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (catalog, view) = db_catalog(24, 7);
+        let sheet = dbonerow_stylesheet(existing_id(24));
+        let opts = RewriteOptions::default();
+        let probe = small_door(4);
+        let expected = probe.transform(&catalog, &view, &sheet, &opts).expect("probe").bytes;
+        let len = expected.len() as u64;
+
+        // Room for exactly one response in flight.
+        let mut cfg = FrontDoorConfig::server_default();
+        cfg.limits = Limits::UNLIMITED;
+        cfg.ledger = LedgerLimits::UNLIMITED
+            .with_max_concurrent_streams(16)
+            .with_max_bytes_in_flight(len);
+        cfg.admission.max_queue_depth = 16;
+        cfg.admission.default_deadline = Duration::from_millis(200);
+        let door = std::sync::Arc::new(FrontDoor::new(cfg));
+        door.transform(&catalog, &view, &sheet, &opts).expect("fills cache");
+
+        let peak = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let door = std::sync::Arc::clone(&door);
+                let peak = std::sync::Arc::clone(&peak);
+                let (catalog, view, sheet, opts) = (&catalog, &view, &sheet, &opts);
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        let seen = door.queue().ledger().snapshot().bytes_in_flight;
+                        peak.fetch_max(seen, Ordering::Relaxed);
+                        match door.transform(catalog, view, sheet, opts) {
+                            Ok(out) => assert_eq!(&out.bytes, expected, "storm corrupted bytes"),
+                            Err(ServeError::Rejected(_)) => {}
+                            Err(other) => panic!("unexpected failure under storm: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::Relaxed) <= len,
+            "bytes_in_flight exceeded the ceiling during a hit storm"
+        );
+        assert!(door.stats().result_hits >= 1, "storm never hit the cache");
         assert!(door.is_quiesced());
     }
 

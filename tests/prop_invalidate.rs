@@ -1,0 +1,191 @@
+//! Property-based invalidation soundness for the transform-result cache.
+//!
+//! Random interleavings of {DML on table *i*, DDL on table *j*, cached
+//! lookup of view *k*} run across 4 threads against one
+//! [`SharedResultCache`]. The "transform" here is a pure function of the
+//! read-set table versions, so the freshness oracle is exact:
+//!
+//! * **Never stale** — a hit's bytes must equal the render of the
+//!   read-set versions *as they are now*, under the same catalog read
+//!   lock. Serving bytes older than the newest write to any read-set
+//!   table changes the render and fails the comparison.
+//! * **Counter conservation** — `hits + misses == lookups` in every
+//!   concurrent stats snapshot (the packed-word counter), snapshots are
+//!   monotone, and the final lookup count equals the number of lookup
+//!   ops the threads actually executed.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::{ResultKey, SharedResultCache, Tier};
+use xsltdb_relstore::{Catalog, Datum};
+use xsltdb_xsltmark::db_catalog_family;
+
+const TABLES: usize = 3;
+const THREADS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert a row into `db_rows_{i}` — bumps its data generation.
+    Dml(usize),
+    /// (Re)build an index on `db_rows_{j}` — bumps the global DDL clock
+    /// and the table's DDL stamp.
+    Ddl(usize),
+    /// Cached lookup of view `k`; a miss renders fresh and inserts.
+    Lookup(usize),
+}
+
+/// The read set of view `k` in the family catalog.
+fn read_set(k: usize) -> Vec<String> {
+    vec![format!("db_doc_{k}"), format!("db_rows_{k}")]
+}
+
+/// The "transform": a pure render of the read-set versions. Any write to
+/// a read-set table changes this, so stale bytes can never collide with
+/// fresh bytes.
+fn render(catalog: &Catalog, k: usize) -> Vec<u8> {
+    let mut s = format!("view={k};");
+    for t in read_set(k) {
+        let v = catalog.version_of(&t);
+        s.push_str(&format!("{}@ddl{}+data{};", v.table, v.ddl_stamp, v.data_gen));
+    }
+    s.into_bytes()
+}
+
+fn key_for(k: usize) -> ResultKey {
+    // Same-shaped views share the struct fingerprint; only the bound
+    // tables distinguish the keys — exactly the serving-path shape.
+    ResultKey::new(0xFEED_FACE, "prop-invalidate", &RewriteOptions::default(), read_set(k))
+}
+
+fn run_interleaving(ops: &[(u32, u32)]) {
+    let (catalog, _views) = db_catalog_family(TABLES, 4, 11);
+    let store = Arc::new(RwLock::new(catalog));
+    let cache = Arc::new(SharedResultCache::new(1 << 20));
+    let lookups_done = AtomicU64::new(0);
+    let decoded: Vec<Op> = ops
+        .iter()
+        .map(|&(action, target)| {
+            let t = target as usize % TABLES;
+            match action % 3 {
+                0 => Op::Dml(t),
+                1 => Op::Ddl(t),
+                _ => Op::Lookup(t),
+            }
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for thread in 0..THREADS {
+            let store = &store;
+            let cache = &cache;
+            let lookups_done = &lookups_done;
+            let decoded = &decoded;
+            s.spawn(move || {
+                let mut tick = 0i64;
+                for op in decoded.iter().skip(thread).step_by(THREADS) {
+                    tick += 1;
+                    match *op {
+                        Op::Dml(i) => {
+                            let mut cat =
+                                store.write().unwrap_or_else(PoisonError::into_inner);
+                            cat.table_mut(&format!("db_rows_{i}"))
+                                .expect("table exists")
+                                .insert(vec![
+                                    Datum::Int(1_000_000 + (thread as i64) * 10_000 + tick),
+                                    Datum::Text("P".into()),
+                                    Datum::Text("Q".into()),
+                                    Datum::Text("R".into()),
+                                    Datum::Text("S".into()),
+                                    Datum::Text("T".into()),
+                                    Datum::Int(1),
+                                ])
+                                .expect("schema");
+                        }
+                        Op::Ddl(j) => {
+                            let mut cat =
+                                store.write().unwrap_or_else(PoisonError::into_inner);
+                            cat.create_index(&format!("db_rows_{j}"), "firstname")
+                                .expect("index DDL");
+                        }
+                        Op::Lookup(k) => {
+                            let cat = store.read().unwrap_or_else(PoisonError::into_inner);
+                            let key = key_for(k);
+                            let fresh = render(&cat, k);
+                            if let Some(hit) = cache.lookup(&key, &cat) {
+                                assert_eq!(
+                                    hit.bytes.as_ref(),
+                                    &fresh[..],
+                                    "STALE SERVE: view {k} hit is older than the newest \
+                                     write to its read set"
+                                );
+                            } else {
+                                let reads = cat.versions_of(
+                                    key.tables.iter().map(String::as_str),
+                                );
+                                cache.insert(key, Arc::from(&fresh[..]), Tier::Vm, reads);
+                            }
+                            lookups_done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Concurrent snapshot: conservation must hold even
+                    // mid-run, not just after the dust settles.
+                    let snap = cache.stats();
+                    assert_eq!(
+                        snap.hits + snap.misses,
+                        snap.lookups(),
+                        "torn stats snapshot"
+                    );
+                }
+            });
+        }
+    });
+
+    let end = cache.stats();
+    assert_eq!(
+        end.lookups(),
+        lookups_done.load(Ordering::Relaxed),
+        "final lookup count diverged from the ops actually executed"
+    );
+    assert_eq!(end.hits + end.misses, end.lookups());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interleaved_dml_ddl_lookup_never_serves_stale(
+        ops in proptest::collection::vec((0u32..6, 0u32..6), 12..64)
+    ) {
+        run_interleaving(&ops);
+    }
+}
+
+/// Deterministic single-thread sanity anchor for the same oracle: fill,
+/// hit, write, re-render — so a failure in the threaded property has a
+/// minimal reference to debug against.
+#[test]
+fn sequential_oracle_anchor() {
+    let (mut catalog, _views) = db_catalog_family(TABLES, 4, 11);
+    let cache = SharedResultCache::new(1 << 20);
+    let key = key_for(1);
+    let fresh = render(&catalog, 1);
+    assert!(cache.lookup(&key, &catalog).is_none());
+    let reads = catalog.versions_of(key.tables.iter().map(String::as_str));
+    cache.insert(key_for(1), Arc::from(&fresh[..]), Tier::Vm, reads);
+    let hit = cache.lookup(&key, &catalog).expect("warm hit");
+    assert_eq!(hit.bytes.as_ref(), &fresh[..]);
+
+    catalog.table_mut("db_rows_1").unwrap();
+    assert!(
+        cache.lookup(&key, &catalog).is_none(),
+        "DML on db_rows_1 must invalidate the entry"
+    );
+    assert_ne!(render(&catalog, 1), fresh, "oracle failed to observe the write");
+    let snap = cache.stats();
+    assert_eq!(snap.lookups(), 3);
+    assert_eq!(snap.hits, 1);
+    assert_eq!(snap.misses, 2);
+    assert_eq!(snap.invalidations, 1);
+}

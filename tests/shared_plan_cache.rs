@@ -186,15 +186,24 @@ fn ddl_bump_mid_stream_finishes_in_flight_call_and_replans_next_lookup() {
     // Wait until the stream has bytes on the wire, then run DDL on the
     // original catalog while the execution is parked mid-write.
     started_rx.recv().expect("stream started");
+
+    // DDL on an *unrelated* table moves the global clock but not the
+    // read-set floor: invalidation is plan-aware, so the entry stays warm.
     catalog.add_table(Table::new("ddl_bump_marker", &[("a", ColType::Int)]));
     assert_eq!(catalog.generation(), gen0 + 1);
+    let still = plan_cached_shared(&cache, &catalog, &view, &sheet, &opts).expect("still cached");
+    assert!(
+        Arc::ptr_eq(&plan0, still.plan()),
+        "DDL on an unrelated table must not evict the plan"
+    );
 
-    // A lookup at the new generation must replan — the generation-0 entry
-    // is stale and may not be served.
+    // DDL on a table the plan *reads* must replan — the old entry is
+    // stale and may not be served.
+    catalog.create_index("db_rows", "zip").expect("bound table reindexes");
     let rebound = plan_cached_shared(&cache, &catalog, &view, &sheet, &opts).expect("replans");
     assert!(
         !Arc::ptr_eq(&plan0, rebound.plan()),
-        "lookup after the DDL bump served the stale generation-0 plan"
+        "lookup after DDL on a read-set table served the stale plan"
     );
 
     // Release the gate: the in-flight call finishes byte-identically.
@@ -241,9 +250,11 @@ proptest! {
 
     /// Four threads interleave inserts, lookups and DDL bumps over one
     /// small sharded cache: `bytes_in_use` never pierces the budget, and
-    /// every plan a lookup returns carries the tag of the exact generation
-    /// the lookup asked for — a stale plan surviving a bump would carry an
-    /// older tag and fail the assertion.
+    /// every plan a lookup returns was planned at or after the validity
+    /// floor the lookup asked for — a stale plan surviving a bump would
+    /// carry an older tag and fail the assertion. (A *newer* tag is fine:
+    /// a racing thread may have replanned after a later bump, and a newer
+    /// plan is by construction valid at any older floor.)
     #[test]
     fn concurrent_interleavings_stay_bounded_and_never_serve_stale_plans(
         ops in proptest::collection::vec((0usize..4, 0usize..3), 16..64),
@@ -280,16 +291,21 @@ proptest! {
                                 let g = generation.load(Ordering::SeqCst);
                                 cache.insert(key, tagged_plan(g), g);
                             }
-                            // Lookup at the current generation: whatever
-                            // comes back must carry exactly that tag.
+                            // Lookup with the current generation as the
+                            // validity floor: whatever comes back must have
+                            // been planned at or after it.
                             1 => {
                                 let g = generation.load(Ordering::SeqCst);
                                 if let Some(plan) = cache.lookup(&key, g) {
-                                    let want = format!("gen:{g}");
-                                    assert_eq!(
-                                        plan.fallback_reason.as_deref(),
-                                        Some(want.as_str()),
-                                        "lookup at generation {g} served a stale plan"
+                                    let tag = plan
+                                        .fallback_reason
+                                        .as_deref()
+                                        .and_then(|s| s.strip_prefix("gen:"))
+                                        .and_then(|s| s.parse::<u64>().ok())
+                                        .expect("marker plan carries its tag");
+                                    assert!(
+                                        tag >= g,
+                                        "lookup with floor {g} served a plan planned at {tag}"
                                     );
                                 }
                             }
