@@ -20,6 +20,13 @@
 //!   request is then compared against a *fresh uncached* execution under
 //!   the same catalog read lock; a byte mismatch on a result served from
 //!   the transform-result cache is a **stale serve** and must be zero.
+//! * **Paged storage transparency** — with `pool_frames > 0`, the serving
+//!   catalog lives on disk pages behind a buffer pool sized small enough
+//!   that the suite forces eviction mid-run, while a shadow `Storage::Mem`
+//!   catalog receives every churn mutation in lockstep under the same
+//!   write lock. The reference side of every byte comparison runs against
+//!   the shadow, so "admitted bytes identical to the in-memory execution"
+//!   is checked literally, page faults, evictions and all.
 //!
 //! Fault selection is a pure function of `(seed, client, request)` via
 //! xorshift, so a chaos run replays identically.
@@ -30,9 +37,9 @@ use std::time::{Duration, Instant};
 use xsltdb::pipeline::plan_bound;
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb::{FaultKind, FaultPoint, Guard, Limits};
-use xsltdb_relstore::{Catalog, ColType, Datum, ExecStats, Table, XmlView};
+use xsltdb_relstore::{Catalog, ColType, Datum, ExecStats, PoolSnapshot, Table, XmlView};
 use xsltdb_serve::{FrontDoor, FrontDoorConfig, FrontDoorStats, ServeError};
-use xsltdb_xsltmark::{all_cases, db_catalog};
+use xsltdb_xsltmark::{all_cases, db_catalog, db_catalog_paged};
 
 /// Stack for suite work: the recursive cases blow the 2 MiB default.
 pub const CHAOS_STACK: usize = 64 * 1024 * 1024;
@@ -101,6 +108,12 @@ pub struct ChaosConfig {
     /// table. With churn on, every served request is checked against a
     /// fresh uncached execution under the same catalog read lock.
     pub churn_writers: usize,
+    /// Frame budget of the serving catalog's buffer pool. `0` keeps the
+    /// catalog in memory (`Storage::Mem`); any other value re-backs it by
+    /// disk pages and keeps a shadow in-memory catalog, mutated in
+    /// lockstep by the churn writers, as the reference side of every byte
+    /// comparison.
+    pub pool_frames: usize,
     /// Front-door tuning for the run.
     pub door: FrontDoorConfig,
 }
@@ -117,6 +130,7 @@ impl ChaosConfig {
             seed: 0xC4A0_5EED,
             inject_faults: true,
             churn_writers: 0,
+            pool_frames: 0,
             door: FrontDoorConfig::server_default(),
         }
     }
@@ -130,6 +144,16 @@ impl ChaosConfig {
             churn_writers: 2,
             ..ChaosConfig::default_chaos(clients)
         }
+    }
+
+    /// The paged-storage run: the churn schedule, but the serving catalog
+    /// is disk-backed behind a buffer pool far smaller than its working
+    /// set (6 frames against a multi-page table plus three B-tree
+    /// indexes), so the suite evicts and re-reads pages mid-flight while
+    /// every served byte is differenced against the shadow in-memory
+    /// catalog.
+    pub fn paged_chaos(clients: usize) -> ChaosConfig {
+        ChaosConfig { pool_frames: 6, ..ChaosConfig::churn_chaos(clients) }
     }
 }
 
@@ -165,7 +189,13 @@ pub struct ChaosReport {
     pub latencies_us: Vec<u64>,
     /// Front-door counters at the end of the run.
     pub stats: FrontDoorStats,
-    /// Ledger held zero reservations after the fleet quiesced.
+    /// Buffer-pool counters at the end of the run, when the serving
+    /// catalog was paged (`pool_frames > 0`). A paged run that never
+    /// evicted did not actually stress the pool.
+    pub pool: Option<PoolSnapshot>,
+    /// Everything at rest after the fleet quiesced: the ledger held zero
+    /// reservations and (in a paged run) the buffer pool held zero pinned
+    /// frames.
     pub quiesced: bool,
     /// Wall-clock of the whole run, microseconds.
     pub wall_us: u64,
@@ -241,10 +271,48 @@ fn scratch_table(tick: u64) -> Table {
     t
 }
 
+/// One churn step, applied identically to the serving catalog and (in a
+/// paged run) its in-memory shadow: the two must stay byte-equivalent, so
+/// the mutation is a pure function of `(writer, tick, r)`.
+fn apply_churn(cat: &mut Catalog, writer: usize, tick: u64, r: u64) {
+    if r.is_multiple_of(4) {
+        // Unrelated DDL + DML: replacing the scratch table bumps the
+        // global DDL clock and the scratch data generation — neither is
+        // in any request's read set, so cached results must survive this.
+        cat.add_table(scratch_table(tick));
+    } else {
+        // Read-set DML: new row, then reindex so the index-backed SQL
+        // tier and the heap tiers see the same data.
+        let id = 1_000_000 + (writer as i64) * 100_000 + tick as i64;
+        cat.table_mut("db_rows")
+            .expect("db_rows exists")
+            .insert(vec![
+                Datum::Int(id),
+                Datum::Text(format!("Churn{writer}")),
+                Datum::Text("Writer".into()),
+                Datum::Text(format!("{tick} Churn St")),
+                Datum::Text("Churnville".into()),
+                Datum::Text("ZZ".into()),
+                Datum::Int(99_000 + (tick % 999) as i64),
+            ])
+            .expect("db_rows schema");
+        cat.reindex("db_rows").expect("reindex db_rows");
+    }
+}
+
 /// Run the chaos schedule and aggregate the verdict.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let started = Instant::now();
-    let (catalog, view) = db_catalog(cfg.rows, cfg.seed);
+    let (catalog, view) = if cfg.pool_frames > 0 {
+        db_catalog_paged(cfg.rows, cfg.seed, cfg.pool_frames)
+    } else {
+        db_catalog(cfg.rows, cfg.seed)
+    };
+    // The paged run's reference side: a Storage::Mem catalog with the same
+    // `(rows, seed)`, mutated in lockstep by the churn writers. Every byte
+    // comparison below runs against it, so a paged serve is literally
+    // checked against the in-memory execution.
+    let shadow = (cfg.pool_frames > 0).then(|| db_catalog(cfg.rows, cfg.seed).0);
     let cases = all_cases();
     // The reference pass needs suite-sized stacks too. Under churn the
     // static reference is useless (the data moves), so each served request
@@ -252,12 +320,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let expected = if cfg.churn_writers > 0 {
         Vec::new()
     } else {
-        let catalog = &catalog;
+        let reference_catalog = shadow.as_ref().unwrap_or(&catalog);
         let view = &view;
         std::thread::scope(|s| {
             std::thread::Builder::new()
                 .stack_size(CHAOS_STACK)
-                .spawn_scoped(s, move || reference_outputs(catalog, view))
+                .spawn_scoped(s, move || reference_outputs(reference_catalog, view))
                 .expect("spawn reference pass")
                 .join()
                 .expect("reference pass panicked")
@@ -265,7 +333,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
 
     let door = FrontDoor::new(cfg.door);
-    let store = RwLock::new(catalog);
+    let store = RwLock::new((catalog, shadow));
     let served = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -292,34 +360,16 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                             cfg.seed ^ ((writer as u64) << 48) ^ tick ^ 0xD31A_B017,
                         );
                         {
-                            let mut cat = store
+                            let mut locked = store
                                 .write()
                                 .unwrap_or_else(PoisonError::into_inner);
-                            if r.is_multiple_of(4) {
-                                // Unrelated DDL + DML: replacing the scratch
-                                // table bumps the global DDL clock and the
-                                // scratch data generation — neither is in
-                                // any request's read set, so cached results
-                                // must survive this.
-                                cat.add_table(scratch_table(tick));
-                            } else {
-                                // Read-set DML: new row, then reindex so
-                                // the index-backed SQL tier and the heap
-                                // tiers see the same data.
-                                let id = 1_000_000 + (writer as i64) * 100_000 + tick as i64;
-                                cat.table_mut("db_rows")
-                                    .expect("db_rows exists")
-                                    .insert(vec![
-                                        Datum::Int(id),
-                                        Datum::Text(format!("Churn{writer}")),
-                                        Datum::Text("Writer".into()),
-                                        Datum::Text(format!("{tick} Churn St")),
-                                        Datum::Text("Churnville".into()),
-                                        Datum::Text("ZZ".into()),
-                                        Datum::Int(99_000 + (tick % 999) as i64),
-                                    ])
-                                    .expect("db_rows schema");
-                                cat.reindex("db_rows").expect("reindex db_rows");
+                            let (cat, shadow) = &mut *locked;
+                            apply_churn(cat, writer, tick, r);
+                            // Same mutation, same order, same lock: the
+                            // shadow stays a byte-equivalent Mem twin of
+                            // the paged serving catalog.
+                            if let Some(twin) = shadow.as_mut() {
+                                apply_churn(twin, writer, tick, r);
                             }
                         }
                         writer_mutations.fetch_add(1, Ordering::Relaxed);
@@ -375,14 +425,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                         // The catalog read lock pins the data for the whole
                         // request: the served bytes and (under churn) the
                         // fresh differential below see the same state.
-                        let cat = store.read().unwrap_or_else(PoisonError::into_inner);
+                        let locked = store.read().unwrap_or_else(PoisonError::into_inner);
+                        let (cat, shadow) = &*locked;
                         // The previous attempt's guard, kept so a *new*
                         // attempt starting after a trip — the forbidden
                         // retry — is caught at the moment it happens, not
                         // inferred from the final error.
                         let prev_guard: Mutex<Option<Guard>> = Mutex::new(None);
                         let result = door.transform_with(
-                            &cat,
+                            cat,
                             view,
                             &case.stylesheet,
                             &opts,
@@ -431,12 +482,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                                 } else {
                                     // Under churn the reference is derived
                                     // fresh under the read lock we still
-                                    // hold; static runs use the precomputed
-                                    // single-threaded outputs.
+                                    // hold — against the Mem shadow in a
+                                    // paged run; static runs use the
+                                    // precomputed single-threaded outputs.
                                     let differential;
                                     let reference: &[u8] = if cfg.churn_writers > 0 {
                                         differential = fresh_output(
-                                            &cat,
+                                            shadow.as_ref().unwrap_or(cat),
                                             view,
                                             &case.stylesheet,
                                             case.name,
@@ -490,7 +542,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         }
     });
 
-    let quiesced = door.is_quiesced();
+    let (catalog, _shadow) = store.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let pool = catalog.pool_stats();
+    let pool_pins_drained = catalog.pool().is_none_or(|p| p.pinned_frames() == 0);
+    let quiesced = door.is_quiesced() && pool_pins_drained;
     ChaosReport {
         total: (cfg.clients * cfg.requests_per_client) as u64,
         served: served.into_inner(),
@@ -504,6 +559,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         writer_mutations: writer_mutations.into_inner(),
         latencies_us: latencies.into_inner().unwrap_or_else(|e| e.into_inner()),
         stats: door.stats(),
+        pool,
         quiesced,
         wall_us: started.elapsed().as_micros() as u64,
     }

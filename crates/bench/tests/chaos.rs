@@ -63,6 +63,39 @@ fn chaos_eight_clients_clean_serves_everything() {
     assert!(report.holds());
 }
 
+/// Paged storage under churn: the serving catalog lives on disk pages
+/// behind a 6-frame buffer pool — far below the working set of the row
+/// table plus three B-tree indexes — while churn writers mutate it and a
+/// shadow in-memory catalog in lockstep. Every served request is byte-
+/// differenced against the shadow under the same read lock, so this run
+/// holds "admitted bytes identical to the `Storage::Mem` execution"
+/// while the pool demonstrably evicts and re-reads pages mid-suite.
+#[test]
+fn chaos_paged_catalog_with_eviction_serves_identical_bytes() {
+    let mut cfg = ChaosConfig::paged_chaos(6);
+    cfg.requests_per_client = 16;
+    cfg.rows = 96; // several heap pages + index pages >> 6 frames
+    let report = run_chaos(&cfg);
+    assert!(report.served > 0, "paged chaos run served nothing: {report:?}");
+    assert_eq!(
+        report.mismatches, 0,
+        "paged bytes diverged from the in-memory execution: {:?}",
+        report.first_mismatch
+    );
+    assert_eq!(report.stale_serves, 0);
+    assert!(report.writer_mutations > 0, "churn writers never ran");
+    assert!(report.holds());
+    let pool = report.pool.expect("paged run reports pool counters");
+    assert!(
+        pool.evictions > 0,
+        "pool never evicted — the budget did not constrain the suite: {pool:?}"
+    );
+    assert!(
+        pool.peak_resident_frames <= 6,
+        "pool overran its frame budget: {pool:?}"
+    );
+}
+
 /// Satellite: ledger accounting under panic. Every request panics at
 /// every lattice edge on every attempt, so each one unwinds through
 /// `catch_unwind` while holding a live reservation. After 1000 such

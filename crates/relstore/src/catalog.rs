@@ -1,9 +1,12 @@
 //! The catalog: tables, indexes and XMLType views.
 
 use crate::index::Index;
+use crate::pool::BufferPool;
+use crate::stats::PoolSnapshot;
 use crate::table::{StoreError, Table};
 use crate::view::XmlView;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-table version coordinates, maintained by the catalog.
 ///
@@ -58,11 +61,35 @@ pub struct Catalog {
     meta: HashMap<String, TableMeta>,
     /// Global-clock stamp of each view's registration.
     view_stamps: HashMap<String, u64>,
+    /// When set, this catalog is *paged*: tables registered into it are
+    /// migrated to heap pages and every table and index draws frames from
+    /// this one shared pool — the catalog-wide memory budget. `None` (the
+    /// default) keeps the original fully-memory-resident behaviour.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A catalog whose tables live in heap pages behind a shared
+    /// [`BufferPool`] of `frame_budget` frames. Everything else (DDL
+    /// clocks, views, cloning semantics) is identical to [`Self::new`];
+    /// clones still snapshot (paged tables materialise into memory-backed
+    /// copies), so consistency contracts of the layers above are unchanged.
+    pub fn new_paged(frame_budget: usize) -> Self {
+        Catalog { pool: Some(Arc::new(BufferPool::new(frame_budget))), ..Self::default() }
+    }
+
+    /// The shared buffer pool, when this catalog is paged.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Buffer-pool counters, when this catalog is paged.
+    pub fn pool_stats(&self) -> Option<PoolSnapshot> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// The current DDL generation. Starts at 0 and increases by one for
@@ -75,6 +102,16 @@ impl Catalog {
     }
 
     pub fn add_table(&mut self, table: Table) {
+        let mut table = table;
+        if let Some(pool) = &self.pool {
+            // Registration into a paged catalog moves the rows into heap
+            // pages. Failure here means the temp heap file could not be
+            // created — unrecoverable for a paged catalog, so surface it
+            // loudly rather than silently keeping an unbounded Mem table.
+            table
+                .migrate_to_pool(pool)
+                .expect("migrating table into the catalog buffer pool");
+        }
         let name = table.name.clone();
         self.tables.insert(name.clone(), table);
         self.generation += 1;
@@ -244,7 +281,31 @@ mod tests {
         c.create_index("t", "a").unwrap();
         c.table_mut("t").unwrap().insert(vec![Datum::Int(5)]).unwrap();
         c.reindex("t").unwrap();
-        assert_eq!(c.index_on("t", "a").unwrap().lookup_eq(&Datum::Int(5)).len(), 1);
+        assert_eq!(c.index_on("t", "a").unwrap().lookup_eq(&Datum::Int(5)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn paged_catalog_migrates_tables_and_indexes_into_the_pool() {
+        let mut c = Catalog::new_paged(8);
+        let mut t = Table::new("t", &[("a", ColType::Int)]);
+        t.insert(vec![Datum::Int(1)]).unwrap();
+        c.add_table(t);
+        assert!(c.table("t").unwrap().is_paged());
+        c.create_index("t", "a").unwrap();
+        assert!(c.index_on("t", "a").unwrap().is_paged());
+        // DML goes through the heap, probes through pool pages.
+        c.table_mut("t").unwrap().insert(vec![Datum::Int(5)]).unwrap();
+        c.reindex("t").unwrap();
+        assert_eq!(c.index_on("t", "a").unwrap().lookup_eq(&Datum::Int(5)).unwrap(), vec![1]);
+        let s = c.pool_stats().unwrap();
+        assert!(s.peak_resident_frames as usize <= c.pool().unwrap().frame_budget());
+        // A clone is a memory snapshot: mutating the paged original does
+        // not disturb it, and it carries no live pins.
+        let snap = c.clone();
+        assert!(!snap.table("t").unwrap().is_paged());
+        c.table_mut("t").unwrap().insert(vec![Datum::Int(9)]).unwrap();
+        assert_eq!(snap.table("t").unwrap().row_count(), 2);
+        assert_eq!(c.pool().unwrap().pinned_frames(), 0);
     }
 
     #[test]

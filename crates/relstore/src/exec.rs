@@ -214,7 +214,7 @@ pub fn scan_guarded(
                 .index_on(table_name, &term.column)
                 .expect("checked above");
             let mut rows = if is_eq {
-                index.lookup_eq(&term.value)
+                index.lookup_eq(&term.value)?
             } else {
                 let (lo, hi) = match term.op {
                     CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(&term.value)),
@@ -223,7 +223,7 @@ pub fn scan_guarded(
                     CmpOp::Ge => (Bound::Included(&term.value), Bound::Unbounded),
                     _ => unreachable!("eq/ne handled elsewhere"),
                 };
-                index.lookup_range(lo, hi)
+                index.lookup_range(lo, hi)?
             };
             stats.add_index_probe(rows.len() as u64);
             // Every row the probe surfaced is billed, even ones a residual

@@ -37,6 +37,8 @@ pub mod datum;
 pub mod docstore;
 pub mod exec;
 pub mod index;
+pub mod page;
+pub mod pool;
 pub mod pubexpr;
 pub mod sqlpretty;
 pub mod stats;
@@ -49,8 +51,10 @@ pub use datum::{ArithOp, ColType, Datum, DatumKey};
 pub use docstore::{DocStorageModel, PathHit, XmlDocStore};
 pub use exec::{scan_guarded, AccessPath, CmpOp, ColumnCmp, Conjunction};
 pub use index::Index;
+pub use page::PAGE_SIZE;
+pub use pool::{BufferPool, HeapFile, PageGuard, PageId};
 pub use pubexpr::{AggFunc, AggOrder, AggPredTerm, Bindings, PubExpr, SqlXmlQuery};
 pub use sqlpretty::sql_text;
-pub use stats::{CacheSnapshot, CacheStats, ExecStats, StatsSnapshot};
-pub use table::{Column, RowId, StoreError, Table};
+pub use stats::{CacheSnapshot, CacheStats, ExecStats, PoolSnapshot, PoolStats, StatsSnapshot};
+pub use table::{Column, RowId, RowCursor, StoreError, Table};
 pub use view::XmlView;

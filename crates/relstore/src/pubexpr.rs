@@ -244,7 +244,7 @@ pub fn eval_pub_bound(
             let row = bindings
                 .get(table)
                 .ok_or_else(|| StoreError::new(format!("no row bound for table {table}")))?;
-            let d = catalog.table(table)?.value_by_name(row, column)?.clone();
+            let d = catalog.table(table)?.value_by_name(row, column)?;
             out.text(&d.to_text()).map_err(sink_err)
         }
         PubExpr::StrConcat(parts) => {
@@ -426,9 +426,24 @@ fn order_rows(
             .ok_or_else(|| StoreError::new(format!("no column {} in {table}", o.column)))?;
         cols.push((ci, o.descending));
     }
-    rows.sort_by(|&a, &b| {
-        for &(ci, desc) in &cols {
-            let mut ord = t.value(a, ci).cmp_total(t.value(b, ci));
+    // Decorate-sort-undecorate: fetch the key datums once through the
+    // (fallible, possibly paged) access seam, then sort on the decoded
+    // keys with an infallible comparator. Stable, like the sort it
+    // replaces.
+    let mut decorated = Vec::with_capacity(rows.len());
+    for r in rows.drain(..) {
+        let mut keys = Vec::with_capacity(cols.len());
+        for &(ci, _) in &cols {
+            keys.push(t.value(r, ci)?);
+        }
+        decorated.push((keys, r));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, &(_, desc)) in cols.iter().enumerate() {
+            let (Some(a), Some(b)) = (ka.get(i), kb.get(i)) else {
+                continue;
+            };
+            let mut ord = a.cmp_total(b);
             if desc {
                 ord = ord.reverse();
             }
@@ -438,6 +453,7 @@ fn order_rows(
         }
         std::cmp::Ordering::Equal
     });
+    rows.extend(decorated.into_iter().map(|(_, r)| r));
     Ok(rows)
 }
 

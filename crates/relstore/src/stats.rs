@@ -27,6 +27,14 @@ pub struct ExecStats {
     /// (a high-water mark, not a tally): the streaming path leaves this at
     /// zero, which is the whole point.
     peak_materialized_nodes: AtomicU64,
+    /// Pages read from the heap file because they were not pool-resident.
+    page_reads: AtomicU64,
+    /// Page requests answered from a resident buffer-pool frame.
+    pool_hits: AtomicU64,
+    /// Resident pages displaced to make room under the frame budget.
+    evictions: AtomicU64,
+    /// Evicted pages that had to be written back because they were dirty.
+    dirty_writebacks: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -38,6 +46,10 @@ pub struct StatsSnapshot {
     pub elements_built: u64,
     pub streamed_bytes: u64,
     pub peak_materialized_nodes: u64,
+    pub page_reads: u64,
+    pub pool_hits: u64,
+    pub evictions: u64,
+    pub dirty_writebacks: u64,
 }
 
 impl ExecStats {
@@ -53,6 +65,10 @@ impl ExecStats {
             elements_built: self.elements_built.load(Ordering::Relaxed),
             streamed_bytes: self.streamed_bytes.load(Ordering::Relaxed),
             peak_materialized_nodes: self.peak_materialized_nodes.load(Ordering::Relaxed),
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
         }
     }
 
@@ -63,6 +79,10 @@ impl ExecStats {
         self.elements_built.store(0, Ordering::Relaxed);
         self.streamed_bytes.store(0, Ordering::Relaxed);
         self.peak_materialized_nodes.store(0, Ordering::Relaxed);
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.dirty_writebacks.store(0, Ordering::Relaxed);
     }
 
     pub fn add_rows_scanned(&self, n: u64) {
@@ -86,6 +106,109 @@ impl ExecStats {
     /// materialised; keeps the per-document maximum.
     pub fn note_materialized_nodes(&self, nodes: u64) {
         self.peak_materialized_nodes.fetch_max(nodes, Ordering::Relaxed);
+    }
+
+    /// Fold a buffer-pool activity delta into these execution counters.
+    /// The pool is shared by every table in a catalog, so per-query pool
+    /// evidence is attributed by differencing [`PoolSnapshot`]s around the
+    /// query and absorbing the delta here.
+    pub fn absorb_pool_delta(&self, d: &PoolSnapshot) {
+        self.page_reads.fetch_add(d.page_reads, Ordering::Relaxed);
+        self.pool_hits.fetch_add(d.pool_hits, Ordering::Relaxed);
+        self.evictions.fetch_add(d.evictions, Ordering::Relaxed);
+        self.dirty_writebacks.fetch_add(d.dirty_writebacks, Ordering::Relaxed);
+    }
+}
+
+/// Counters owned by one [`BufferPool`](crate::pool::BufferPool): the
+/// observable evidence that the paged backend stays inside its frame budget
+/// (`peak_resident_frames`) and that probes cost page reads, not row scans.
+/// Same relaxed-atomic discipline as [`ExecStats`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    page_reads: AtomicU64,
+    pool_hits: AtomicU64,
+    evictions: AtomicU64,
+    dirty_writebacks: AtomicU64,
+    /// Gauge: pages currently resident in pool frames.
+    resident_frames: AtomicU64,
+    /// High-water mark of `resident_frames` — the budget gate.
+    peak_resident_frames: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolSnapshot {
+    pub page_reads: u64,
+    pub pool_hits: u64,
+    pub evictions: u64,
+    pub dirty_writebacks: u64,
+    pub resident_frames: u64,
+    pub peak_resident_frames: u64,
+}
+
+impl PoolSnapshot {
+    /// Counter movement since `earlier` (gauges keep their current value).
+    /// Saturating, so a reset pool against an old snapshot reads as zero
+    /// rather than wrapping.
+    pub fn delta_since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        PoolSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            dirty_writebacks: self.dirty_writebacks.saturating_sub(earlier.dirty_writebacks),
+            resident_frames: self.resident_frames,
+            peak_resident_frames: self.peak_resident_frames,
+        }
+    }
+
+    /// Fraction of page requests answered without a disk read.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.page_reads + self.pool_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+impl PoolStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
+            resident_frames: self.resident_frames.load(Ordering::Relaxed),
+            peak_resident_frames: self.peak_resident_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add_page_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_dirty_writeback(&self) {
+        self.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update the residency gauge (and its high-water mark).
+    pub fn set_resident_frames(&self, n: u64) {
+        self.resident_frames.store(n, Ordering::Relaxed);
+        self.peak_resident_frames.fetch_max(n, Ordering::Relaxed);
     }
 }
 
@@ -225,6 +348,36 @@ mod tests {
         assert_eq!(snap.peak_materialized_nodes, 40);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn pool_counters_delta_and_gauge() {
+        let p = PoolStats::new();
+        p.add_page_read();
+        p.add_page_read();
+        p.add_pool_hit();
+        p.set_resident_frames(5);
+        p.set_resident_frames(3); // gauge drops, peak stays
+        let early = p.snapshot();
+        assert_eq!(early.page_reads, 2);
+        assert_eq!(early.resident_frames, 3);
+        assert_eq!(early.peak_resident_frames, 5);
+        p.add_page_read();
+        p.add_eviction();
+        p.add_dirty_writeback();
+        let d = p.snapshot().delta_since(&early);
+        assert_eq!(d.page_reads, 1);
+        assert_eq!(d.pool_hits, 0);
+        assert_eq!(d.evictions, 1);
+        assert_eq!(d.dirty_writebacks, 1);
+        assert!((d.hit_rate() - 0.0).abs() < f64::EPSILON);
+        // Exec stats absorb the pool delta into the per-query snapshot.
+        let s = ExecStats::new();
+        s.absorb_pool_delta(&d);
+        let snap = s.snapshot();
+        assert_eq!(snap.page_reads, 1);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.dirty_writebacks, 1);
     }
 
     #[test]

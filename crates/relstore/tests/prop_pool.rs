@@ -1,0 +1,203 @@
+//! Property-based buffer-pool soundness under concurrent pin / read /
+//! insert / evict interleavings.
+//!
+//! Each case decodes a random op tape and replays it across 4 threads
+//! against one [`BufferPool`] whose frame budget (6) is far below the
+//! heap's page count, so eviction pressure is constant. Three invariants:
+//!
+//! * **Pinned pages are never evicted** — a thread that pins a frozen
+//!   (non-tail) page, then storms the pool with enough scans to cycle
+//!   the clock hand several times over, must read back the exact bytes
+//!   it pinned.
+//! * **Pins conserve** — after the fleet quiesces every pin count is
+//!   back to zero (guards unpin on drop, even while other threads race),
+//!   and peak residency never exceeded the budget.
+//! * **Pool scan ≡ Mem scan** — the heap's full contents equal a shadow
+//!   in-memory `Vec` mutated in lockstep under the same lock, row for
+//!   row, datum for datum, no matter how the interleaving went.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, PoisonError};
+use xsltdb_relstore::{BufferPool, Datum, HeapFile, PageId};
+
+const THREADS: usize = 4;
+const FRAMES: usize = 6;
+/// Padding that keeps rows fat enough that the seed data alone spans
+/// several times the frame budget.
+const PAD: usize = 200;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Pin a frozen page, storm the pool, assert the pinned bytes never
+    /// moved, unpin.
+    Pin(u32),
+    /// Random point read, differenced against the shadow.
+    Read(u32),
+    /// Append one row to the heap and the shadow under one lock.
+    Insert,
+    /// Sequential scan of every page: the eviction storm.
+    Evict,
+}
+
+fn row_for(id: i64) -> Vec<Datum> {
+    vec![Datum::Int(id), Datum::Text(format!("r{id}-{}", "x".repeat(PAD)))]
+}
+
+/// Heap and shadow behind one lock so every mutation lands in both or
+/// neither; reads take the same lock, so a read compares like with like.
+struct Store {
+    heap: HeapFile,
+    shadow: Vec<Vec<Datum>>,
+}
+
+fn run_interleaving(ops: &[(u32, u32)]) {
+    let pool = Arc::new(BufferPool::new(FRAMES));
+    let mut heap = HeapFile::create(&pool).expect("temp heap file");
+    let mut shadow = Vec::new();
+    for id in 0..240 {
+        let row = row_for(id);
+        heap.append(&row).expect("seed append");
+        shadow.push(row);
+    }
+    assert!(
+        heap.page_count() as usize > 2 * FRAMES,
+        "seed data must overflow the budget for the eviction pressure to be real"
+    );
+    let store = Mutex::new(Store { heap, shadow });
+    let decoded: Vec<Op> = ops
+        .iter()
+        .map(|&(action, target)| match action % 4 {
+            0 => Op::Pin(target),
+            1 => Op::Read(target),
+            2 => Op::Insert,
+            _ => Op::Evict,
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for thread in 0..THREADS {
+            let pool = &pool;
+            let store = &store;
+            let decoded = &decoded;
+            s.spawn(move || {
+                let mut tick = 0i64;
+                for op in decoded.iter().skip(thread).step_by(THREADS) {
+                    tick += 1;
+                    match *op {
+                        Op::Pin(target) => {
+                            // Pin a *frozen* page: everything below the
+                            // tail is append-only-immutable, so its bytes
+                            // may only change if eviction steals the
+                            // frame out from under the pin.
+                            let (file, page) = {
+                                let st =
+                                    store.lock().unwrap_or_else(PoisonError::into_inner);
+                                let frozen = st.heap.page_count().saturating_sub(1);
+                                if frozen == 0 {
+                                    continue;
+                                }
+                                (st.heap.file_id(), target % frozen)
+                            };
+                            let guard =
+                                pool.fetch(PageId { file, page }).expect("pin frozen page");
+                            let pinned: Vec<u8> = guard.with_read(|buf| buf.to_vec());
+                            // Storm: cycle the clock hand over every other
+                            // frame several times while the pin is live.
+                            for _ in 0..2 {
+                                let st =
+                                    store.lock().unwrap_or_else(PoisonError::into_inner);
+                                for p in 0..st.heap.page_count() {
+                                    st.heap.read_page_rows(p).expect("storm scan");
+                                }
+                            }
+                            guard.with_read(|buf| {
+                                assert_eq!(
+                                    buf, &pinned[..],
+                                    "pinned page {page} changed under eviction pressure"
+                                );
+                            });
+                        }
+                        Op::Read(target) => {
+                            let st = store.lock().unwrap_or_else(PoisonError::into_inner);
+                            let n = st.shadow.len();
+                            let r = target as usize % n;
+                            let got = st.heap.get(r).expect("point read");
+                            assert_eq!(got, st.shadow[r], "row {r} diverged from shadow");
+                        }
+                        Op::Insert => {
+                            let mut st =
+                                store.lock().unwrap_or_else(PoisonError::into_inner);
+                            let id = 10_000 + (thread as i64) * 1_000 + tick;
+                            let row = row_for(id);
+                            st.heap.append(&row).expect("append");
+                            st.shadow.push(row);
+                        }
+                        Op::Evict => {
+                            let st = store.lock().unwrap_or_else(PoisonError::into_inner);
+                            for p in 0..st.heap.page_count() {
+                                st.heap.read_page_rows(p).expect("eviction scan");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesce: every guard dropped, every pin returned.
+    assert_eq!(pool.pinned_frames(), 0, "pins leaked after the fleet quiesced");
+    let snap = pool.stats();
+    assert!(
+        snap.peak_resident_frames <= FRAMES as u64,
+        "pool overran its frame budget: {snap:?}"
+    );
+
+    // Pool scan ≡ Mem scan: the whole heap against the whole shadow.
+    let st = store.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut scanned = Vec::with_capacity(st.shadow.len());
+    for p in 0..st.heap.page_count() {
+        scanned.extend(st.heap.read_page_rows(p).expect("final scan"));
+    }
+    assert_eq!(scanned, st.shadow, "pool scan diverged from the in-memory scan");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_pin_read_insert_evict_holds_pool_invariants(
+        ops in proptest::collection::vec((0u32..8, 0u32..4096), 8..48)
+    ) {
+        run_interleaving(&ops);
+    }
+}
+
+/// Deterministic single-thread anchor for the same invariants, so a
+/// threaded-property failure has a minimal reference to debug against.
+#[test]
+fn sequential_pool_anchor() {
+    let pool = Arc::new(BufferPool::new(FRAMES));
+    let mut heap = HeapFile::create(&pool).expect("temp heap file");
+    let mut shadow = Vec::new();
+    for id in 0..240 {
+        let row = row_for(id);
+        heap.append(&row).expect("append");
+        shadow.push(row);
+    }
+    let guard = pool
+        .fetch(PageId { file: heap.file_id(), page: 0 })
+        .expect("pin page 0");
+    let pinned: Vec<u8> = guard.with_read(|buf| buf.to_vec());
+    for p in 0..heap.page_count() {
+        heap.read_page_rows(p).expect("storm scan");
+    }
+    guard.with_read(|buf| assert_eq!(buf, &pinned[..], "pinned page moved"));
+    drop(guard);
+    assert_eq!(pool.pinned_frames(), 0);
+    let mut scanned = Vec::new();
+    for p in 0..heap.page_count() {
+        scanned.extend(heap.read_page_rows(p).expect("scan"));
+    }
+    assert_eq!(scanned, shadow);
+    assert!(pool.stats().peak_resident_frames <= FRAMES as u64);
+}

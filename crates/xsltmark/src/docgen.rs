@@ -95,8 +95,14 @@ pub fn db_struct_info() -> StructInfo {
 
 /// Add the db backing under explicit table/view names: a one-row anchor
 /// table (the document), a row table with B-tree indexes on `id`, `zip`
-/// and `state`, and the publishing view over them. The helper behind
-/// [`db_catalog`] and [`db_catalog_family`].
+/// and `state` (unless `indexed` is off), and the publishing view over
+/// them. The helper behind [`db_catalog`] and [`db_catalog_family`].
+///
+/// Tables are registered *empty* and loaded through
+/// [`Catalog::table_mut`]: in a paged catalog the registration migrates
+/// the (empty) table onto heap pages first, so the bulk load streams
+/// straight into the buffer pool and never builds a transient in-memory
+/// copy of the row set.
 fn add_db_tables(
     catalog: &mut Catalog,
     doc_table: &str,
@@ -104,11 +110,10 @@ fn add_db_tables(
     view_name: &str,
     rows: usize,
     seed: u64,
+    indexed: bool,
 ) -> XmlView {
-    let data = db_rows(rows, seed);
-    let mut anchor = Table::new(doc_table, &[("docid", ColType::Int)]);
-    anchor.insert(vec![Datum::Int(1)]).expect("schema matches");
-    let mut t = Table::new(
+    catalog.add_table(Table::new(doc_table, &[("docid", ColType::Int)]));
+    catalog.add_table(Table::new(
         rows_table,
         &[
             ("id", ColType::Int),
@@ -119,7 +124,14 @@ fn add_db_tables(
             ("state", ColType::Text),
             ("zip", ColType::Int),
         ],
-    );
+    ));
+    catalog
+        .table_mut(doc_table)
+        .expect("just added")
+        .insert(vec![Datum::Int(1)])
+        .expect("schema matches");
+    let data = db_rows(rows, seed);
+    let t = catalog.table_mut(rows_table).expect("just added");
     for r in &data {
         t.insert(vec![
             Datum::Int(r.id),
@@ -132,11 +144,11 @@ fn add_db_tables(
         ])
         .expect("schema matches");
     }
-    catalog.add_table(anchor);
-    catalog.add_table(t);
-    catalog.create_index(rows_table, "id").expect("column exists");
-    catalog.create_index(rows_table, "zip").expect("column exists");
-    catalog.create_index(rows_table, "state").expect("column exists");
+    if indexed {
+        catalog.create_index(rows_table, "id").expect("column exists");
+        catalog.create_index(rows_table, "zip").expect("column exists");
+        catalog.create_index(rows_table, "state").expect("column exists");
+    }
 
     let leaf = |n: &str| PubExpr::elem(n, vec![PubExpr::col(rows_table, n)]);
     let view = XmlView::new(
@@ -175,7 +187,28 @@ fn add_db_tables(
 /// view that constructs the same XML as [`db_xml`].
 pub fn db_catalog(rows: usize, seed: u64) -> (Catalog, XmlView) {
     let mut catalog = Catalog::new();
-    let view = add_db_tables(&mut catalog, "db_doc", "db_rows", "db_vu", rows, seed);
+    let view = add_db_tables(&mut catalog, "db_doc", "db_rows", "db_vu", rows, seed, true);
+    (catalog, view)
+}
+
+/// [`db_catalog`] re-backed by disk pages: the same tables and view, but
+/// the catalog owns a [`BufferPool`](xsltdb_relstore::BufferPool) of
+/// `frames` page frames and the row tables (and their B-tree indexes)
+/// live in temp heap files, resident only through the pool. Content is
+/// byte-identical to the in-memory catalog for a given `(rows, seed)`.
+pub fn db_catalog_paged(rows: usize, seed: u64, frames: usize) -> (Catalog, XmlView) {
+    let mut catalog = Catalog::new_paged(frames);
+    let view = add_db_tables(&mut catalog, "db_doc", "db_rows", "db_vu", rows, seed, true);
+    (catalog, view)
+}
+
+/// [`db_catalog`] without the B-tree indexes: same tables, same view,
+/// full-scan-only access paths. Used as a lean in-memory reference when
+/// differencing large paged runs, where the index side tables would
+/// dominate the memory bill without changing the output bytes.
+pub fn db_catalog_unindexed(rows: usize, seed: u64) -> (Catalog, XmlView) {
+    let mut catalog = Catalog::new();
+    let view = add_db_tables(&mut catalog, "db_doc", "db_rows", "db_vu", rows, seed, false);
     (catalog, view)
 }
 
@@ -196,6 +229,7 @@ pub fn db_catalog_family(views: usize, rows: usize, seed: u64) -> (Catalog, Vec<
                 &format!("db_vu_{i}"),
                 rows,
                 seed + i as u64,
+                true,
             )
         })
         .collect();
@@ -228,6 +262,31 @@ mod tests {
         let stats = ExecStats::new();
         let docs = view.materialize(&catalog, &stats).unwrap();
         assert_eq!(docs.len(), 1);
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), db_xml(rows, seed));
+    }
+
+    #[test]
+    fn paged_catalog_materializes_identical_bytes() {
+        let rows = 200;
+        let seed = 7;
+        // 4 frames is far below the working set at 200 rows, so the scan
+        // must survive eviction and re-reads through the pool.
+        let (catalog, view) = db_catalog_paged(rows, seed, 4);
+        assert!(catalog.table("db_rows").unwrap().is_paged());
+        let stats = ExecStats::new();
+        let docs = view.materialize(&catalog, &stats).unwrap();
+        assert_eq!(xsltdb_xml::to_string(&docs[0]), db_xml(rows, seed));
+        let pool = catalog.pool_stats().unwrap();
+        assert!(pool.peak_resident_frames <= 4, "pool overran its budget: {pool:?}");
+    }
+
+    #[test]
+    fn unindexed_catalog_materializes_identical_bytes() {
+        let rows = 30;
+        let seed = 3;
+        let (catalog, view) = db_catalog_unindexed(rows, seed);
+        let stats = ExecStats::new();
+        let docs = view.materialize(&catalog, &stats).unwrap();
         assert_eq!(xsltdb_xml::to_string(&docs[0]), db_xml(rows, seed));
     }
 

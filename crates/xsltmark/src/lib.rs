@@ -23,8 +23,8 @@ pub mod suite;
 
 pub use cases::{all_cases, case, Area, Case};
 pub use docgen::{
-    db_catalog, db_catalog_family, db_rows, db_struct_info, db_xml, existing_id, DbRow,
-    DB_DTD,
+    db_catalog, db_catalog_family, db_catalog_paged, db_catalog_unindexed, db_rows,
+    db_struct_info, db_xml, existing_id, DbRow, DB_DTD,
 };
 pub use suite::{
     dbonerow_stylesheet, inline_statistics, run_case, run_suite, run_suite_planned,
