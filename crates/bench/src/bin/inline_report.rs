@@ -1,19 +1,103 @@
 //! §5 objective 2 report: how many of the forty XSLTMark cases the rewrite
-//! compiles into a fully inlined XQuery (the paper measured 23 of 40).
+//! compiles into a fully inlined XQuery. The paper measured 23 of 40; the
+//! join-graph lowering (ORDER BY on row sources, positional context,
+//! comment/PI constructors — DESIGN.md §5i) raises the floor to
+//! [`MIN_FULLY_INLINED`], and the suite pins the exact count at
+//! [`EXPECTED_FULLY_INLINED`].
+//!
+//! Three verdicts, all CI-gated (exit 1 on failure):
+//!
+//! * **Inline count** — `fully_inlined >= MIN_FULLY_INLINED` (a drop below
+//!   means a lowering regressed back to a punt).
+//! * **Equivalence** — every case, whatever its tier, is byte-identical to
+//!   the XSLTVM output.
+//! * **Tier placement** — each of the newly-inlined cases plans at the SQL
+//!   tier over the relational db view, and its warm p50 is reported next
+//!   to the VM transform it used to fall back to.
+//!
+//! `--smoke` shrinks rows/iterations (CI bit-rot check); `--json` also
+//! writes `BENCH_inline.json`.
 
-use xsltdb_xsltmark::{all_cases, run_case};
+use std::time::Instant;
+use xsltdb::pipeline::{no_rewrite_transform, plan_bound, Tier};
+use xsltdb::xqgen::RewriteOptions;
+use xsltdb::Guard;
+use xsltdb_bench::write_bench_json;
+use xsltdb_relstore::ExecStats;
+use xsltdb_xsltmark::{all_cases, db_catalog, run_case, EXPECTED_FULLY_INLINED};
+
+/// The CI floor: ISSUE 9's acceptance bar. The recorded count is
+/// [`EXPECTED_FULLY_INLINED`]; the report fails only below this floor so a
+/// future *improvement* does not break the bench gate (the suite's exact
+/// assert catches unrecorded drift either way).
+const MIN_FULLY_INLINED: usize = 26;
+
+/// The cases the join-graph lowering newly inlines (DESIGN.md §5i). Before
+/// it they punted to function-mode XQuery or the VM; their warm p50 is
+/// reported against the VM fallback they used to run as.
+const NEWLY_INLINED: &[&str] =
+    &["comments", "processes", "position", "trend", "stringsort", "oddtemplates"];
+
+/// The subset committed to the SQL tier: these must lower all the way to
+/// a single SQL/XML statement and stream without materialising a node.
+/// (`oddtemplates` inlines fully but keeps a pattern-position predicate
+/// the SQL rewrite correctly refuses, so it stays at the XQuery tier.)
+const SQL_COMMITTED: &[&str] = &["comments", "processes", "position", "trend", "stringsort"];
+
+fn tier_name(t: Tier) -> &'static str {
+    match t {
+        Tier::Sql => "sql",
+        Tier::XQuery => "xquery",
+        Tier::Vm => "vm",
+    }
+}
+
+/// Median of warm iterations (µs), after one discarded warm-up run.
+fn warm_p50_us(mut run: impl FnMut(), iters: usize) -> u64 {
+    run();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct NewCase {
+    name: &'static str,
+    tier: &'static str,
+    warm_p50_us: u64,
+    vm_fallback_p50_us: u64,
+    streams_without_nodes: bool,
+}
 
 fn main() {
-    println!("XSLTMark inline-mode statistic (paper §5: 23 of 40 fully inline)");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let (rows, iters) = if smoke { (20usize, 5usize) } else { (120, 15) };
+
+    println!(
+        "XSLTMark inline-mode statistic (paper §5: 23 of 40 fully inline; \
+         recorded: {EXPECTED_FULLY_INLINED} of 40, floor {MIN_FULLY_INLINED})"
+    );
     println!();
     println!(
-        "{:<14} | {:<16} | {:>7} | {:>7} | note",
-        "case", "mode", "inline", "matches"
+        "{:<14} | {:<16} | {:>6} | {:>7} | {:>7} | note",
+        "case", "mode", "tier", "inline", "matches"
     );
-    println!("{}", "-".repeat(78));
+    println!("{}", "-".repeat(86));
+
+    let (catalog, view) = db_catalog(rows, 0xDB);
+    let stats = ExecStats::new();
 
     let mut inlined = 0usize;
     let mut matched = 0usize;
+    let mut tiers = (0usize, 0usize, 0usize);
+    let mut case_json: Vec<String> = Vec::new();
+    let mut newly: Vec<NewCase> = Vec::new();
     let cases = all_cases();
     for c in &cases {
         let r = run_case(c, 20, 0xDB);
@@ -23,24 +107,136 @@ fn main() {
         if r.matches_vm {
             matched += 1;
         }
+        let bound = plan_bound(&catalog, &view, &c.stylesheet, &RewriteOptions::default())
+            .unwrap_or_else(|e| panic!("{} fails to plan: {e}", c.name));
+        let tier = bound.tier();
+        match tier {
+            Tier::Sql => tiers.0 += 1,
+            Tier::XQuery => tiers.1 += 1,
+            Tier::Vm => tiers.2 += 1,
+        }
         println!(
-            "{:<14} | {:<16} | {:>7} | {:>7} | {}",
+            "{:<14} | {:<16} | {:>6} | {:>6} | {:>7} | {}",
             r.name,
             r.mode.map_or("VM (fallback)".to_string(), |m| format!("{m:?}")),
+            tier_name(tier),
             if r.fully_inlined { "yes" } else { "no" },
             if r.matches_vm { "yes" } else { "NO" },
             r.note.as_deref().unwrap_or(""),
         );
+        case_json.push(format!(
+            r#"{{"name":"{}","mode":"{}","tier":"{}","fully_inlined":{},"matches_vm":{}}}"#,
+            r.name,
+            r.mode.map_or("vm-fallback".to_string(), |m| format!("{m:?}")),
+            tier_name(tier),
+            r.fully_inlined,
+            r.matches_vm,
+        ));
+
+        if NEWLY_INLINED.contains(&c.name) {
+            let plan_p50 = warm_p50_us(
+                || {
+                    bound.execute(&catalog, &stats).expect("planned execution");
+                },
+                iters,
+            );
+            let vm_p50 = warm_p50_us(
+                || {
+                    no_rewrite_transform(&catalog, &view, bound.sheet(), &stats)
+                        .expect("VM baseline");
+                },
+                iters,
+            );
+            // The SQL tier must stream the case without building a DOM node.
+            let streams_without_nodes = if tier == Tier::Sql {
+                let stream_stats = ExecStats::new();
+                let mut out = Vec::new();
+                bound
+                    .execute_to_writer(&catalog, &stream_stats, &Guard::unlimited(), &mut out)
+                    .expect("streamed execution");
+                stream_stats.snapshot().peak_materialized_nodes == 0 && !out.is_empty()
+            } else {
+                false
+            };
+            newly.push(NewCase {
+                name: c.name,
+                tier: tier_name(tier),
+                warm_p50_us: plan_p50,
+                vm_fallback_p50_us: vm_p50,
+                streams_without_nodes,
+            });
+        }
     }
 
-    println!("{}", "-".repeat(78));
+    println!("{}", "-".repeat(86));
     println!(
         "fully inlined: {inlined} / {} (paper: 23 / 40); equivalent to VM: {matched} / {}",
         cases.len(),
         cases.len()
     );
-    let (sql, xq, vm) = xsltdb_xsltmark::tier_statistics(20, 0xDB);
     println!(
-        "planned tiers over the relational db view: SQL {sql}, XQuery {xq}, VM {vm}"
+        "planned tiers over the relational db view: SQL {}, XQuery {}, VM {}",
+        tiers.0, tiers.1, tiers.2
     );
+    println!();
+    println!("newly-inlined cases ({rows} rows, warm p50 over {iters} iterations):");
+    println!(
+        "{:<14} | {:>6} | {:>12} | {:>15} | {:>8} | {:>9}",
+        "case", "tier", "planned (µs)", "vm fallback (µs)", "speedup", "no-nodes"
+    );
+    println!("{}", "-".repeat(80));
+    let mut placement_ok = true;
+    for n in &newly {
+        if SQL_COMMITTED.contains(&n.name) {
+            placement_ok &= n.tier == "sql" && n.streams_without_nodes;
+        }
+        println!(
+            "{:<14} | {:>6} | {:>12} | {:>15} | {:>7.2}x | {:>9}",
+            n.name,
+            n.tier,
+            n.warm_p50_us,
+            n.vm_fallback_p50_us,
+            n.vm_fallback_p50_us as f64 / n.warm_p50_us.max(1) as f64,
+            if n.tier == "sql" { n.streams_without_nodes.to_string() } else { "n/a".into() },
+        );
+    }
+    placement_ok &= newly.len() == NEWLY_INLINED.len();
+
+    let count_ok = inlined >= MIN_FULLY_INLINED;
+    let identity_ok = matched == cases.len();
+    let ok = count_ok && identity_ok && placement_ok;
+    println!();
+    println!("Expected shape: at least {MIN_FULLY_INLINED} of 40 cases fully inline, every");
+    println!("case byte-identical to the VM, and each SQL-committed case planned at the");
+    println!("SQL tier and streamed with zero materialised nodes.");
+    println!(
+        "Shape check [{}]: count {count_ok} ({inlined}/40), identity {identity_ok}, \
+         sql-placement {placement_ok}.",
+        if ok { "OK" } else { "REGRESSION" },
+    );
+
+    if json {
+        let newly_json: Vec<String> = newly
+            .iter()
+            .map(|n| {
+                format!(
+                    r#"{{"name":"{}","tier":"{}","warm_p50_us":{},"vm_fallback_p50_us":{},"streams_without_nodes":{}}}"#,
+                    n.name, n.tier, n.warm_p50_us, n.vm_fallback_p50_us, n.streams_without_nodes,
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"bench\": \"inline\",\n  \"smoke\": {smoke},\n  \"rows\": {rows},\n  \"paper_fully_inlined\": 23,\n  \"expected_fully_inlined\": {EXPECTED_FULLY_INLINED},\n  \"min_fully_inlined\": {MIN_FULLY_INLINED},\n  \"fully_inlined\": {inlined},\n  \"matches_vm\": {matched},\n  \"tiers\": {{\"sql\": {}, \"xquery\": {}, \"vm\": {}}},\n  \"cases\": [\n    {}\n  ],\n  \"newly_inlined\": [\n    {}\n  ],\n  \"holds\": {ok}\n}}\n",
+            tiers.0,
+            tiers.1,
+            tiers.2,
+            case_json.join(",\n    "),
+            newly_json.join(",\n    "),
+        );
+        write_bench_json("BENCH_inline.json", &body);
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
 }

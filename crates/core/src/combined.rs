@@ -45,7 +45,7 @@ fn simplify(e: XqExpr) -> XqExpr {
         XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
             let ret = simplify(*ret);
             if where_clause.is_none() && order_by.is_empty() && clauses.len() == 1 {
-                if let Clause::For { var, source } = &clauses[0] {
+                if let Clause::For { var, at: None, source } = &clauses[0] {
                     if ret == XqExpr::VarRef(var.clone()) {
                         return simplify(source.clone());
                     }
@@ -55,8 +55,8 @@ fn simplify(e: XqExpr) -> XqExpr {
                 clauses: clauses
                     .into_iter()
                     .map(|c| match c {
-                        Clause::For { var, source } => {
-                            Clause::For { var, source: simplify(source) }
+                        Clause::For { var, at, source } => {
+                            Clause::For { var, at, source: simplify(source) }
                         }
                         Clause::Let { var, value } => {
                             Clause::Let { var, value: simplify(value) }
@@ -116,8 +116,9 @@ fn substitute(e: &XqExpr, result: &XqExpr) -> Result<XqExpr, RewriteError> {
                 .iter()
                 .map(|c| {
                     Ok(match c {
-                        Clause::For { var, source } => Clause::For {
+                        Clause::For { var, at, source } => Clause::For {
                             var: var.clone(),
+                            at: at.clone(),
                             source: substitute(source, result)?,
                         },
                         Clause::Let { var, value } => Clause::Let {

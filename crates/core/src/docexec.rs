@@ -80,7 +80,7 @@ fn assist(e: &mut XqExpr, paths: &HashMap<String, Vec<String>>) -> Option<ProbeS
                             local.insert(var.clone(), p);
                         }
                     }
-                    Clause::For { var: _, source } => {
+                    Clause::For { source, .. } => {
                         if let Some(spec) = indexable(source, &local) {
                             *source = XqExpr::VarRef(INDEXED_VAR.to_string());
                             return Some(spec);

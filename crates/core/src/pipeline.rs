@@ -827,6 +827,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
             },
         );
@@ -887,6 +888,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t2".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem(
                     "r",
                     vec![PubExpr::elem("v", vec![PubExpr::col("t2", "v")])],
@@ -904,6 +906,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem("r", vec![PubExpr::elem("w", vec![PubExpr::col("t", "v")])]),
             },
         );

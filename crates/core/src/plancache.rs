@@ -536,6 +536,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
             },
         );
@@ -658,6 +659,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem("other", vec![PubExpr::col("t", "v")]),
             },
         );

@@ -59,6 +59,7 @@ pub fn rewrite_to_sql(query: &XQuery, info: &StructInfo) -> Result<SqlXmlQuery, 
     Ok(SqlXmlQuery {
         base_table: base_table.clone(),
         where_clause: Conjunction::default(),
+        order_by: Vec::new(),
         select,
     })
 }
@@ -71,6 +72,9 @@ enum Binding<'a> {
     Decl(&'a ElemDecl),
     /// A computed text value.
     Text(PubExpr),
+    /// The 1-based row number of the named table's current row in the
+    /// enclosing aggregation (`for … at $p`).
+    Position { table: String },
 }
 
 struct SqlTr<'a> {
@@ -99,6 +103,13 @@ impl<'a> SqlTr<'a> {
                 Ok(PubExpr::Literal(xsltdb_xpath::value::num_to_string(*n)))
             }
             XqExpr::CompText(inner) => self.expr(inner),
+            XqExpr::CompComment(inner) => {
+                Ok(PubExpr::Comment(Box::new(self.expr(inner)?)))
+            }
+            XqExpr::CompPi { target, content } => Ok(PubExpr::Pi {
+                target: target.clone(),
+                content: Box::new(self.expr(content)?),
+            }),
             XqExpr::Seq(es) => Ok(PubExpr::Concat(
                 es.iter().map(|x| self.expr(x)).collect::<Result<_, _>>()?,
             )),
@@ -189,6 +200,9 @@ impl<'a> SqlTr<'a> {
             XqExpr::VarRef(v) => match self.env.get(v) {
                 Some(Binding::Text(p)) => Ok(p.clone()),
                 Some(Binding::Decl(d)) => self.decl_text(d),
+                Some(Binding::Position { table }) => {
+                    Ok(PubExpr::RowNumber { table: table.clone() })
+                }
                 _ => Err(RewriteError::new(format!(
                     "variable ${v} has no SQL translation"
                 ))),
@@ -248,6 +262,9 @@ impl<'a> SqlTr<'a> {
                     XqExpr::VarRef(v) => match self.env.get(v).cloned() {
                         Some(Binding::Text(p)) => Ok(p),
                         Some(Binding::Decl(d)) => self.decl_text(d),
+                        Some(Binding::Position { table }) => {
+                            Ok(PubExpr::RowNumber { table })
+                        }
                         _ => Err(RewriteError::new(format!("${v} unbound"))),
                     },
                     _ => match self.resolve_path(arg)? {
@@ -348,8 +365,49 @@ impl<'a> SqlTr<'a> {
                 restore(&mut self.env, var, saved);
                 inner
             }
-            Clause::For { var, source } => {
-                let Resolved::Rows { decl, mut extra } = self.resolve_path(source)?
+            Clause::For { var, at, source } => {
+                // XQuery assigns `at` positions *before* the same FLWOR's
+                // `order by` and `where` run; SQL numbers rows after
+                // ordering and filtering. Sorted positional loops therefore
+                // arrive in the nested shape
+                // `for $v at $p in (for $s in SRC order by K return $s)`,
+                // which this arm unwraps; `at` combined with a same-level
+                // `order by` or `where` would diverge between tiers.
+                if at.is_some() && !order_by.is_empty() {
+                    return Err(RewriteError::new(
+                        "`at` with `order by` in one FLWOR has no SQL translation",
+                    ));
+                }
+                if at.is_some() && where_clause.is_some() {
+                    return Err(RewriteError::new(
+                        "`at` with `where` in one FLWOR has no SQL translation",
+                    ));
+                }
+                let (src, inner_var, sort_specs): (
+                    &XqExpr,
+                    Option<&String>,
+                    &[xsltdb_xquery::OrderSpec],
+                ) = match source {
+                    XqExpr::Flwor {
+                        clauses: ic,
+                        where_clause: None,
+                        order_by: ob,
+                        ret: iret,
+                    } if !ob.is_empty() => match &ic[..] {
+                        [Clause::For { var: iv, at: None, source: isrc }]
+                            if **iret == XqExpr::VarRef(iv.clone()) =>
+                        {
+                            (isrc, Some(iv), ob.as_slice())
+                        }
+                        _ => {
+                            return Err(RewriteError::new(
+                                "nested for-clause source is not a sorted row source",
+                            ))
+                        }
+                    },
+                    other => (other, None, order_by),
+                };
+                let Resolved::Rows { decl, mut extra } = self.resolve_path(src)?
                 else {
                     return Err(RewriteError::new(
                         "for-clause source is not a repeated view node",
@@ -358,44 +416,57 @@ impl<'a> SqlTr<'a> {
                 let rs = decl.row_source.as_ref().ok_or_else(|| {
                     RewriteError::new("for-clause target has no row source")
                 })?;
+                let table = rs.table.clone();
                 let saved = self.env.insert(var.clone(), Binding::Decl(decl));
-                // Where clause conjuncts become predicate terms.
-                let mut inner_where = None;
-                if let Some(w) = where_clause {
-                    match self.where_terms(w) {
-                        Ok(mut terms) => extra.append(&mut terms),
-                        Err(_) => inner_where = Some(w),
+                // The inner sort variable resolves order keys; the `at`
+                // variable becomes the SQL row number over the same rows.
+                let saved_inner = inner_var
+                    .map(|iv| self.env.insert(iv.clone(), Binding::Decl(decl)));
+                let saved_at = at.as_ref().map(|p| {
+                    self.env
+                        .insert(p.clone(), Binding::Position { table: table.clone() })
+                });
+                let result = (|| -> Result<PubExpr, RewriteError> {
+                    if let Some(w) = where_clause {
+                        let mut terms = self.where_terms(w).map_err(|_| {
+                            RewriteError::new("where clause is not a column comparison")
+                        })?;
+                        extra.append(&mut terms);
                     }
-                }
-                if inner_where.is_some() {
-                    restore(&mut self.env, var, saved);
-                    return Err(RewriteError::new(
-                        "where clause is not a column comparison",
-                    ));
-                }
-                let mut orders = Vec::new();
-                for o in order_by {
-                    let col = match self.resolve_path(&o.key) {
-                        Ok(Resolved::Single(d)) => self.column_of(d)?,
-                        _ => {
-                            restore(&mut self.env, var, saved);
-                            return Err(RewriteError::new(
-                                "order-by key is not a bound column",
-                            ));
-                        }
-                    };
-                    orders.push(AggOrder { column: col, descending: o.descending });
-                }
-                let body = self.flwor_inner(rest, None, &[], ret);
+                    let mut orders = Vec::new();
+                    for o in sort_specs {
+                        let col = match self.resolve_path(&o.key) {
+                            Ok(Resolved::Single(d)) => self.column_of(d)?,
+                            _ => {
+                                return Err(RewriteError::new(
+                                    "order-by key is not a bound column",
+                                ))
+                            }
+                        };
+                        orders.push(AggOrder {
+                            column: col,
+                            descending: o.descending,
+                            numeric: o.numeric,
+                        });
+                    }
+                    let body = self.flwor_inner(rest, None, &[], ret)?;
+                    let mut predicate = rs.predicate.clone();
+                    predicate.extend(extra);
+                    Ok(PubExpr::Agg {
+                        table: table.clone(),
+                        predicate,
+                        order_by: orders,
+                        body: Box::new(body),
+                    })
+                })();
                 restore(&mut self.env, var, saved);
-                let mut predicate = rs.predicate.clone();
-                predicate.extend(extra);
-                Ok(PubExpr::Agg {
-                    table: rs.table.clone(),
-                    predicate,
-                    order_by: orders,
-                    body: Box::new(body?),
-                })
+                if let Some(iv) = inner_var {
+                    restore(&mut self.env, iv, saved_inner.flatten());
+                }
+                if let Some(p) = at {
+                    restore(&mut self.env, p, saved_at.flatten());
+                }
+                result
             }
         }
     }
@@ -559,6 +630,9 @@ impl<'a> SqlTr<'a> {
             Binding::Decl(d) => d,
             Binding::Text(_) => {
                 return Err(RewriteError::new("cannot navigate into a text value"))
+            }
+            Binding::Position { .. } => {
+                return Err(RewriteError::new("cannot navigate into a position value"))
             }
         };
         if steps.is_empty() {
@@ -764,6 +838,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "base".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem(
                     "r",
                     vec![
@@ -867,6 +942,7 @@ mod tests {
         let text = xsltdb_relstore::sql_text(&SqlXmlQuery {
             base_table: sql.base_table.clone(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: sql.select.clone(),
         });
         assert!(text.contains("count(*)"), "{text}");

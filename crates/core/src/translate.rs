@@ -50,6 +50,14 @@ pub struct XlatCtx {
     pub xslt_current: CtxRef,
     /// Name of the variable bound to the input document (`var000`).
     pub root_var: String,
+    /// Variable holding the 1-based position of the current node in the
+    /// enclosing iteration (`for … at $p`), when the generator bound one.
+    /// Body-level `position()` translates to it; without it translation
+    /// fails and the pipeline falls back.
+    pub pos_var: Option<String>,
+    /// Variable holding the size of the enclosing iteration's node list
+    /// (`let $l := fn:count(…)`). Body-level `last()` translates to it.
+    pub last_var: Option<String>,
 }
 
 impl XlatCtx {
@@ -58,7 +66,16 @@ impl XlatCtx {
             current: current.clone(),
             xslt_current: current,
             root_var: root_var.to_string(),
+            pos_var: None,
+            last_var: None,
         }
+    }
+
+    /// Attach position/size variables for body-level `position()`/`last()`.
+    pub fn with_position(mut self, pos_var: Option<String>, last_var: Option<String>) -> Self {
+        self.pos_var = pos_var;
+        self.last_var = last_var;
+        self
     }
 
     fn inside_predicate(&self) -> Self {
@@ -66,6 +83,10 @@ impl XlatCtx {
             current: CtxRef::ContextItem,
             xslt_current: self.xslt_current.clone(),
             root_var: self.root_var.clone(),
+            // Predicates get the evaluator's own focus; the loop variables
+            // belong to the body outside.
+            pos_var: None,
+            last_var: None,
         }
     }
 }
@@ -168,20 +189,38 @@ fn translate_steps(
 }
 
 fn translate_call(name: &str, args: &[Expr], cx: &XlatCtx) -> Result<XqExpr, RewriteError> {
-    let xq_args: Vec<XqExpr> = args
+    let mut xq_args: Vec<XqExpr> = args
         .iter()
         .map(|a| xpath_to_xq(a, cx))
         .collect::<Result<_, _>>()?;
+    // XPath's context-dependent functions default to the current node when
+    // called without arguments; the generated FLWOR has no dynamic focus,
+    // so the current-node binding must be passed explicitly.
+    if xq_args.is_empty()
+        && matches!(
+            name,
+            "name" | "local-name" | "string" | "string-length" | "normalize-space" | "number"
+        )
+    {
+        xq_args.push(cx.current.to_expr());
+    }
     match name {
         // `current()` is the statically known current node of the template.
         "current" => Ok(cx.xslt_current.to_expr()),
-        // Positional context functions only make sense inside predicates,
-        // where the XQuery evaluator provides a focus. Anywhere else the
-        // generated FLWOR has no focus, so translation must fail and the
-        // pipeline falls back.
+        // Positional context functions: inside predicates the XQuery
+        // evaluator provides a focus; in loop bodies the generator binds
+        // explicit `at`/count variables. With neither, the generated FLWOR
+        // has no focus, so translation must fail and the pipeline falls
+        // back.
         "position" | "last" if matches!(cx.current, CtxRef::ContextItem) => {
             Ok(XqExpr::call(&format!("fn:{name}"), xq_args))
         }
+        "position" if cx.pos_var.is_some() => Ok(XqExpr::VarRef(
+            cx.pos_var.clone().expect("checked above"),
+        )),
+        "last" if cx.last_var.is_some() => Ok(XqExpr::VarRef(
+            cx.last_var.clone().expect("checked above"),
+        )),
         "position" | "last" => Err(RewriteError::new(format!(
             "{name}() outside a predicate has no XQuery equivalent in the generated FLWOR"
         ))),
@@ -243,7 +282,7 @@ mod tests {
     #[test]
     fn functions_map_to_fn() {
         assert_eq!(tr("string(.)"), "fn:string($var002)");
-        assert_eq!(tr("concat('a', name())"), "fn:concat(\"a\", fn:name())");
+        assert_eq!(tr("concat('a', name())"), "fn:concat(\"a\", fn:name($var002))");
         assert_eq!(tr("count(emp)"), "fn:count($var002/emp)");
     }
 

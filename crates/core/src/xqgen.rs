@@ -255,6 +255,181 @@ fn sorts_to_order_by(
         .collect()
 }
 
+/// Build the clause list for one iteration that may need positional
+/// context: a `let` counting the node list first (so `last()` is evaluated
+/// once per loop, not per row), then the `for`, with an `at` variable when
+/// `position()` is used. XQuery `at` numbers the *input* sequence while
+/// XSLT positions are post-sort, so a sorted positional loop wraps the
+/// source in its own ordered FLWOR instead of using `order by` here.
+/// Returns (clauses, order-by, position variable, count variable).
+#[allow(clippy::type_complexity)]
+fn iteration_clauses(
+    fresh: &mut dyn FnMut() -> String,
+    var: String,
+    source: XqExpr,
+    sorts: &[SortKey],
+    uses_pos: bool,
+    uses_last: bool,
+) -> Result<(Vec<Clause>, Vec<OrderSpec>, Option<String>, Option<String>), RewriteError> {
+    let mut clauses = Vec::new();
+    let last_var = if uses_last {
+        let lv = fresh();
+        clauses.push(Clause::Let {
+            var: lv.clone(),
+            value: XqExpr::call("fn:count", vec![source.clone()]),
+        });
+        Some(lv)
+    } else {
+        None
+    };
+    let (source, order_by) = if uses_pos && !sorts.is_empty() {
+        let sv = fresh();
+        let ob = sorts_to_order_by(sorts, &sv, ROOT_VAR)?;
+        (
+            XqExpr::Flwor {
+                clauses: vec![Clause::For { var: sv.clone(), at: None, source }],
+                where_clause: None,
+                order_by: ob,
+                ret: Box::new(XqExpr::var(&sv)),
+            },
+            Vec::new(),
+        )
+    } else {
+        let ob = sorts_to_order_by(sorts, &var, ROOT_VAR)?;
+        (source, ob)
+    };
+    let pos_var = if uses_pos { Some(fresh()) } else { None };
+    clauses.push(Clause::For { var, at: pos_var.clone(), source });
+    Ok((clauses, order_by, pos_var, last_var))
+}
+
+/// Body-level `position()` / `last()` usage scan: decides whether an
+/// iteration must bind `at`/count variables. Path-step and filter
+/// predicates are skipped (predicates get the evaluator's own focus), and
+/// so are `xsl:for-each` bodies (they rebind the position) — but for-each
+/// *select* expressions count, as do call-template targets, which keep the
+/// caller's position context.
+fn ops_use_position(sheet: &Stylesheet, ops: &[Op]) -> (bool, bool) {
+    let mut pos = false;
+    let mut last = false;
+    scan_ops(sheet, ops, 16, &mut pos, &mut last);
+    (pos, last)
+}
+
+fn scan_ops(sheet: &Stylesheet, ops: &[Op], depth: usize, pos: &mut bool, last: &mut bool) {
+    if depth == 0 {
+        // Deep call-template chains: assume the worst — a spurious `at`
+        // binding is harmless, a missing one is wrong.
+        *pos = true;
+        *last = true;
+    }
+    for op in ops {
+        if *pos && *last {
+            return;
+        }
+        match op {
+            Op::Text(_) => {}
+            Op::ValueOf(e) | Op::CopyOf(e) => scan_expr(e, pos, last),
+            Op::LiteralElement { attrs, body, .. } => {
+                for (_, avt) in attrs {
+                    scan_avt(avt, pos, last);
+                }
+                scan_ops(sheet, body, depth, pos, last);
+            }
+            Op::Element { name, body } | Op::Pi { name, body } => {
+                scan_avt(name, pos, last);
+                scan_ops(sheet, body, depth, pos, last);
+            }
+            Op::Attribute { name, body } => {
+                scan_avt(name, pos, last);
+                scan_ops(sheet, body, depth, pos, last);
+            }
+            Op::Comment { body } | Op::Copy { body } | Op::Message { body } => {
+                scan_ops(sheet, body, depth, pos, last);
+            }
+            Op::If { test, body } => {
+                scan_expr(test, pos, last);
+                scan_ops(sheet, body, depth, pos, last);
+            }
+            Op::Choose { whens, otherwise } => {
+                for (t, b) in whens {
+                    scan_expr(t, pos, last);
+                    scan_ops(sheet, b, depth, pos, last);
+                }
+                scan_ops(sheet, otherwise, depth, pos, last);
+            }
+            Op::Variable { value, .. } => scan_var_source(sheet, value, depth, pos, last),
+            Op::ForEach { select, .. } => scan_expr(select, pos, last),
+            Op::ApplyTemplates { select, with_params, .. } => {
+                if let Some(e) = select {
+                    scan_expr(e, pos, last);
+                }
+                for wp in with_params {
+                    scan_var_source(sheet, &wp.value, depth, pos, last);
+                }
+            }
+            Op::CallTemplate { name, with_params, .. } => {
+                for wp in with_params {
+                    scan_var_source(sheet, &wp.value, depth, pos, last);
+                }
+                if let Some(tid) = sheet.named_template(name) {
+                    let t = sheet.template(tid);
+                    for (_, default) in &t.params {
+                        scan_var_source(sheet, default, depth, pos, last);
+                    }
+                    scan_ops(sheet, &t.body, depth.saturating_sub(1), pos, last);
+                }
+            }
+        }
+    }
+}
+
+fn scan_expr(e: &xsltdb_xpath::Expr, pos: &mut bool, last: &mut bool) {
+    use xsltdb_xpath::Expr as XE;
+    match e {
+        XE::Call(name, args) => {
+            match name.as_str() {
+                "position" => *pos = true,
+                "last" => *last = true,
+                _ => {}
+            }
+            for a in args {
+                scan_expr(a, pos, last);
+            }
+        }
+        XE::Binary(_, a, b) => {
+            scan_expr(a, pos, last);
+            scan_expr(b, pos, last);
+        }
+        XE::Neg(a) => scan_expr(a, pos, last),
+        XE::Filter { primary, .. } => scan_expr(primary, pos, last),
+        // Path-step predicates get the evaluator's own focus.
+        _ => {}
+    }
+}
+
+fn scan_avt(avt: &Avt, pos: &mut bool, last: &mut bool) {
+    for p in &avt.0 {
+        if let AvtPart::Expr(e) = p {
+            scan_expr(e, pos, last);
+        }
+    }
+}
+
+fn scan_var_source(
+    sheet: &Stylesheet,
+    src: &VarValueSource,
+    depth: usize,
+    pos: &mut bool,
+    last: &mut bool,
+) {
+    match src {
+        VarValueSource::Select(e) => scan_expr(e, pos, last),
+        VarValueSource::Body(ops) => scan_ops(sheet, ops, depth, pos, last),
+        VarValueSource::Empty => {}
+    }
+}
+
 /// The `instance of` test for one kind of sample node / pattern step test.
 fn kind_test(var: &str, test: &NodeTest) -> Result<XqExpr, RewriteError> {
     let v = Box::new(XqExpr::var(var));
@@ -374,11 +549,18 @@ struct Env {
     ctx: CtxRef,
     /// Variables bound to RTF wrapper elements (for `copy-of`).
     rtf_vars: Vec<String>,
+    /// `at` variable of the enclosing iteration, when the generator bound
+    /// one — the translation of body-level `position()`.
+    pos_var: Option<String>,
+    /// Count variable of the enclosing iteration's node list, when bound —
+    /// the translation of body-level `last()`.
+    last_var: Option<String>,
 }
 
 impl Env {
     fn xlat(&self) -> XlatCtx {
         XlatCtx::new(self.ctx.clone(), ROOT_VAR)
+            .with_position(self.pos_var.clone(), self.last_var.clone())
     }
 }
 
@@ -407,6 +589,7 @@ fn inline_generate(
         let inner = XqExpr::Flwor {
             clauses: vec![Clause::For {
                 var: "var001".into(),
+                at: None,
                 source: XqExpr::Path {
                     start: PathStart::Expr(Box::new(XqExpr::var(ROOT_VAR))),
                     steps: vec![
@@ -434,7 +617,7 @@ fn inline_generate(
         }
     } else {
         let mut g = InlineGen { sheet, info, pe, opts, next_var: 1, depth: 0 };
-        g.gen_state(pe.graph.root, CtxRef::var(ROOT_VAR), Vec::new())?
+        g.gen_state(pe.graph.root, CtxRef::var(ROOT_VAR), Vec::new(), None, None)?
     };
 
     Ok(RewriteOutcome {
@@ -464,19 +647,22 @@ impl<'a> InlineGen<'a> {
     }
 
     /// Generate the inlined expression for a state with the given context
-    /// binding and parameter lets.
+    /// binding, parameter lets, and positional context (the `at`/count
+    /// variables of the iteration that bound this node, if any).
     fn gen_state(
         &mut self,
         state: StateId,
         ctx: CtxRef,
         param_lets: Vec<(String, XqExpr)>,
+        pos_var: Option<String>,
+        last_var: Option<String>,
     ) -> Result<XqExpr, RewriteError> {
         self.depth += 1;
         if self.depth > MAX_INLINE_DEPTH {
             self.depth -= 1;
             return Err(RewriteError::new("inline expansion too deep"));
         }
-        let r = self.gen_state_inner(state, ctx, param_lets);
+        let r = self.gen_state_inner(state, ctx, param_lets, pos_var, last_var);
         self.depth -= 1;
         r
     }
@@ -486,6 +672,8 @@ impl<'a> InlineGen<'a> {
         state: StateId,
         ctx: CtxRef,
         mut param_lets: Vec<(String, XqExpr)>,
+        pos_var: Option<String>,
+        last_var: Option<String>,
     ) -> Result<XqExpr, RewriteError> {
         let st = self.pe.graph.state(state).clone();
         match st.template {
@@ -496,7 +684,7 @@ impl<'a> InlineGen<'a> {
                         Box::new(XqExpr::string_of(ctx_expr(&ctx))),
                     )),
                     SampleNode::Element(_) | SampleNode::Root => {
-                        let env = Env { state, ctx, rtf_vars: Vec::new() };
+                        let env = Env { state, ctx, rtf_vars: Vec::new(), pos_var, last_var };
                         self.gen_apply_site(&env, BUILTIN_SITE, None, &[], &[])
                     }
                 }
@@ -508,11 +696,23 @@ impl<'a> InlineGen<'a> {
                     if param_lets.iter().any(|(n, _)| n == pname) {
                         continue;
                     }
-                    let env = Env { state, ctx: ctx.clone(), rtf_vars: Vec::new() };
+                    let env = Env {
+                        state,
+                        ctx: ctx.clone(),
+                        rtf_vars: Vec::new(),
+                        pos_var: pos_var.clone(),
+                        last_var: last_var.clone(),
+                    };
                     let v = self.var_source_expr(default, &env)?;
                     param_lets.push((pname.clone(), v));
                 }
-                let env = Env { state, ctx: ctx.clone(), rtf_vars: Vec::new() };
+                let env = Env {
+                    state,
+                    ctx: ctx.clone(),
+                    rtf_vars: Vec::new(),
+                    pos_var,
+                    last_var,
+                };
                 let items = self.gen_ops(&t.body, &env)?;
                 let mut body = seq_of(items);
                 if !param_lets.is_empty() {
@@ -633,12 +833,18 @@ impl<'a> InlineGen<'a> {
             Op::ForEach { select, sorts, body } => {
                 let var = self.fresh_var();
                 let source = xpath_to_xq(select, &cx)?;
-                let order_by = sorts_to_order_by(sorts, &var, ROOT_VAR)?;
+                let (uses_pos, uses_last) = ops_use_position(self.sheet, body);
+                let (clauses, order_by, pos_var, last_var) = {
+                    let mut fresh = || self.fresh_var();
+                    iteration_clauses(&mut fresh, var.clone(), source, sorts, uses_pos, uses_last)?
+                };
                 let mut env2 = env.clone();
                 env2.ctx = CtxRef::var(&var);
+                env2.pos_var = pos_var;
+                env2.last_var = last_var;
                 let items = self.gen_ops(body, &env2)?;
                 Ok(XqExpr::Flwor {
-                    clauses: vec![Clause::For { var, source }],
+                    clauses,
                     where_clause: None,
                     order_by,
                     ret: Box::new(seq_of(items)),
@@ -660,7 +866,15 @@ impl<'a> InlineGen<'a> {
                         ))
                     })?;
                 let lets = self.with_param_lets(with_params, env)?;
-                self.gen_state(trans.target, env.ctx.clone(), lets)
+                // call-template keeps the caller's current node *and*
+                // position context.
+                self.gen_state(
+                    trans.target,
+                    env.ctx.clone(),
+                    lets,
+                    env.pos_var.clone(),
+                    env.last_var.clone(),
+                )
             }
             Op::Copy { body } => {
                 let content = self.gen_ops(body, env)?;
@@ -682,9 +896,19 @@ impl<'a> InlineGen<'a> {
                 }
                 xpath_to_xq(e, &cx)
             }
-            Op::Comment { .. } | Op::Pi { .. } => Err(RewriteError::new(
-                "xsl:comment / xsl:processing-instruction are not supported by the rewrite",
-            )),
+            Op::Comment { body } => {
+                let items = self.gen_ops(body, env)?;
+                Ok(XqExpr::CompComment(Box::new(items_to_string_expr(items))))
+            }
+            Op::Pi { name, body } => {
+                let target = name.as_constant().ok_or_else(|| {
+                    RewriteError::new(
+                        "computed processing-instruction targets are not supported by the rewrite",
+                    )
+                })?;
+                let items = self.gen_ops(body, env)?;
+                Ok(XqExpr::CompPi { target, content: Box::new(items_to_string_expr(items)) })
+            }
             Op::Message { .. } => Ok(XqExpr::Empty),
             Op::Variable { .. } => unreachable!("handled in gen_ops"),
         }
@@ -864,6 +1088,22 @@ impl<'a> InlineGen<'a> {
         }
     }
 
+    /// Whether any candidate template body for these targets uses
+    /// body-level `position()` / `last()` (so the binding must carry
+    /// loop variables).
+    fn targets_use_position(&self, targets: &[StateId]) -> (bool, bool) {
+        let mut pos = false;
+        let mut last = false;
+        for &t in targets {
+            if let Some(tid) = self.pe.graph.state(t).template {
+                let (p, l) = ops_use_position(self.sheet, &self.sheet.template(tid).body);
+                pos |= p;
+                last |= l;
+            }
+        }
+        (pos, last)
+    }
+
     /// Bind the nodes of one group to a fresh variable (FOR or LET per
     /// cardinality, §3.4) and inline the candidate chain.
     #[allow(clippy::too_many_arguments)]
@@ -878,22 +1118,30 @@ impl<'a> InlineGen<'a> {
         param_lets: &[(String, XqExpr)],
     ) -> Result<XqExpr, RewriteError> {
         let var = self.fresh_var();
-        let inner = self.gen_candidate_chain(env, &var, node, targets, param_lets)?;
+        let (uses_pos, uses_last) = self.targets_use_position(targets);
         let use_let = self.opts.use_cardinality
             && card == Cardinality::One
-            && sorts.is_empty();
-        let clause = if use_let {
-            Clause::Let { var: var.clone(), value: source }
-        } else {
-            Clause::For { var: var.clone(), source }
+            && sorts.is_empty()
+            && !uses_pos
+            && !uses_last;
+        if use_let {
+            let inner =
+                self.gen_candidate_chain(env, &var, node, targets, param_lets, &None, &None)?;
+            return Ok(XqExpr::Flwor {
+                clauses: vec![Clause::Let { var, value: source }],
+                where_clause: None,
+                order_by: Vec::new(),
+                ret: Box::new(inner),
+            });
+        }
+        let (clauses, order_by, pos_var, last_var) = {
+            let mut fresh = || self.fresh_var();
+            iteration_clauses(&mut fresh, var.clone(), source, sorts, uses_pos, uses_last)?
         };
-        let order_by = if use_let {
-            Vec::new()
-        } else {
-            sorts_to_order_by(sorts, &var, ROOT_VAR)?
-        };
+        let inner =
+            self.gen_candidate_chain(env, &var, node, targets, param_lets, &pos_var, &last_var)?;
         Ok(XqExpr::Flwor {
-            clauses: vec![clause],
+            clauses,
             where_clause: None,
             order_by,
             ret: Box::new(inner),
@@ -902,6 +1150,7 @@ impl<'a> InlineGen<'a> {
 
     /// The conditional chain over a node's candidate templates (Tables
     /// 18/19): residual pattern predicates become runtime tests.
+    #[allow(clippy::too_many_arguments)]
     fn gen_candidate_chain(
         &mut self,
         _env: &Env,
@@ -909,12 +1158,19 @@ impl<'a> InlineGen<'a> {
         node: &SampleNode,
         targets: &[StateId],
         param_lets: &[(String, XqExpr)],
+        pos_var: &Option<String>,
+        last_var: &Option<String>,
     ) -> Result<XqExpr, RewriteError> {
         let mut expr = XqExpr::Empty;
         for &target in targets.iter().rev() {
             let st = self.pe.graph.state(target).clone();
-            let inlined =
-                self.gen_state(target, CtxRef::var(var), param_lets.to_vec())?;
+            let inlined = self.gen_state(
+                target,
+                CtxRef::var(var),
+                param_lets.to_vec(),
+                pos_var.clone(),
+                last_var.clone(),
+            )?;
             match st.template {
                 None => {
                     expr = inlined; // built-in: unconditional terminal
@@ -952,9 +1208,20 @@ impl<'a> InlineGen<'a> {
         param_lets: &[(String, XqExpr)],
     ) -> Result<XqExpr, RewriteError> {
         let var = self.fresh_var();
+        let (mut uses_pos, mut uses_last) = (false, false);
+        for (_, targets) in groups {
+            let (p, l) = self.targets_use_position(targets);
+            uses_pos |= p;
+            uses_last |= l;
+        }
+        let (clauses, order_by, pos_var, last_var) = {
+            let mut fresh = || self.fresh_var();
+            iteration_clauses(&mut fresh, var.clone(), source, sorts, uses_pos, uses_last)?
+        };
         let mut expr = XqExpr::Empty;
         for (node, targets) in groups.iter().rev() {
-            let chain = self.gen_candidate_chain(env, &var, node, targets, param_lets)?;
+            let chain =
+                self.gen_candidate_chain(env, &var, node, targets, param_lets, &pos_var, &last_var)?;
             let cond = match node {
                 SampleNode::Element(path) => {
                     let name = SampleDoc::decl_at(self.info, path).name.clone();
@@ -975,9 +1242,9 @@ impl<'a> InlineGen<'a> {
             expr = XqExpr::If { cond: Box::new(cond), then: Box::new(chain), els: Box::new(expr) };
         }
         Ok(XqExpr::Flwor {
-            clauses: vec![Clause::For { var: var.clone(), source }],
+            clauses,
             where_clause: None,
-            order_by: sorts_to_order_by(sorts, &var, ROOT_VAR)?,
+            order_by,
             ret: Box::new(expr),
         })
     }
@@ -1046,6 +1313,8 @@ fn functions_generate(
             state: 0,
             ctx: CtxRef::var(NODE_PARAM),
             rtf_vars: Vec::new(),
+            pos_var: None,
+            last_var: None,
         };
         let body = seq_of(g.gen_ops(&t.body, &env, &included)?);
         functions.push(FunctionDecl { name: func_name(tid), params, body });
@@ -1203,12 +1472,18 @@ impl<'a> FuncGen<'a> {
             Op::ForEach { select, sorts, body } => {
                 let var = self.fresh_var();
                 let source = xpath_to_xq(select, &cx)?;
-                let order_by = sorts_to_order_by(sorts, &var, ROOT_VAR)?;
+                let (uses_pos, uses_last) = ops_use_position(self.sheet, body);
+                let (clauses, order_by, pos_var, last_var) = {
+                    let mut fresh = || self.fresh_var();
+                    iteration_clauses(&mut fresh, var.clone(), source, sorts, uses_pos, uses_last)?
+                };
                 let mut env2 = env.clone();
                 env2.ctx = CtxRef::var(&var);
+                env2.pos_var = pos_var;
+                env2.last_var = last_var;
                 let items = self.gen_ops(body, &env2, included)?;
                 Ok(XqExpr::Flwor {
-                    clauses: vec![Clause::For { var, source }],
+                    clauses,
                     where_clause: None,
                     order_by,
                     ret: Box::new(seq_of(items)),
@@ -1229,7 +1504,7 @@ impl<'a> FuncGen<'a> {
                 // `with_params` values reference the caller context and are
                 // evaluated per call inside the chain (see dispatch_chain).
                 Ok(XqExpr::Flwor {
-                    clauses: vec![Clause::For { var: var.clone(), source }],
+                    clauses: vec![Clause::For { var: var.clone(), at: None, source }],
                     where_clause: None,
                     order_by: sorts_to_order_by(sorts, &var, ROOT_VAR)?,
                     ret: Box::new(chain),
@@ -1261,9 +1536,19 @@ impl<'a> FuncGen<'a> {
                 }
                 xpath_to_xq(e, &cx)
             }
-            Op::Comment { .. } | Op::Pi { .. } => Err(RewriteError::new(
-                "xsl:comment / xsl:processing-instruction are not supported by the rewrite",
-            )),
+            Op::Comment { body } => {
+                let items = self.gen_ops(body, env, included)?;
+                Ok(XqExpr::CompComment(Box::new(items_to_string_expr(items))))
+            }
+            Op::Pi { name, body } => {
+                let target = name.as_constant().ok_or_else(|| {
+                    RewriteError::new(
+                        "computed processing-instruction targets are not supported by the rewrite",
+                    )
+                })?;
+                let items = self.gen_ops(body, env, included)?;
+                Ok(XqExpr::CompPi { target, content: Box::new(items_to_string_expr(items)) })
+            }
             Op::Message { .. } => Ok(XqExpr::Empty),
             Op::Variable { .. } => unreachable!("handled in gen_ops"),
         }
@@ -1293,6 +1578,8 @@ impl<'a> FuncGen<'a> {
                             _ => env.ctx.clone(),
                         },
                         rtf_vars: Vec::new(),
+                        pos_var: None,
+                        last_var: None,
                     };
                     self.var_source_expr(default, &callee_env, included)?
                 }
@@ -1330,7 +1617,13 @@ impl<'a> FuncGen<'a> {
                 .then(b.1.cmp(&a.1))
         });
 
-        let env = Env { state: 0, ctx: CtxRef::var(&var), rtf_vars: Vec::new() };
+        let env = Env {
+            state: 0,
+            ctx: CtxRef::var(&var),
+            rtf_vars: Vec::new(),
+            pos_var: None,
+            last_var: None,
+        };
         let mut expr = XqExpr::Call {
             name: builtin_name(mode),
             args: vec![XqExpr::var(&var)],
@@ -1463,6 +1756,7 @@ impl<'a> FuncGen<'a> {
         let recurse = XqExpr::Flwor {
             clauses: vec![Clause::For {
                 var: var.clone(),
+                at: None,
                 source: child_node_path(&CtxRef::var(NODE_PARAM)),
             }],
             where_clause: None,

@@ -404,6 +404,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "t".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem("row", vec![PubExpr::col("t", "a")]),
         };
         c.add_view(XmlView::new("vu", q.clone()));

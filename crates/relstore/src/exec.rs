@@ -114,6 +114,10 @@ pub enum AccessPath {
     FullScan,
     IndexEq { column: String },
     IndexRange { column: String },
+    /// A full traversal in index-key order — chosen when the query's
+    /// `ORDER BY` leads with an indexed column, so the B-tree delivers
+    /// rows pre-sorted and no explicit sort is needed.
+    IndexOrdered { column: String },
 }
 
 /// A full-table scan, counting rows as they are pulled.

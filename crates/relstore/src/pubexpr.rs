@@ -43,11 +43,19 @@ pub enum AggPredTerm {
     Correlate { inner_column: String, outer_table: String, outer_column: String },
 }
 
-/// An `ORDER BY` key of an `XMLAgg`.
+/// An `ORDER BY` key of an `XMLAgg` or of a base-table row source.
+///
+/// `numeric` selects the comparison the XSLT tier mandates for
+/// `data-type="number"` sort keys: values are coerced with `str_to_num`
+/// and NaN (an unparseable key) sorts *first* ascending. Text keys
+/// compare byte-wise on the column's text rendering, mirroring the VM's
+/// `String::cmp` — not the datum's typed order, which would diverge on
+/// numeric columns sorted as text (`"10" < "9"`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggOrder {
     pub column: String,
     pub descending: bool,
+    pub numeric: bool,
 }
 
 /// A publishing expression, evaluated per outer-row binding.
@@ -94,6 +102,18 @@ pub enum PubExpr {
         table: String,
         predicate: Vec<AggPredTerm>,
     },
+    /// `XMLComment(content)` — a comment node whose content is the
+    /// string-value of the inner expression.
+    Comment(Box<PubExpr>),
+    /// `XMLPI(NAME target, content)` — a processing instruction with a
+    /// constant target (the only form the XSLT rewrite emits).
+    Pi { target: String, content: Box<PubExpr> },
+    /// The 1-based position of the bound row of `table` within its row
+    /// source — SQL's `ROW_NUMBER() OVER (...)`, the lowering of XPath
+    /// `position()` over an ordered row scan. Requires the row to have
+    /// been bound positionally (by an `Agg` loop or a base-table scan);
+    /// a row bound without a position is an evaluation error.
+    RowNumber { table: String },
 }
 
 impl PubExpr {
@@ -161,14 +181,19 @@ impl PubExpr {
                 push(out, table);
                 preds(out, predicate);
             }
+            PubExpr::Comment(content) => content.collect_tables(out),
+            PubExpr::Pi { content, .. } => content.collect_tables(out),
+            PubExpr::RowNumber { table } => push(out, table),
         }
     }
 }
 
 /// Row bindings during evaluation: innermost binding of a table name wins.
+/// A binding may carry the row's 1-based position within its (ordered) row
+/// source, which is what [`PubExpr::RowNumber`] reads.
 #[derive(Debug, Default, Clone)]
 pub struct Bindings {
-    stack: Vec<(String, RowId)>,
+    stack: Vec<(String, RowId, Option<u64>)>,
 }
 
 impl Bindings {
@@ -177,7 +202,12 @@ impl Bindings {
     }
 
     pub fn push(&mut self, table: &str, row: RowId) {
-        self.stack.push((table.to_string(), row));
+        self.stack.push((table.to_string(), row, None));
+    }
+
+    /// Bind a row together with its 1-based position in the row source.
+    pub fn push_at(&mut self, table: &str, row: RowId, pos: u64) {
+        self.stack.push((table.to_string(), row, Some(pos)));
     }
 
     pub fn pop(&mut self) {
@@ -188,8 +218,18 @@ impl Bindings {
         self.stack
             .iter()
             .rev()
-            .find(|(t, _)| t == table)
-            .map(|(_, r)| *r)
+            .find(|(t, _, _)| t == table)
+            .map(|(_, r, _)| *r)
+    }
+
+    /// The 1-based position of the innermost binding of `table`, if it was
+    /// bound positionally.
+    pub fn get_pos(&self, table: &str) -> Option<u64> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(t, _, _)| t == table)
+            .and_then(|(_, _, p)| *p)
     }
 }
 
@@ -305,8 +345,8 @@ pub fn eval_pub_bound(
             let table = slots.resolve(table)?;
             let rows = agg_rows(table, predicate, catalog, stats, bindings, guard, slots)?;
             let rows = order_rows(rows, table, order_by, catalog)?;
-            for r in rows {
-                bindings.push(table, r);
+            for (i, r) in rows.into_iter().enumerate() {
+                bindings.push_at(table, r, (i + 1) as u64);
                 let res = eval_pub_bound(body, catalog, stats, bindings, out, guard, slots);
                 bindings.pop();
                 res?;
@@ -333,6 +373,23 @@ pub fn eval_pub_bound(
                 }
             };
             out.text(&text).map_err(sink_err)
+        }
+        PubExpr::Comment(content) => {
+            let text = eval_to_text_bound(content, catalog, stats, bindings, guard, slots)?;
+            guard.charge_output_nodes(1).map_err(guard_err)?;
+            out.comment(&text).map_err(sink_err)
+        }
+        PubExpr::Pi { target, content } => {
+            let text = eval_to_text_bound(content, catalog, stats, bindings, guard, slots)?;
+            guard.charge_output_nodes(1).map_err(guard_err)?;
+            out.pi(target, &text).map_err(sink_err)
+        }
+        PubExpr::RowNumber { table } => {
+            let table = slots.resolve(table)?;
+            let pos = bindings.get_pos(table).ok_or_else(|| {
+                StoreError::new(format!("no positional row bound for table {table}"))
+            })?;
+            out.text(&pos.to_string()).map_err(sink_err)
         }
     }
 }
@@ -424,26 +481,40 @@ fn order_rows(
         let ci = t
             .col_index(&o.column)
             .ok_or_else(|| StoreError::new(format!("no column {} in {table}", o.column)))?;
-        cols.push((ci, o.descending));
+        cols.push((ci, o.descending, o.numeric));
     }
-    // Decorate-sort-undecorate: fetch the key datums once through the
+    // Decorate-sort-undecorate: fetch the key *text* once through the
     // (fallible, possibly paged) access seam, then sort on the decoded
     // keys with an infallible comparator. Stable, like the sort it
-    // replaces.
+    // replaces. The comparison is the XSLT tier's, not the datum's typed
+    // order — see [`AggOrder`].
     let mut decorated = Vec::with_capacity(rows.len());
     for r in rows.drain(..) {
         let mut keys = Vec::with_capacity(cols.len());
-        for &(ci, _) in &cols {
-            keys.push(t.value(r, ci)?);
+        for &(ci, _, _) in &cols {
+            keys.push(t.value(r, ci)?.to_text());
         }
         decorated.push((keys, r));
     }
     decorated.sort_by(|(ka, _), (kb, _)| {
-        for (i, &(_, desc)) in cols.iter().enumerate() {
+        for (i, &(_, desc, numeric)) in cols.iter().enumerate() {
             let (Some(a), Some(b)) = (ka.get(i), kb.get(i)) else {
                 continue;
             };
-            let mut ord = a.cmp_total(b);
+            let mut ord = if numeric {
+                let x = xsltdb_xpath::value::str_to_num(a);
+                let y = xsltdb_xpath::value::str_to_num(b);
+                match (x.is_nan(), y.is_nan()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Less,
+                    (false, true) => std::cmp::Ordering::Greater,
+                    (false, false) => {
+                        x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                }
+            } else {
+                a.cmp(b)
+            };
             if desc {
                 ord = ord.reverse();
             }
@@ -458,11 +529,16 @@ fn order_rows(
 }
 
 /// A complete SQL/XML query: one publishing expression per row of a base
-/// table (possibly filtered) — the shape of Tables 3, 7 and 11.
+/// table (possibly filtered, possibly ordered) — the shape of Tables 3, 7
+/// and 11, extended with a base-row `ORDER BY` for the `xsl:sort` lowering.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlXmlQuery {
     pub base_table: String,
     pub where_clause: Conjunction,
+    /// Sort keys applied to the base rows before publishing. Rows are
+    /// bound positionally either way, so `RowNumber` over the base table
+    /// reads post-sort positions — XSLT's `position()` after `xsl:sort`.
+    pub order_by: Vec<AggOrder>,
     pub select: PubExpr,
 }
 
@@ -509,10 +585,11 @@ impl SqlXmlQuery {
         let base_table = slots.resolve(&self.base_table)?;
         let (rows, _path) =
             scan_guarded(catalog, stats, base_table, &self.where_clause, guard)?;
+        let rows = order_rows(rows, base_table, &self.order_by, catalog)?;
         let mut out = Vec::with_capacity(rows.len());
         let mut bindings = Bindings::new();
-        for r in rows {
-            bindings.push(base_table, r);
+        for (i, r) in rows.into_iter().enumerate() {
+            bindings.push_at(base_table, r, (i + 1) as u64);
             let mut sink = TreeSink::new(guard.clone());
             let res = eval_pub_bound(
                 &self.select,
@@ -559,10 +636,11 @@ impl SqlXmlQuery {
         let base_table = slots.resolve(&self.base_table)?;
         let (rows, _path) =
             scan_guarded(catalog, stats, base_table, &self.where_clause, guard)?;
+        let rows = order_rows(rows, base_table, &self.order_by, catalog)?;
         let mut sink = StreamWriter::new(out, guard.clone());
         let mut bindings = Bindings::new();
-        for r in rows {
-            bindings.push(base_table, r);
+        for (i, r) in rows.into_iter().enumerate() {
+            bindings.push_at(base_table, r, (i + 1) as u64);
             let res = eval_pub_bound(
                 &self.select,
                 catalog,
@@ -589,19 +667,34 @@ impl SqlXmlQuery {
     /// The access path the base-table scan would take (for EXPLAIN-style
     /// reporting). `slots` resolves a symbolic base table; pass
     /// [`SlotBindings::identity`] for concrete queries.
+    ///
+    /// When the query orders its base rows and the leading sort key has a
+    /// B-tree index, a predicate-free scan is reported as
+    /// [`AccessPath::IndexOrdered`]: the index can deliver rows already in
+    /// key order, absorbing the sort into the access path. A predicate
+    /// that wins an index probe keeps its own path — the probe's
+    /// selectivity outweighs saving the sort.
     pub fn explain_base_path_bound(
         &self,
         catalog: &Catalog,
         slots: &SlotBindings,
     ) -> Result<AccessPath, StoreError> {
         let stats = ExecStats::new();
+        let base = slots.resolve(&self.base_table)?;
         let (_, path) = scan_guarded(
             catalog,
             &stats,
-            slots.resolve(&self.base_table)?,
+            base,
             &self.where_clause,
             &Guard::unlimited(),
         )?;
+        if path == AccessPath::FullScan {
+            if let Some(o) = self.order_by.first() {
+                if catalog.index_on(base, &o.column).is_some() {
+                    return Ok(AccessPath::IndexOrdered { column: o.column.clone() });
+                }
+            }
+        }
         Ok(path)
     }
 
@@ -715,6 +808,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: dept_emp_pub(),
         };
         let docs = q.execute(&c, &stats).unwrap();
@@ -740,6 +834,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::Concat(vec![
                 PubExpr::elem("H1", vec![PubExpr::lit("HIGHLY PAID DEPT EMPLOYEES")]),
                 PubExpr::elem(
@@ -824,6 +919,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::single("deptno", CmpOp::Eq, Datum::Int(10)),
+            order_by: Vec::new(),
             select: PubExpr::Agg {
                 table: "emp".into(),
                 predicate: vec![AggPredTerm::Correlate {
@@ -831,7 +927,11 @@ mod tests {
                     outer_table: "dept".into(),
                     outer_column: "deptno".into(),
                 }],
-                order_by: vec![AggOrder { column: "sal".into(), descending: false }],
+                order_by: vec![AggOrder {
+                    column: "sal".into(),
+                    descending: false,
+                    numeric: false,
+                }],
                 body: Box::new(PubExpr::elem("s", vec![PubExpr::col("emp", "sal")])),
             },
         };
@@ -844,6 +944,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: dept_emp_pub(),
         };
         // Base table first, then first-mention order; correlation outer
@@ -853,6 +954,7 @@ mod tests {
         let scalar = SqlXmlQuery {
             base_table: "a".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::Concat(vec![
                 PubExpr::Case {
                     cond: ColumnCmp::new("x", CmpOp::Eq, crate::datum::Datum::Int(1)),
@@ -894,6 +996,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: dept_emp_pub(),
         };
         let stats = ExecStats::new();
@@ -926,6 +1029,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: dept_emp_pub(),
         };
         let guard = Guard::new(
@@ -992,8 +1096,116 @@ mod arith_tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: crate::exec::Conjunction::default(),
+            order_by: Vec::new(),
             select: e,
         };
         assert!(crate::sqlpretty::sql_text(&q).contains("('1' + '2')"));
+    }
+}
+
+#[cfg(test)]
+mod access_path_tests {
+    use super::*;
+    use crate::datum::{ColType, Datum};
+    use crate::exec::{AccessPath, CmpOp, Conjunction};
+    use crate::table::Table;
+
+    /// The XSLTMark db workload's row table: B-tree indexes on `id`,
+    /// `zip` and `state` — and deliberately none on `city`.
+    fn dbtail_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add_table(Table::new(
+            "db_rows",
+            &[
+                ("id", ColType::Int),
+                ("firstname", ColType::Text),
+                ("lastname", ColType::Text),
+                ("street", ColType::Text),
+                ("city", ColType::Text),
+                ("state", ColType::Text),
+                ("zip", ColType::Int),
+            ],
+        ));
+        let t = catalog.table_mut("db_rows").unwrap();
+        for (id, first, last, city, state, zip) in [
+            (3, "Al", "Barker", "Dover", "NY", 11100),
+            (1, "Bea", "Katz", "Anytown", "CA", 90210),
+            (2, "Carl", "Lane", "Dover", "CA", 90210),
+        ] {
+            t.insert(vec![
+                Datum::Int(id),
+                Datum::Text(first.into()),
+                Datum::Text(last.into()),
+                Datum::Text("1 Any St.".into()),
+                Datum::Text(city.into()),
+                Datum::Text(state.into()),
+                Datum::Int(zip),
+            ])
+            .unwrap();
+        }
+        catalog.create_index("db_rows", "id").unwrap();
+        catalog.create_index("db_rows", "zip").unwrap();
+        catalog.create_index("db_rows", "state").unwrap();
+        catalog
+    }
+
+    fn dbtail_query(where_clause: Conjunction, order_by: Vec<AggOrder>) -> SqlXmlQuery {
+        SqlXmlQuery {
+            base_table: "db_rows".into(),
+            where_clause,
+            order_by,
+            select: PubExpr::elem("r", vec![PubExpr::col("db_rows", "lastname")]),
+        }
+    }
+
+    fn asc(column: &str) -> AggOrder {
+        AggOrder { column: column.into(), descending: false, numeric: false }
+    }
+
+    #[test]
+    fn order_by_indexed_column_reports_ordered_index_scan() {
+        let catalog = dbtail_catalog();
+        let q = dbtail_query(Conjunction::default(), vec![asc("zip")]);
+        assert_eq!(
+            q.explain_base_path(&catalog).unwrap(),
+            AccessPath::IndexOrdered { column: "zip".into() }
+        );
+    }
+
+    #[test]
+    fn only_the_leading_sort_key_picks_the_ordered_scan() {
+        let catalog = dbtail_catalog();
+        // city (unindexed) leads: the secondary indexed key cannot deliver
+        // the ordering, so the scan stays full.
+        let q = dbtail_query(Conjunction::default(), vec![asc("city"), asc("zip")]);
+        assert_eq!(q.explain_base_path(&catalog).unwrap(), AccessPath::FullScan);
+        // state (indexed) leads: ordered index scan on it.
+        let q = dbtail_query(Conjunction::default(), vec![asc("state"), asc("city")]);
+        assert_eq!(
+            q.explain_base_path(&catalog).unwrap(),
+            AccessPath::IndexOrdered { column: "state".into() }
+        );
+    }
+
+    #[test]
+    fn unordered_scan_stays_full() {
+        let catalog = dbtail_catalog();
+        let q = dbtail_query(Conjunction::default(), Vec::new());
+        assert_eq!(q.explain_base_path(&catalog).unwrap(), AccessPath::FullScan);
+    }
+
+    #[test]
+    fn index_probe_outranks_the_ordered_scan() {
+        let catalog = dbtail_catalog();
+        // A predicate that wins an index probe keeps its own access path:
+        // the probe's selectivity outweighs absorbing the sort.
+        let q = dbtail_query(
+            Conjunction::single("id", CmpOp::Eq, Datum::Int(2)),
+            vec![asc("zip")],
+        );
+        assert_eq!(
+            q.explain_base_path(&catalog).unwrap(),
+            AccessPath::IndexEq { column: "id".into() }
+        );
     }
 }

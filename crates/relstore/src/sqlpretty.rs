@@ -2,7 +2,7 @@
 //! display only, for documentation, examples and EXPLAIN-style output.
 
 use crate::exec::Conjunction;
-use crate::pubexpr::{AggFunc, AggPredTerm, PubExpr, SqlXmlQuery};
+use crate::pubexpr::{AggFunc, AggOrder, AggPredTerm, PubExpr, SqlXmlQuery};
 
 /// Render a full query.
 pub fn sql_text(q: &SqlXmlQuery) -> String {
@@ -13,7 +13,26 @@ pub fn sql_text(q: &SqlXmlQuery) -> String {
         s.push_str("\nWHERE ");
         s.push_str(&conj_text(&q.where_clause));
     }
+    if !q.order_by.is_empty() {
+        s.push_str("\nORDER BY ");
+        s.push_str(&order_text(&q.order_by));
+    }
     s
+}
+
+fn order_text(order_by: &[AggOrder]) -> String {
+    order_by
+        .iter()
+        .map(|o| {
+            format!(
+                "{}{}{}",
+                o.column.to_uppercase(),
+                if o.numeric { " NUMERIC" } else { "" },
+                if o.descending { " DESC" } else { "" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn conj_text(c: &Conjunction) -> String {
@@ -78,18 +97,7 @@ fn pub_text(e: &PubExpr, level: usize) -> String {
                 if order_by.is_empty() {
                     String::new()
                 } else {
-                    format!(
-                        " ORDER BY {}",
-                        order_by
-                            .iter()
-                            .map(|o| format!(
-                                "{}{}",
-                                o.column.to_uppercase(),
-                                if o.descending { " DESC" } else { "" }
-                            ))
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    )
+                    format!(" ORDER BY {}", order_text(order_by))
                 },
                 pad(level),
                 table.to_uppercase()
@@ -127,6 +135,15 @@ fn pub_text(e: &PubExpr, level: usize) -> String {
             s.push(')');
             s
         }
+        PubExpr::Comment(content) => {
+            format!("XMLComment({})", pub_text(content, level))
+        }
+        PubExpr::Pi { target, content } => {
+            format!("XMLPI(NAME \"{target}\", {})", pub_text(content, level))
+        }
+        PubExpr::RowNumber { table } => {
+            format!("ROW_NUMBER() OVER ({})", table.to_uppercase())
+        }
     }
 }
 
@@ -159,6 +176,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::Concat(vec![
                 PubExpr::elem("H1", vec![PubExpr::lit("HIGHLY PAID DEPT EMPLOYEES")]),
                 PubExpr::Agg {
@@ -190,6 +208,7 @@ mod tests {
         let q = SqlXmlQuery {
             base_table: "emp".into(),
             where_clause: Conjunction::single("sal", CmpOp::Ge, Datum::Int(100)),
+            order_by: Vec::new(),
             select: PubExpr::Element {
                 name: "table".into(),
                 attrs: vec![("border".into(), PubExpr::lit("2"))],

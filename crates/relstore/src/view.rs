@@ -79,6 +79,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem("row", vec![PubExpr::col("t", "v")]),
             },
         );

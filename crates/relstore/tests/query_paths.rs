@@ -23,6 +23,7 @@ fn base_table_where_uses_index() {
     let q = SqlXmlQuery {
         base_table: "emp".into(),
         where_clause: Conjunction::single("empno", CmpOp::Eq, Datum::Int(3)),
+        order_by: Vec::new(),
         select: PubExpr::elem("e", vec![PubExpr::col("emp", "sal")]),
     };
     assert_eq!(
@@ -42,6 +43,7 @@ fn unindexed_filter_full_scans() {
     let q = SqlXmlQuery {
         base_table: "emp".into(),
         where_clause: Conjunction::single("sal", CmpOp::Gt, Datum::Int(1000)),
+        order_by: Vec::new(),
         select: PubExpr::elem("e", vec![PubExpr::col("emp", "empno")]),
     };
     assert_eq!(q.explain_base_path(&c).unwrap(), AccessPath::FullScan);
@@ -57,6 +59,7 @@ fn elements_built_counter() {
     let q = SqlXmlQuery {
         base_table: "emp".into(),
         where_clause: Conjunction::default(),
+        order_by: Vec::new(),
         select: PubExpr::elem(
             "e",
             vec![PubExpr::elem("n", vec![PubExpr::col("emp", "empno")])],
@@ -74,6 +77,7 @@ fn unknown_base_table_errors() {
     let q = SqlXmlQuery {
         base_table: "missing".into(),
         where_clause: Conjunction::default(),
+        order_by: Vec::new(),
         select: PubExpr::lit("x"),
     };
     assert!(q.execute(&c, &ExecStats::new()).is_err());
@@ -85,6 +89,7 @@ fn unknown_column_in_predicate_errors_cleanly() {
     let q = SqlXmlQuery {
         base_table: "emp".into(),
         where_clause: Conjunction::single("ghost", CmpOp::Eq, Datum::Int(1)),
+        order_by: Vec::new(),
         select: PubExpr::lit("x"),
     };
     // The residual filter path swallows per-row errors as non-matches; the

@@ -157,6 +157,9 @@ fn canon_pub(expr: &mut PubExpr, slots: &mut Slots) {
                 canon_term(t, slots);
             }
         }
+        PubExpr::Comment(content) => canon_pub(content, slots),
+        PubExpr::Pi { content, .. } => canon_pub(content, slots),
+        PubExpr::RowNumber { table } => slots.rename(table),
     }
 }
 
@@ -236,6 +239,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: dept.to_string(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select,
             },
         )
@@ -303,6 +307,7 @@ mod tests {
                 SqlXmlQuery {
                     base_table: "t".into(),
                     where_clause: Conjunction::single("v", CmpOp::Eq, xsltdb_relstore::Datum::Int(1)),
+                    order_by: Vec::new(),
                     select: PubExpr::lit("no root element"),
                 },
             )

@@ -84,6 +84,12 @@ fn collect_children(
                     "CASE/arithmetic expressions are not supported in view definitions".into(),
                 ))
             }
+            PubExpr::Comment(_) | PubExpr::Pi { .. } | PubExpr::RowNumber { .. } => {
+                return Err(DeriveError(
+                    "comment/PI/row-number expressions are not supported in view definitions"
+                        .into(),
+                ))
+            }
             PubExpr::Agg { table, predicate, body, .. } => {
                 let mut child = elem_of_pub(body)?.ok_or_else(|| {
                     DeriveError("XMLAgg body must construct an element".into())
@@ -109,6 +115,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "dept".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem(
                     "dept",
                     vec![
@@ -189,6 +196,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::lit("just text"),
             },
         );
@@ -202,6 +210,7 @@ mod tests {
             SqlXmlQuery {
                 base_table: "t".into(),
                 where_clause: Conjunction::default(),
+                order_by: Vec::new(),
                 select: PubExpr::elem(
                     "x",
                     vec![PubExpr::lit("Name: "), PubExpr::col("t", "name")],

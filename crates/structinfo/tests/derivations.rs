@@ -51,6 +51,7 @@ fn view_info() -> StructInfo {
         SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "dept",
                 vec![

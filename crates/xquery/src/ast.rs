@@ -57,7 +57,11 @@ impl ArithOp {
 /// A FLWOR binding clause.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Clause {
-    For { var: String, source: XqExpr },
+    /// `for $var at $pos in source` — `at` binds the 1-based position of
+    /// the tuple in the *input* sequence (pre-`order by`, per the XQuery
+    /// spec). The XSLT rewrite therefore nests a sorted inner FLWOR inside
+    /// an outer `for ... at` when post-sort positions are needed.
+    For { var: String, at: Option<String>, source: XqExpr },
     Let { var: String, value: XqExpr },
 }
 
@@ -171,6 +175,11 @@ pub enum XqExpr {
     CompAttr { name: Box<XqExpr>, value: Box<XqExpr> },
     /// `text {expr}`.
     CompText(Box<XqExpr>),
+    /// `comment {expr}` — a computed comment node.
+    CompComment(Box<XqExpr>),
+    /// `processing-instruction target {expr}` — a computed PI with a
+    /// constant target (the only form the XSLT rewrite emits).
+    CompPi { target: String, content: Box<XqExpr> },
     /// An expression annotated with a pretty-printed comment
     /// (`(: <xsl:template match="dept"> :)` in the paper's Table 8).
     /// Evaluates exactly as the inner expression.
@@ -286,7 +295,11 @@ pub fn walk_exprs<'a>(e: &'a XqExpr, f: &mut impl FnMut(&'a XqExpr)) {
             walk_exprs(a, f);
             walk_exprs(b, f);
         }
-        XqExpr::Neg(a) | XqExpr::InstanceOf(a, _) | XqExpr::CompText(a) => walk_exprs(a, f),
+        XqExpr::Neg(a)
+        | XqExpr::InstanceOf(a, _)
+        | XqExpr::CompText(a)
+        | XqExpr::CompComment(a)
+        | XqExpr::CompPi { content: a, .. } => walk_exprs(a, f),
         XqExpr::Path { start, steps } => {
             if let PathStart::Expr(e) = start {
                 walk_exprs(e, f);

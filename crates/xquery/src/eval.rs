@@ -483,6 +483,30 @@ pub(crate) fn eval(e: &XqExpr, env: &mut EvalEnv<'_>) -> Result<Sequence, XqErro
                 None => Ok(Vec::new()),
             }
         }
+        XqExpr::CompComment(e) => {
+            let v = eval(e, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            let mut b = TreeBuilder::new();
+            b.start_element(QName::local("xq-comment-holder"));
+            b.comment(strs.join(" "));
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let holder = doc.root_element().expect("built above");
+            let node = doc.children(holder).next().expect("comment node built");
+            Ok(vec![Item::Node(NodeHandle::new(doc, node))])
+        }
+        XqExpr::CompPi { target, content } => {
+            let v = eval(content, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            let mut b = TreeBuilder::new();
+            b.start_element(QName::local("xq-pi-holder"));
+            b.pi(target.as_str(), strs.join(" "));
+            b.end_element();
+            let doc = Rc::new(b.finish());
+            let holder = doc.root_element().expect("built above");
+            let node = doc.children(holder).next().expect("pi node built");
+            Ok(vec![Item::Node(NodeHandle::new(doc, node))])
+        }
     }
 }
 
@@ -633,9 +657,9 @@ fn eval_flwor(
                 current.pop();
                 r
             }
-            Some((Clause::For { var, source }, rest)) => {
+            Some((Clause::For { var, at, source }, rest)) => {
                 let src = eval(source, env)?;
-                for item in src {
+                for (i, item) in src.into_iter().enumerate() {
                     // One fuel unit per FLWOR tuple, so a cross-product of
                     // large sequences is bounded even when each inner eval
                     // is cheap.
@@ -643,7 +667,18 @@ fn eval_flwor(
                     let single = vec![item];
                     env.vars.push((var.clone(), single.clone()));
                     current.push((var.clone(), single));
+                    if let Some(pos_var) = at {
+                        // `at` binds the 1-based position in the *input*
+                        // sequence (pre-`order by`, per spec).
+                        let pos = vec![Item::Num((i + 1) as f64)];
+                        env.vars.push((pos_var.clone(), pos.clone()));
+                        current.push((pos_var.clone(), pos));
+                    }
                     let r = expand(rest, where_clause, env, tuples, current);
+                    if at.is_some() {
+                        env.vars.pop();
+                        current.pop();
+                    }
                     env.vars.pop();
                     current.pop();
                     r?;
@@ -682,10 +717,15 @@ fn eval_flwor(
                     || matches!(ka[i], Item::Num(_))
                     || matches!(kb[i], Item::Num(_))
                 {
-                    ka[i]
-                        .to_number()
-                        .partial_cmp(&kb[i].to_number())
-                        .unwrap_or(Ordering::Equal)
+                    // NaN sorts first (ascending), mirroring the XSLT VM's
+                    // number-sort rule so the tiers stay byte-identical.
+                    let (a, b) = (ka[i].to_number(), kb[i].to_number());
+                    match (a.is_nan(), b.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Less,
+                        (false, true) => Ordering::Greater,
+                        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                    }
                 } else {
                     ka[i].to_string_value().cmp(&kb[i].to_string_value())
                 };

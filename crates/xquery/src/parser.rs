@@ -272,11 +272,17 @@ impl<'a> Qp<'a> {
                 loop {
                     self.expect("$")?;
                     let var = self.qname_str()?;
+                    let at = if self.eat_kw("at") {
+                        self.expect("$")?;
+                        Some(self.qname_str()?)
+                    } else {
+                        None
+                    };
                     if !self.eat_kw("in") {
                         return Err(self.err("expected `in` in for clause"));
                     }
                     let source = self.expr_single()?;
-                    clauses.push(Clause::For { var, source });
+                    clauses.push(Clause::For { var, at, source });
                     if !self.eat(",") {
                         break;
                     }
@@ -595,7 +601,15 @@ impl<'a> Qp<'a> {
                         name.as_str(),
                         "text" | "node" | "comment" | "processing-instruction"
                     ),
-                    Some('{') => matches!(name.as_str(), "element" | "attribute" | "text" | "document"),
+                    Some('{') => matches!(
+                        name.as_str(),
+                        "element" | "attribute" | "text" | "document" | "comment"
+                    ),
+                    // `processing-instruction target {` — the constructor
+                    // names its target before the enclosed content.
+                    Some(c2) if c2.is_alphabetic() || c2 == '_' => {
+                        name == "processing-instruction"
+                    }
                     _ => false,
                 }
             }
@@ -774,6 +788,20 @@ impl<'a> Qp<'a> {
             Some(c) if c.is_alphabetic() || c == '_' => {
                 let name = self.qname_str()?;
                 self.ws();
+                if name == "processing-instruction"
+                    && matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_')
+                {
+                    let target = self.ncname()?;
+                    self.expect("{")?;
+                    self.ws();
+                    let content = if self.peek() == Some('}') {
+                        Box::new(XqExpr::Empty)
+                    } else {
+                        Box::new(self.expr()?)
+                    };
+                    self.expect("}")?;
+                    return Ok(XqExpr::CompPi { target, content });
+                }
                 if self.peek() == Some('{') {
                     return self.computed_constructor(&name);
                 }
@@ -822,6 +850,12 @@ impl<'a> Qp<'a> {
                 let e = Box::new(self.expr()?);
                 self.expect("}")?;
                 Ok(XqExpr::CompText(e))
+            }
+            "comment" => {
+                self.expect("{")?;
+                let e = Box::new(self.expr()?);
+                self.expect("}")?;
+                Ok(XqExpr::CompComment(e))
             }
             other => Err(self.err(format!("unsupported computed constructor `{other}`"))),
         }

@@ -79,8 +79,12 @@ fn write_expr(e: &XqExpr, level: usize, out: &mut String) {
         XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
             for c in clauses {
                 match c {
-                    Clause::For { var, source } => {
-                        out.push_str(&format!("for ${var} in "));
+                    Clause::For { var, at, source } => {
+                        out.push_str(&format!("for ${var}"));
+                        if let Some(p) = at {
+                            out.push_str(&format!(" at ${p}"));
+                        }
+                        out.push_str(" in ");
                         write_expr(source, level, out);
                     }
                     Clause::Let { var, value } => {
@@ -266,6 +270,18 @@ fn write_expr(e: &XqExpr, level: usize, out: &mut String) {
             write_expr(e, level, out);
             out.push('}');
         }
+        XqExpr::CompComment(e) => {
+            out.push_str("comment {");
+            write_expr(e, level, out);
+            out.push('}');
+        }
+        XqExpr::CompPi { target, content } => {
+            out.push_str("processing-instruction ");
+            out.push_str(target);
+            out.push_str(" {");
+            write_expr(content, level, out);
+            out.push('}');
+        }
     }
 }
 
@@ -382,6 +398,10 @@ mod tests {
             "element {'x'} {1, 2}",
             "fn:string-join(for $t in $v//text() return fn:string($t), \" \")",
             "for $e in $x/emp where $e/sal > 100 order by $e/ename descending return $e",
+            "for $e at $p in $x/emp return <i n=\"{$p}\">{fn:string($e)}</i>",
+            "comment {\"generated\"}",
+            "processing-instruction target {\"run\"}",
+            "for $v at $p in (for $s in $x/row order by $s/city return $s) return $p",
         ] {
             roundtrip(src);
         }

@@ -156,6 +156,7 @@ fn add_db_tables(
         SqlXmlQuery {
             base_table: doc_table.into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "table",
                 vec![PubExpr::Agg {

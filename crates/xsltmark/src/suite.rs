@@ -30,6 +30,16 @@ pub struct CaseRun {
     pub note: Option<String>,
 }
 
+/// How many of the forty XSLTMark cases the rewrite fully inlines (zero
+/// generated function declarations). The paper reports 23/40 (§5); the
+/// join-graph rewrite — ORDER BY on row sources, positional context via
+/// `at`/count variables, and comment/PI emission — pushes six more over:
+/// `comments`, `processes`, `position`, `trend`, `stringsort` and
+/// `oddtemplates`. Asserted exactly in the suite tests and referenced from
+/// EXPERIMENTS.md; a drop means a rewrite regression, a rise means this
+/// constant and the experiment record need updating together.
+pub const EXPECTED_FULLY_INLINED: usize = 29;
+
 /// A parameterised `dbonerow` stylesheet targeting a specific id (benches
 /// point it at an id that exists for their row count).
 pub fn dbonerow_stylesheet(target_id: i64) -> String {
@@ -280,13 +290,16 @@ mod tests {
 
     #[test]
     fn majority_of_cases_fully_inline() {
-        // Paper §5: "23 out of 40 XSLTMark test cases can be completely
-        // inlined … more than 50%". Our re-creations reproduce the exact
-        // ratio (tracked in EXPERIMENTS.md): a drop below 23 means a
-        // rewrite regression, a rise means the statistic needs re-recording.
+        // Paper §5 reports 23/40 completely inlined; the join-graph rewrite
+        // raises our count to [`EXPECTED_FULLY_INLINED`] (tracked in
+        // EXPERIMENTS.md). Asserted exactly: a drop means a rewrite
+        // regression, a rise means the constant needs re-recording.
         let (inlined, total) = on_big_stack(|| inline_statistics(20, 3));
         assert_eq!(total, 40);
-        assert_eq!(inlined, 23, "fully-inlined count drifted from the paper's 23/40");
+        assert_eq!(
+            inlined, EXPECTED_FULLY_INLINED,
+            "fully-inlined count drifted from the recorded {EXPECTED_FULLY_INLINED}/40"
+        );
     }
 
     #[test]
@@ -333,9 +346,11 @@ mod tests {
     fn tier_statistics_cover_all_cases() {
         let (sql, xq, vm) = on_big_stack(|| tier_statistics(10, 2));
         assert_eq!(sql + xq + vm, 40);
-        // A solid majority of the inline-able cases push all the way to SQL.
-        assert!(sql >= 15, "only {sql} cases reached the SQL tier");
-        assert!(vm >= 7, "expected the untranslatable cases on the VM tier");
+        // A solid majority of the inline-able cases push all the way to SQL;
+        // with positional/comment/PI lowering only `functions`
+        // (generate-id) stays untranslatable on the VM tier.
+        assert!(sql >= 22, "only {sql} cases reached the SQL tier");
+        assert!(vm >= 1, "expected the untranslatable cases on the VM tier");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn setup() -> (Catalog, XmlView) {
         SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "dept",
                 vec![

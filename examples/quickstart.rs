@@ -61,6 +61,7 @@ fn main() {
         SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "dept",
                 vec![

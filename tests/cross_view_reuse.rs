@@ -131,6 +131,7 @@ fn same_tags_different_shape_get_distinct_entries() {
         SqlXmlQuery {
             base_table: "t1".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t1", "v")])]),
         },
     );
@@ -139,6 +140,7 @@ fn same_tags_different_shape_get_distinct_entries() {
         SqlXmlQuery {
             base_table: "t2".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "r",
                 vec![PubExpr::elem(

@@ -62,6 +62,7 @@ fn dept_emp_view() -> XmlView {
         SqlXmlQuery {
             base_table: "dept".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "dept",
                 vec![

@@ -30,6 +30,7 @@ fn setup() -> (Catalog, XmlView) {
         SqlXmlQuery {
             base_table: "t".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem("r", vec![PubExpr::elem("v", vec![PubExpr::col("t", "v")])]),
         },
     );

@@ -54,6 +54,7 @@ fn region_view() -> XmlView {
         SqlXmlQuery {
             base_table: "region".into(),
             where_clause: Conjunction::default(),
+            order_by: Vec::new(),
             select: PubExpr::elem(
                 "region",
                 vec![
