@@ -17,6 +17,19 @@ use xsltdb::pipeline::Tier;
 use xsltdb::{Guard, Limits};
 use xsltdb_bench::{median_micros, write_bench_json, Workload};
 use xsltdb_relstore::ExecStats;
+use xsltdb_xsltmark::all_cases;
+
+/// Stack for the full-suite pass: the recursive cases blow the default.
+const SUITE_STACK: usize = 64 * 1024 * 1024;
+
+fn on_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(SUITE_STACK)
+        .spawn(f)
+        .expect("spawn suite thread")
+        .join()
+        .expect("suite thread panicked")
+}
 
 /// XSLTMark's `dbtail` shape: project every row of the table, so the
 /// output (and the DOM path's working set) grows linearly with the data.
@@ -70,6 +83,63 @@ fn mb_per_s(bytes: u64, us: f64) -> f64 {
     } else {
         bytes as f64 / us // bytes/µs == MB/s
     }
+}
+
+/// One XSLTMark case through both paths, with the materialisation story
+/// split by side: result-tree nodes on the DOM path, spilled subtrees on
+/// the streaming path, and the plan's static emission census.
+struct CaseRow {
+    name: &'static str,
+    tier: Tier,
+    bytes: u64,
+    identical: bool,
+    /// Peak DOM nodes the materialising path built (input + result trees).
+    dom_peak_nodes: u64,
+    /// Peak DOM nodes the streaming path built (the input documents on the
+    /// XQuery tier; zero on the SQL tier).
+    stream_peak_nodes: u64,
+    /// Result-side subtrees the sink-mode evaluator had to spill.
+    spilled_subtrees: u64,
+    peak_spilled_nodes: u64,
+    /// Static emission census of the rewritten query (None on the VM tier).
+    emit_sites: Option<usize>,
+    spill_sites: Option<usize>,
+}
+
+/// Run the whole 40-case suite through `execute` and `execute_to_writer`.
+fn run_suite(rows: usize) -> Vec<CaseRow> {
+    all_cases()
+        .iter()
+        .map(|case| {
+            let w = Workload::new(case.name, rows, &case.stylesheet);
+            let mat_stats = ExecStats::new();
+            let docs = w
+                .bound
+                .execute(&w.catalog, &mat_stats)
+                .unwrap_or_else(|e| panic!("DOM path failed on {}: {e}", case.name));
+            let mat_bytes: String = docs.iter().map(xsltdb_xml::to_string).collect();
+
+            let st_stats = ExecStats::new();
+            let mut streamed = Vec::new();
+            w.bound
+                .execute_to_writer(&w.catalog, &st_stats, &Guard::unlimited(), &mut streamed)
+                .unwrap_or_else(|e| panic!("streaming path failed on {}: {e}", case.name));
+            let snap = st_stats.snapshot();
+            let emission = w.bound.plan().emission;
+            CaseRow {
+                name: case.name,
+                tier: w.tier(),
+                bytes: streamed.len() as u64,
+                identical: mat_bytes.as_bytes() == streamed.as_slice(),
+                dom_peak_nodes: mat_stats.snapshot().peak_materialized_nodes,
+                stream_peak_nodes: snap.peak_materialized_nodes,
+                spilled_subtrees: snap.spilled_subtrees,
+                peak_spilled_nodes: snap.peak_spilled_nodes,
+                emit_sites: emission.map(|e| e.emit_sites),
+                spill_sites: emission.map(|e| e.spill_sites),
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -151,32 +221,119 @@ fn main() {
          {} B reached the wire (bounded={bounded})",
         partial.len()
     );
+
+    // =======================================================================
+    // Full-suite pass: all 40 XSLTMark cases through both paths, with the
+    // per-tier materialisation story. Gates:
+    //  * every case byte-identical between the paths;
+    //  * every SQL-tier stream builds zero DOM nodes;
+    //  * ≥ 10 XQuery-tier cases stream with zero spilled result subtrees;
+    //  * the static emission analysis is sound — a plan it calls
+    //    spill-free never spills at run time.
+    // =======================================================================
+    // Full runs stay under the engine's 96-deep recursion limit: the
+    // recursion-shaped cases (`backwards`, `reverser`, …) recurse once per
+    // row on both paths, so rows must sit below MAX_DEPTH.
+    let suite_rows = if smoke { 24 } else { 64 };
+    let suite = on_big_stack(move || run_suite(suite_rows));
+
+    println!();
+    println!("XSLTMark suite at {suite_rows} rows — per-tier materialisation");
+    println!("(spills: result subtrees the sink-mode evaluator built and replayed)");
+    println!();
+    println!(
+        "{:>12} | {:>6} | {:>8} | {:>9} | {:>11} | {:>7} | {:>11} | {:>5}",
+        "case", "tier", "bytes", "DOM nodes", "strm nodes", "spills", "emit/spill", "ident"
+    );
+    println!("{}", "-".repeat(92));
+    let mut suite_identical = true;
+    let mut sql_zero_nodes = true;
+    let mut analysis_sound = true;
+    let mut xquery_cases = 0u32;
+    let mut xquery_zero_spill = 0u32;
+    let mut suite_json: Vec<String> = Vec::new();
+    for c in &suite {
+        suite_identical &= c.identical;
+        match c.tier {
+            Tier::Sql => sql_zero_nodes &= c.stream_peak_nodes == 0,
+            Tier::XQuery => {
+                xquery_cases += 1;
+                if c.spilled_subtrees == 0 {
+                    xquery_zero_spill += 1;
+                }
+                if c.spill_sites == Some(0) && c.spilled_subtrees > 0 {
+                    analysis_sound = false;
+                }
+            }
+            Tier::Vm => {}
+        }
+        let census = match (c.emit_sites, c.spill_sites) {
+            (Some(e), Some(s)) => format!("{e}/{s}"),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:>12} | {:>6} | {:>8} | {:>9} | {:>11} | {:>7} | {:>11} | {:>5}",
+            c.name,
+            format!("{:?}", c.tier).to_lowercase(),
+            c.bytes,
+            c.dom_peak_nodes,
+            c.stream_peak_nodes,
+            c.spilled_subtrees,
+            census,
+            c.identical,
+        );
+        suite_json.push(format!(
+            r#"{{"case":"{}","tier":"{}","bytes":{},"identical":{},"peak_nodes_dom":{},"peak_nodes_stream":{},"spilled_subtrees":{},"peak_spilled_nodes":{},"emit_sites":{},"spill_sites":{}}}"#,
+            c.name,
+            format!("{:?}", c.tier).to_lowercase(),
+            c.bytes,
+            c.identical,
+            c.dom_peak_nodes,
+            c.stream_peak_nodes,
+            c.spilled_subtrees,
+            c.peak_spilled_nodes,
+            c.emit_sites.map_or("null".to_string(), |v| v.to_string()),
+            c.spill_sites.map_or("null".to_string(), |v| v.to_string()),
+        ));
+    }
+    let enough_zero_spill = xquery_zero_spill >= 10;
+    let suite_ok = suite_identical && sql_zero_nodes && analysis_sound && enough_zero_spill;
+    println!();
+    println!(
+        "Suite check [{}]: identical {suite_identical}; sql-tier zero nodes {sql_zero_nodes}; \
+         xquery zero-spill {xquery_zero_spill}/{xquery_cases} (need >= 10: {enough_zero_spill}); \
+         spill-free plans never spilled: {analysis_sound}.",
+        if suite_ok { "OK" } else { "REGRESSION" },
+    );
     println!();
     println!("Expected shape: on the SQL tier the streaming path builds zero DOM");
     println!("nodes — the DOM column's working set grows with the output while the");
     println!("stream column stays flat — and an output-byte cap stops the stream");
     println!("mid-flight with at most `cap` bytes on the wire.");
-    let ok = all_sql_streams_zero_nodes && tripped && bounded;
+    let ok = all_sql_streams_zero_nodes && tripped && bounded && suite_ok;
     println!(
         "Shape check [{}]: sql-tier streams materialized 0 nodes: {}; \
-         mid-stream trip fired and stayed bounded: {}.",
+         mid-stream trip fired and stayed bounded: {}; suite gates: {}.",
         if ok { "OK" } else { "REGRESSION" },
         all_sql_streams_zero_nodes,
-        tripped && bounded
+        tripped && bounded,
+        suite_ok
     );
 
     if json {
         let body = format!(
-            "{{\n  \"bench\": \"stream\",\n  \"smoke\": {smoke},\n  \"iters\": {iters},\n  \"rows\": [\n    {}\n  ],\n  \"guard_trip\": {{\"cap_bytes\": {cap}, \"stream_bytes\": {full_bytes}, \"partial_bytes\": {}, \"tripped\": {tripped}, \"bounded\": {bounded}}},\n  \"sql_tier_zero_nodes\": {all_sql_streams_zero_nodes}\n}}\n",
+            "{{\n  \"bench\": \"stream\",\n  \"smoke\": {smoke},\n  \"iters\": {iters},\n  \"rows\": [\n    {}\n  ],\n  \"guard_trip\": {{\"cap_bytes\": {cap}, \"stream_bytes\": {full_bytes}, \"partial_bytes\": {}, \"tripped\": {tripped}, \"bounded\": {bounded}}},\n  \"sql_tier_zero_nodes\": {all_sql_streams_zero_nodes},\n  \"suite_rows\": {suite_rows},\n  \"cases\": [\n    {}\n  ],\n  \"xquery_cases\": {xquery_cases},\n  \"xquery_zero_spill\": {xquery_zero_spill},\n  \"suite_ok\": {suite_ok}\n}}\n",
             json_rows.join(",\n    "),
             partial.len(),
+            suite_json.join(",\n    "),
         );
         write_bench_json("BENCH_stream.json", &body);
     }
 
     // The shape check is the CI contract: a sql-tier stream that
-    // materialises nodes, or a cap that fails to stop the stream, fails
-    // the job.
+    // materialises nodes, a cap that fails to stop the stream, a byte
+    // divergence anywhere in the suite, or a spill-free plan that spilled
+    // at run time — any of these fails the job.
     if !ok {
         std::process::exit(1);
     }

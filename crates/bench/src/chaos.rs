@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
-use xsltdb::pipeline::plan_bound;
+use xsltdb::pipeline::{plan_bound, Tier};
 use xsltdb::xqgen::RewriteOptions;
 use xsltdb::{FaultKind, FaultPoint, Guard, Limits};
 use xsltdb_relstore::{Catalog, ColType, Datum, ExecStats, PoolSnapshot, Table, XmlView};
@@ -114,6 +114,12 @@ pub struct ChaosConfig {
     /// lockstep by the churn writers, as the reference side of every byte
     /// comparison.
     pub pool_frames: usize,
+    /// Kill the SQL tier on every request's first attempt (alternating
+    /// error and panic), so SQL-tier plans degrade to the streamed XQuery
+    /// tier mid-request. Unlike `inject_faults` this is not randomised: it
+    /// drives the *whole* SQL-planned share of the suite through the
+    /// sink-mode spill path under concurrency.
+    pub degrade_sql: bool,
     /// Front-door tuning for the run.
     pub door: FrontDoorConfig,
 }
@@ -131,7 +137,20 @@ impl ChaosConfig {
             inject_faults: true,
             churn_writers: 0,
             pool_frames: 0,
+            degrade_sql: false,
             door: FrontDoorConfig::server_default(),
+        }
+    }
+
+    /// The SQL-degrade run: no random chaos, but every request's first
+    /// attempt loses its SQL tier, so all SQL-planned cases are served by
+    /// streamed sink-mode XQuery evaluation — spills, replays and all —
+    /// while byte identity and ledger conservation stay asserted.
+    pub fn sql_degrade_chaos(clients: usize) -> ChaosConfig {
+        ChaosConfig {
+            inject_faults: false,
+            degrade_sql: true,
+            ..ChaosConfig::default_chaos(clients)
         }
     }
 
@@ -171,6 +190,10 @@ pub struct ChaosReport {
     /// Served requests whose bytes differ from the fresh single-threaded
     /// result. **Must be zero.**
     pub mismatches: u64,
+    /// Served requests whose bytes came from the XQuery tier — in a
+    /// `degrade_sql` run this counts the requests that actually exercised
+    /// the streamed sink-mode path after losing their SQL tier.
+    pub served_xquery: u64,
     /// Sample diagnostic for the first mismatch, when any.
     pub first_mismatch: Option<String>,
     /// Attempts that started after a previous attempt of the same request
@@ -251,16 +274,21 @@ pub fn reference_outputs(catalog: &Catalog, view: &XmlView) -> Vec<Vec<u8>> {
 
 /// Fresh uncached output for one stylesheet against the catalog as it is
 /// *right now* — the churn differential's reference side, run under the
-/// same read lock as the served request it gates.
+/// same read lock as the served request it gates. Materialise-then-
+/// serialize rather than `execute_to_writer`: the reference must be
+/// maximally robust, and on the streaming path a tier that dies after its
+/// first byte is terminal (dirtiness rule), whereas the materialising
+/// lattice degrades cleanly — e.g. a recursion-shaped case whose XQuery
+/// tier trips the depth limit still produces VM bytes here, exactly as a
+/// breaker-routed serve does.
 fn fresh_output(catalog: &Catalog, view: &XmlView, stylesheet: &str, name: &str) -> Vec<u8> {
     let opts = RewriteOptions::default();
     let bound = plan_bound(catalog, view, stylesheet, &opts)
         .unwrap_or_else(|e| panic!("{name}: differential plan failed: {e}"));
-    let mut out = Vec::new();
-    bound
-        .execute_to_writer(catalog, &ExecStats::new(), &Guard::unlimited(), &mut out)
+    let docs = bound
+        .execute(catalog, &ExecStats::new())
         .unwrap_or_else(|e| panic!("{name}: differential run failed: {e}"));
-    out
+    docs.iter().map(xsltdb_xml::to_string).collect::<String>().into_bytes()
 }
 
 /// The unrelated table the churn writers churn DDL/DML through: it is in
@@ -271,11 +299,22 @@ fn scratch_table(tick: u64) -> Table {
     t
 }
 
+/// Ticks during which a churn writer may grow `db_rows`. The
+/// recursion-shaped suite cases (`backwards`, `reverser`, …) recurse once
+/// per row, so unbounded growth would push them past the engine's 96-deep
+/// recursion limit mid-run — and on the streaming XQuery tier a depth trip
+/// lands *after* bytes reached the writer, which is terminal by the
+/// dirtiness rule. Capping growth at 8 inserts per writer (48 seed rows +
+/// 2 writers × 8 ≤ 64 total) keeps every case inside the limit; after the
+/// cap, writers keep churning scratch DDL every tick, so invalidation
+/// pressure never stops.
+const GROWTH_TICKS: u64 = 8;
+
 /// One churn step, applied identically to the serving catalog and (in a
 /// paged run) its in-memory shadow: the two must stay byte-equivalent, so
 /// the mutation is a pure function of `(writer, tick, r)`.
 fn apply_churn(cat: &mut Catalog, writer: usize, tick: u64, r: u64) {
-    if r.is_multiple_of(4) {
+    if r.is_multiple_of(4) || tick >= GROWTH_TICKS {
         // Unrelated DDL + DML: replacing the scratch table bumps the
         // global DDL clock and the scratch data generation — neither is
         // in any request's read set, so cached results must survive this.
@@ -338,6 +377,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let shed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
+    let served_xquery = AtomicU64::new(0);
     let guard_trip_retries = AtomicU64::new(0);
     let guard_trips = AtomicU64::new(0);
     let stale_serves = AtomicU64::new(0);
@@ -393,6 +433,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             let shed = &shed;
             let failed = &failed;
             let mismatches = &mismatches;
+            let served_xquery = &served_xquery;
             let guard_trip_retries = &guard_trip_retries;
             let guard_trips = &guard_trips;
             let first_mismatch = &first_mismatch;
@@ -458,6 +499,21 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                                         .fold(Guard::new(limits), |g, &p| g.with_fault(p, kind)),
                                     _ => Guard::new(limits),
                                 };
+                                // The degrade schedule stacks on top: the
+                                // first attempt always loses its SQL tier,
+                                // alternating a clean error and a contained
+                                // panic so both exits of the spill path are
+                                // exercised.
+                                let g = if cfg.degrade_sql && attempt == 0 {
+                                    let kind = if request.is_multiple_of(2) {
+                                        FaultKind::Error
+                                    } else {
+                                        FaultKind::Panic
+                                    };
+                                    g.with_fault(FaultPoint::SqlExec, kind)
+                                } else {
+                                    g
+                                };
                                 *prev = Some(g.clone());
                                 g
                             },
@@ -520,6 +576,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                                         });
                                     }
                                 }
+                                if out.tier == Tier::XQuery {
+                                    served_xquery.fetch_add(1, Ordering::Relaxed);
+                                }
                                 served.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(ServeError::Rejected(_)) => {
@@ -552,6 +611,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         shed: shed.into_inner(),
         failed: failed.into_inner(),
         mismatches: mismatches.into_inner(),
+        served_xquery: served_xquery.into_inner(),
         first_mismatch: first_mismatch.into_inner().unwrap_or_else(|e| e.into_inner()),
         guard_trip_retries: guard_trip_retries.into_inner(),
         guard_trips: guard_trips.into_inner(),

@@ -63,6 +63,34 @@ fn chaos_eight_clients_clean_serves_everything() {
     assert!(report.holds());
 }
 
+/// Satellite: forced degradation to the streamed XQuery tier. Every
+/// request's first attempt loses its SQL tier (alternating error and
+/// contained panic), so all 23 SQL-planned cases are actually served by
+/// sink-mode XQuery evaluation — events straight to the wire, spills
+/// replayed — under 8 concurrent clients. The served bytes must stay
+/// identical to the clean single-threaded reference, and the ledger must
+/// quiesce: a reservation leaking through a spill-path panic would fail
+/// `holds()`.
+#[test]
+fn chaos_sql_faults_degrade_to_streamed_xquery() {
+    let mut cfg = ChaosConfig::sql_degrade_chaos(8);
+    cfg.requests_per_client = 20;
+    cfg.rows = 24;
+    let report = run_chaos(&cfg);
+    assert!(report.served > 0, "degrade run served nothing: {report:?}");
+    assert_eq!(
+        report.mismatches, 0,
+        "degraded bytes diverged from the reference: {:?}",
+        report.first_mismatch
+    );
+    assert!(
+        report.served_xquery > 0,
+        "no request was served by the XQuery tier: {report:?}"
+    );
+    assert!(report.quiesced, "ledger still holds reservations after quiesce");
+    assert!(report.holds());
+}
+
 /// Paged storage under churn: the serving catalog lives on disk pages
 /// behind a 6-frame buffer pool — far below the working set of the row
 /// table plus three B-tree indexes — while churn writers mutate it and a

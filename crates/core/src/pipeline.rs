@@ -38,9 +38,10 @@ use std::sync::Arc;
 use xsltdb_relstore::pubexpr::SqlXmlQuery;
 use xsltdb_relstore::{slot_name, Catalog, ExecStats, SlotBindings, XmlView};
 use xsltdb_structinfo::{canonicalize_view, StructInfo, ViewCanon};
-use xsltdb_xml::Document;
+use xsltdb_xml::{Document, StreamWriter};
 use xsltdb_xquery::{
-    evaluate_query, evaluate_query_guarded, sequence_to_document, NodeHandle,
+    analyze_query, evaluate_query, evaluate_query_guarded, evaluate_query_to_sink,
+    sequence_to_document, EmissionReport, NodeHandle,
 };
 use xsltdb_xslt::{compile_str, transform, transform_with, Stylesheet, TransformOptions};
 
@@ -76,6 +77,11 @@ pub struct TransformPlan {
     pub slot_count: usize,
     /// Why the plan fell back below the SQL tier, if it did.
     pub fallback_reason: Option<String>,
+    /// Static emission-position census of the rewritten query (present
+    /// whenever `rewrite` is): how many constructor sites stream as events
+    /// and how many must spill to a tree. `spill_free()` plans stream the
+    /// XQuery tier with zero arena nodes built for the result.
+    pub emission: Option<EmissionReport>,
 }
 
 /// A [`TransformPlan`] bound to one concrete view: the shared plan, the
@@ -221,6 +227,7 @@ pub fn plan_compiled(
                 canonical_fp: canon.fingerprint,
                 slot_count: 0,
                 fallback_reason: canon.note,
+                emission: None,
             })
         }
     };
@@ -231,6 +238,7 @@ pub fn plan_compiled(
         },
         Err(e) => (Tier::Vm, None, None, Some(e.to_string())),
     };
+    let emission = rewrite_out.as_ref().map(|o| analyze_query(&o.query));
     Ok(TransformPlan {
         tier,
         sheet,
@@ -239,6 +247,7 @@ pub fn plan_compiled(
         canonical_fp: canon.fingerprint,
         slot_count: canon.slot_count,
         fallback_reason,
+        emission,
     })
 }
 
@@ -475,7 +484,9 @@ impl BoundPlan {
                 for d in docs {
                     let input = NodeHandle::document(d);
                     let seq = evaluate_query(&outcome.query, Some(input))?;
-                    out.push(sequence_to_document(&seq));
+                    let doc = sequence_to_document(&seq);
+                    stats.note_materialized_nodes(doc.node_count() as u64);
+                    out.push(doc);
                 }
                 Ok(out)
             }
@@ -575,9 +586,12 @@ impl BoundPlan {
     /// On the SQL tier the rows are pulled through the iterator operators
     /// and serialized as they are published — zero DOM nodes, with
     /// `max_output_bytes` charged per write so trips fire mid-stream. The
-    /// XQuery and VM tiers cannot stream yet (see ROADMAP): they
-    /// materialise as in [`Self::execute_guarded`] and serialize after,
-    /// producing byte-identical output.
+    /// XQuery tier streams too: constructors in emission position push
+    /// events straight into a guarded [`StreamWriter`], and only
+    /// re-inspected subexpressions spill to a transient tree (reported via
+    /// `spilled_subtrees` / `peak_spilled_nodes` on [`ExecStats`]). The VM
+    /// tier still materialises as in [`Self::execute_guarded`] and
+    /// serializes after; every path is byte-identical.
     ///
     /// Degradation follows the same lattice as [`Self::execute_guarded`],
     /// with one extra rule: a tier that fails **after** bytes reached the
@@ -671,7 +685,9 @@ impl BoundPlan {
     }
 
     /// One tier of the streaming path: the SQL tier streams natively, the
-    /// materialising tiers run as usual and serialize their documents.
+    /// XQuery tier streams through sink-mode evaluation (spilling only
+    /// re-inspected subtrees), and the VM tier runs as usual and
+    /// serializes its documents.
     fn run_single_tier_to_writer(
         &self,
         tier: Tier,
@@ -691,9 +707,42 @@ impl BoundPlan {
                 sql.execute_streaming_bound(catalog, stats, guard, &self.bindings, out)?;
                 Ok(())
             }
-            tier => {
-                // Output bytes were already charged during construction on
-                // these tiers; serialization here is a plain copy-out.
+            Tier::XQuery => {
+                let outcome = self
+                    .plan
+                    .rewrite
+                    .as_ref()
+                    .ok_or_else(|| PipelineError::internal("no rewrite outcome in plan"))?;
+                let docs = self.view.materialize_guarded(catalog, stats, guard)?;
+                let before = out.written;
+                let mut spilled = 0u64;
+                let mut peak_spill = 0u64;
+                {
+                    let mut sw = StreamWriter::new(&mut *out, guard.clone());
+                    for d in docs {
+                        let input = NodeHandle::document(d);
+                        let run = evaluate_query_to_sink(
+                            &outcome.query,
+                            Some(input),
+                            Vec::new(),
+                            guard.clone(),
+                            &mut sw,
+                        )?;
+                        spilled += run.spilled_subtrees;
+                        peak_spill = peak_spill.max(run.peak_spilled_nodes);
+                    }
+                    sw.finish().map_err(|e| {
+                        PipelineError::internal(format!("stream close failed: {e}"))
+                    })?;
+                }
+                stats.add_streamed_bytes(out.written - before);
+                stats.add_spilled_subtrees(spilled);
+                stats.note_spilled_nodes(peak_spill);
+                Ok(())
+            }
+            Tier::Vm => {
+                // The VM charged output bytes while building its result
+                // trees; serialization here is a plain copy-out.
                 let docs = self.run_single_tier(tier, catalog, stats, guard)?;
                 for d in &docs {
                     out.write_all(xsltdb_xml::to_string(d).as_bytes()).map_err(|e| {
@@ -734,7 +783,9 @@ impl BoundPlan {
                     let input = NodeHandle::document(d);
                     let seq =
                         evaluate_query_guarded(&outcome.query, Some(input), guard.clone())?;
-                    out.push(sequence_to_document(&seq));
+                    let doc = sequence_to_document(&seq);
+                    stats.note_materialized_nodes(doc.node_count() as u64);
+                    out.push(doc);
                 }
                 Ok(out)
             }
@@ -766,7 +817,9 @@ pub fn no_rewrite_transform(
     let materialized_nodes = docs.iter().map(Document::node_count).sum();
     let mut out = Vec::with_capacity(docs.len());
     for d in &docs {
-        out.push(transform(sheet, d)?);
+        let result = transform(sheet, d)?;
+        stats.note_materialized_nodes(result.node_count() as u64);
+        out.push(result);
     }
     Ok(BaselineRun { documents: out, materialized_nodes })
 }
@@ -785,7 +838,9 @@ pub fn no_rewrite_transform_guarded(
     let opts = TransformOptions { guard: guard.clone(), ..Default::default() };
     let mut out = Vec::with_capacity(docs.len());
     for d in &docs {
-        out.push(transform_with(sheet, d, &opts, &mut xsltdb_xslt::NoTrace)?);
+        let result = transform_with(sheet, d, &opts, &mut xsltdb_xslt::NoTrace)?;
+        stats.note_materialized_nodes(result.node_count() as u64);
+        out.push(result);
     }
     Ok(BaselineRun { documents: out, materialized_nodes })
 }
@@ -1088,6 +1143,69 @@ mod tests {
         let snap = streamed_stats.snapshot();
         assert_eq!(snap.streamed_bytes, run.bytes_written);
         assert_eq!(snap.peak_materialized_nodes, 0, "SQL tier must not build DOM");
+    }
+
+    #[test]
+    fn execute_to_writer_streams_xquery_tier_byte_identically() {
+        // substring() keeps the plan on the XQuery tier.
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(
+                r#"<xsl:template match="r"><o><a/><b/><c/><xsl:value-of select="substring(v, 1, 1)"/></o></xsl:template>"#,
+            ),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bound.tier(), Tier::XQuery);
+        let emission = bound.plan().emission.expect("rewritten plan carries a census");
+        assert!(emission.spill_free(), "this query has no re-inspected constructors");
+
+        let stats = ExecStats::new();
+        let expected: String =
+            bound.execute(&catalog, &stats).unwrap().iter().map(xsltdb_xml::to_string).collect();
+        // Satellite check: the materialising path reports the result tree
+        // (<o> + 3 children + text under a document = 6 nodes), not just
+        // the 4-node input document.
+        assert_eq!(stats.snapshot().peak_materialized_nodes, 6);
+
+        let streamed_stats = ExecStats::new();
+        let mut buf = Vec::new();
+        let run = bound
+            .execute_to_writer(&catalog, &streamed_stats, &Guard::unlimited(), &mut buf)
+            .unwrap();
+        assert_eq!(run.tier, Tier::XQuery);
+        assert!(run.fallbacks.is_empty());
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+        let snap = streamed_stats.snapshot();
+        assert_eq!(snap.streamed_bytes, run.bytes_written);
+        assert_eq!(snap.spilled_subtrees, 0, "spill-free query must not build result trees");
+        assert_eq!(snap.peak_spilled_nodes, 0);
+        // Only the input document is materialised on the streaming path.
+        assert_eq!(snap.peak_materialized_nodes, 4);
+    }
+
+    #[test]
+    fn execute_to_writer_xquery_tier_guard_trip_is_terminal() {
+        let (catalog, view) = setup();
+        let bound = plan_bound(
+            &catalog,
+            &view,
+            &wrap(
+                r#"<xsl:template match="r"><o><xsl:value-of select="substring(v, 1, 1)"/></o></xsl:template>"#,
+            ),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bound.tier(), Tier::XQuery);
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(3));
+        let mut buf = Vec::new();
+        let err = bound
+            .execute_to_writer(&catalog, &ExecStats::new(), &guard, &mut buf)
+            .unwrap_err();
+        assert!(err.is_guard_trip(), "got {err:?}");
+        assert!(buf.len() as u64 <= 3, "partial bytes must stay under the cap");
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct ExecStats {
     /// (a high-water mark, not a tally): the streaming path leaves this at
     /// zero, which is the whole point.
     peak_materialized_nodes: AtomicU64,
+    /// Subtrees the sink-mode XQuery evaluator had to spill to a tree
+    /// (re-inspected constructors) before replaying them as events.
+    spilled_subtrees: AtomicU64,
+    /// Largest single spilled subtree, in arena nodes — the bounded-memory
+    /// evidence for the streaming XQuery tier: peak residency is
+    /// O(largest spilled subtree), not O(output).
+    peak_spilled_nodes: AtomicU64,
     /// Pages read from the heap file because they were not pool-resident.
     page_reads: AtomicU64,
     /// Page requests answered from a resident buffer-pool frame.
@@ -46,6 +53,8 @@ pub struct StatsSnapshot {
     pub elements_built: u64,
     pub streamed_bytes: u64,
     pub peak_materialized_nodes: u64,
+    pub spilled_subtrees: u64,
+    pub peak_spilled_nodes: u64,
     pub page_reads: u64,
     pub pool_hits: u64,
     pub evictions: u64,
@@ -65,6 +74,8 @@ impl ExecStats {
             elements_built: self.elements_built.load(Ordering::Relaxed),
             streamed_bytes: self.streamed_bytes.load(Ordering::Relaxed),
             peak_materialized_nodes: self.peak_materialized_nodes.load(Ordering::Relaxed),
+            spilled_subtrees: self.spilled_subtrees.load(Ordering::Relaxed),
+            peak_spilled_nodes: self.peak_spilled_nodes.load(Ordering::Relaxed),
             page_reads: self.page_reads.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -79,6 +90,8 @@ impl ExecStats {
         self.elements_built.store(0, Ordering::Relaxed);
         self.streamed_bytes.store(0, Ordering::Relaxed);
         self.peak_materialized_nodes.store(0, Ordering::Relaxed);
+        self.spilled_subtrees.store(0, Ordering::Relaxed);
+        self.peak_spilled_nodes.store(0, Ordering::Relaxed);
         self.page_reads.store(0, Ordering::Relaxed);
         self.pool_hits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -106,6 +119,18 @@ impl ExecStats {
     /// materialised; keeps the per-document maximum.
     pub fn note_materialized_nodes(&self, nodes: u64) {
         self.peak_materialized_nodes.fetch_max(nodes, Ordering::Relaxed);
+    }
+
+    /// Record that `count` subtrees were spilled to a tree by the sink-mode
+    /// XQuery evaluator before being replayed as events.
+    pub fn add_spilled_subtrees(&self, count: u64) {
+        self.spilled_subtrees.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Record the size (arena nodes) of a spilled subtree; keeps the
+    /// per-subtree maximum.
+    pub fn note_spilled_nodes(&self, nodes: u64) {
+        self.peak_spilled_nodes.fetch_max(nodes, Ordering::Relaxed);
     }
 
     /// Fold a buffer-pool activity delta into these execution counters.
@@ -339,6 +364,9 @@ mod tests {
         s.add_streamed_bytes(16);
         s.note_materialized_nodes(40);
         s.note_materialized_nodes(25); // high-water mark: smaller doc keeps the peak
+        s.add_spilled_subtrees(2);
+        s.note_spilled_nodes(7);
+        s.note_spilled_nodes(4); // high-water mark: smaller spill keeps the peak
         let snap = s.snapshot();
         assert_eq!(snap.rows_scanned, 10);
         assert_eq!(snap.index_probes, 1);
@@ -346,6 +374,8 @@ mod tests {
         assert_eq!(snap.elements_built, 1);
         assert_eq!(snap.streamed_bytes, 80);
         assert_eq!(snap.peak_materialized_nodes, 40);
+        assert_eq!(snap.spilled_subtrees, 2);
+        assert_eq!(snap.peak_spilled_nodes, 7);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

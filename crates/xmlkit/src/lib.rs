@@ -42,4 +42,4 @@ pub use parser::{
 };
 pub use qname::{QName, XDB_NS, XSL_NS};
 pub use serialize::{node_to_string, to_pretty_string, to_string};
-pub use sink::{SinkError, StreamWriter, TextSink, TreeSink, XmlSink};
+pub use sink::{replay_subtree, SinkError, StreamWriter, TextSink, TreeSink, XmlSink};

@@ -36,7 +36,7 @@ use std::io;
 use crate::builder::TreeBuilder;
 use crate::escape::{escape_attr, escape_text};
 use crate::guard::{Guard, GuardExceeded};
-use crate::model::Document;
+use crate::model::{Document, NodeId, NodeKind};
 use crate::qname::QName;
 
 /// Why a sink refused an event.
@@ -394,6 +394,63 @@ impl<W: io::Write> XmlSink for StreamWriter<W> {
     }
 }
 
+/// Replay the subtree rooted at `node` as events into `sink` — the event
+/// form of [`TreeBuilder::copy_subtree`]. A `Document` node replays its
+/// children (so a whole result document replays as a forest); an
+/// `Attribute` node replays as a bare attribute event, which the sink
+/// rejects as misplaced unless an element tag is still open — the same
+/// positions [`TreeBuilder`] accepts.
+///
+/// Returns the number of nodes visited (elements, attributes, text,
+/// comments, PIs — the `Document` wrapper is free), which is exactly the
+/// tree size a spilling evaluator materialised to produce this subtree.
+pub fn replay_subtree(
+    doc: &Document,
+    node: NodeId,
+    sink: &mut dyn XmlSink,
+) -> Result<u64, SinkError> {
+    match doc.kind(node) {
+        NodeKind::Document => {
+            let mut n = 0;
+            for child in doc.children(node) {
+                n += replay_subtree(doc, child, sink)?;
+            }
+            Ok(n)
+        }
+        NodeKind::Element { name, attrs } => {
+            sink.start_element(name.clone())?;
+            let mut n = 1;
+            for &attr in attrs {
+                if let NodeKind::Attribute { name, value } = doc.kind(attr) {
+                    sink.attribute(name.clone(), value)?;
+                    n += 1;
+                }
+            }
+            for child in doc.children(node) {
+                n += replay_subtree(doc, child, sink)?;
+            }
+            sink.end_element()?;
+            Ok(n)
+        }
+        NodeKind::Attribute { name, value } => {
+            sink.attribute(name.clone(), value)?;
+            Ok(1)
+        }
+        NodeKind::Text(t) => {
+            sink.text(t)?;
+            Ok(1)
+        }
+        NodeKind::Comment(t) => {
+            sink.comment(t)?;
+            Ok(1)
+        }
+        NodeKind::Pi { target, data } => {
+            sink.pi(target, data)?;
+            Ok(1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +636,78 @@ mod tests {
         ts.text("c").unwrap();
         ts.end_element().unwrap();
         assert_eq!(ts.into_string(), "abc");
+    }
+
+    #[test]
+    fn replay_subtree_round_trips_a_document() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("r"));
+        b.attribute(QName::local("a"), "1<2");
+        b.text("pre");
+        b.comment("c");
+        b.start_element(QName::local("inner"));
+        b.end_element();
+        b.pi("t", "d");
+        b.end_element();
+        b.start_element(QName::local("second"));
+        b.end_element();
+        let doc = b.finish();
+
+        let mut sw = StreamWriter::new(Vec::new(), Guard::unlimited());
+        let nodes = replay_subtree(&doc, NodeId::DOCUMENT, &mut sw).unwrap();
+        let streamed = String::from_utf8(sw.finish().unwrap()).unwrap();
+        assert_eq!(streamed, to_string(&doc));
+        // r + @a + "pre" + comment + inner + pi + second = 7 nodes.
+        assert_eq!(nodes, 7);
+    }
+
+    #[test]
+    fn replay_attribute_node_at_top_level_is_misplaced_not_a_panic() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("holder"));
+        b.attribute(QName::local("k"), "v");
+        b.end_element();
+        let doc = b.finish();
+        let attr = doc.attributes(doc.root_element().unwrap())[0];
+
+        let mut sw = StreamWriter::new(Vec::new(), Guard::unlimited());
+        match replay_subtree(&doc, attr, &mut sw) {
+            Err(SinkError::Misplaced(m)) => assert_eq!(m, "attribute outside an element"),
+            other => panic!("expected Misplaced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_attribute_into_open_tag_lands_on_the_element() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("holder"));
+        b.attribute(QName::local("k"), "v");
+        b.end_element();
+        let doc = b.finish();
+        let attr = doc.attributes(doc.root_element().unwrap())[0];
+
+        let mut sw = StreamWriter::new(Vec::new(), Guard::unlimited());
+        sw.start_element(QName::local("target")).unwrap();
+        assert_eq!(replay_subtree(&doc, attr, &mut sw).unwrap(), 1);
+        sw.end_element().unwrap();
+        let streamed = String::from_utf8(sw.finish().unwrap()).unwrap();
+        assert_eq!(streamed, "<target k=\"v\"/>");
+    }
+
+    #[test]
+    fn replay_charges_the_sink_guard_mid_stream() {
+        let mut b = TreeBuilder::new();
+        b.start_element(QName::local("r"));
+        b.text("0123456789ABCDEF");
+        b.end_element();
+        let doc = b.finish();
+
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(8));
+        let mut sw = StreamWriter::new(Vec::new(), guard.clone());
+        let err = replay_subtree(&doc, NodeId::DOCUMENT, &mut sw).unwrap_err();
+        assert!(matches!(err, SinkError::Guard(_)));
+        assert!(guard.trip().is_some());
+        assert!(sw.bytes_written() <= 8);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use xsltdb_xml::{
-    DocRc, Document, FaultKind, FaultPoint, Guard, GuardExceeded, NodeId, NodeKind, QName,
-    TreeBuilder,
+    replay_subtree, DocRc, Document, FaultKind, FaultPoint, Guard, GuardExceeded, NodeId, NodeKind,
+    QName, SinkError, TreeBuilder, XmlSink,
 };
 use xsltdb_xpath::axes::{axis_nodes, test_matches};
 use xsltdb_xpath::value::{num_to_string, str_to_num};
@@ -215,7 +215,12 @@ pub fn evaluate_query_guarded_with_vars(
         let val = eval(&v.value, &mut env)?;
         env.vars.push((v.name.clone(), val));
     }
-    eval(&q.body, &mut env)
+    let mut out = EvalOutput::Items(Vec::new());
+    eval_into(&q.body, &mut env, &mut out)?;
+    match out {
+        EvalOutput::Items(items) => Ok(items),
+        EvalOutput::Sink(_) => Err(XqError("internal: evaluation output mode changed".into())),
+    }
 }
 
 /// Evaluate with additional externally bound variables (used by index-
@@ -619,13 +624,19 @@ fn compare_atomics(op: CompOp, a: &Item, b: &Item) -> bool {
     }
 }
 
-fn eval_flwor(
+/// One FLWOR tuple: the variable bindings the `return` runs under.
+type FlworTuple = Vec<(String, Sequence)>;
+
+/// Expand the FLWOR tuple stream (depth-first), apply `where`, and sort by
+/// `order by` keys. Both the materialising and the sink-mode `return`
+/// loops run over the tuples this produces — the `return` clause itself
+/// stays in emission position because it is evaluated *after* the sort.
+fn flwor_tuples(
     clauses: &[Clause],
     where_clause: Option<&XqExpr>,
     order_by: &[OrderSpec],
-    ret: &XqExpr,
     env: &mut EvalEnv<'_>,
-) -> Result<Sequence, XqError> {
+) -> Result<Vec<FlworTuple>, XqError> {
     // Expand the tuple stream depth-first.
     fn expand(
         clauses: &[Clause],
@@ -693,8 +704,7 @@ fn eval_flwor(
 
     if !order_by.is_empty() {
         // Decorate each tuple with its keys.
-        type Tuple = Vec<(String, Sequence)>;
-        let mut decorated: Vec<(Vec<Item>, Tuple)> = Vec::with_capacity(tuples.len());
+        let mut decorated: Vec<(Vec<Item>, FlworTuple)> = Vec::with_capacity(tuples.len());
         for t in tuples {
             let depth = t.len();
             for binding in &t {
@@ -738,30 +748,30 @@ fn eval_flwor(
             }
             Ordering::Equal
         });
-        let mut out = Vec::new();
-        for (_, t) in decorated {
-            let depth = t.len();
-            for binding in t {
-                env.vars.push(binding);
-            }
-            out.extend(eval(ret, env)?);
-            for _ in 0..depth {
-                env.vars.pop();
-            }
-        }
-        return Ok(out);
+        tuples = decorated.into_iter().map(|(_, t)| t).collect();
     }
+    Ok(tuples)
+}
 
+fn eval_flwor(
+    clauses: &[Clause],
+    where_clause: Option<&XqExpr>,
+    order_by: &[OrderSpec],
+    ret: &XqExpr,
+    env: &mut EvalEnv<'_>,
+) -> Result<Sequence, XqError> {
+    let tuples = flwor_tuples(clauses, where_clause, order_by, env)?;
     let mut out = Vec::new();
     for t in tuples {
         let depth = t.len();
         for binding in t {
             env.vars.push(binding);
         }
-        out.extend(eval(ret, env)?);
+        let r = eval(ret, env);
         for _ in 0..depth {
             env.vars.pop();
         }
+        out.extend(r?);
     }
     Ok(out)
 }
@@ -909,6 +919,387 @@ fn eval_call(name: &str, args: &[XqExpr], env: &mut EvalEnv<'_>) -> Result<Seque
     }
     let plain = name.strip_prefix("fn:").unwrap_or(name);
     crate::functions::call_builtin(plain, args, env)
+}
+
+// ---------------------------------------------------------------------------
+// Sink-mode evaluation: constructors in emission position push events
+// straight into an `XmlSink` instead of materialising item trees.
+// ---------------------------------------------------------------------------
+
+/// Evidence returned by a sink-mode evaluation: how much tree the spill
+/// fallback actually built. Zero spills means the whole result left the
+/// evaluator as events without a single arena node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkRun {
+    /// Subtrees that had to be materialised (re-inspected constructors,
+    /// function results, path results over fresh trees) and then replayed.
+    pub spilled_subtrees: u64,
+    /// Arena nodes in the largest single spilled subtree — the peak
+    /// residency the streaming path could not avoid.
+    pub peak_spilled_nodes: u64,
+}
+
+/// Where an expression's value goes: events into a sink (emission
+/// position) or a materialised sequence (re-inspection position). The
+/// recursive emitter narrows `Sink` to `Items` at exactly the
+/// subexpressions whose values must be re-inspected — the dynamic twin of
+/// the static analysis in [`crate::emission`].
+pub(crate) enum EvalOutput<'s, 'e> {
+    Sink(&'s mut Emitter<'e>),
+    Items(Sequence),
+}
+
+/// Sink-mode evaluation state threaded through the emitting recursion:
+/// the sink itself, the space-join adjacency flag (the same `prev_atomic`
+/// rule [`build_content`] applies to materialised content), and the spill
+/// accounting.
+pub(crate) struct Emitter<'s> {
+    sink: &'s mut dyn XmlSink,
+    /// True when the last thing emitted at this position was an atomic
+    /// value, so the next atomic needs a single space before it.
+    prev_atomic: bool,
+    /// Arena pointers of the documents the caller passed *in* (the bound
+    /// input and external variables). Replaying nodes of these documents
+    /// is a streamed copy-out, not a spill — no new tree was built.
+    input_docs: Vec<usize>,
+    spilled_subtrees: u64,
+    peak_spilled_nodes: u64,
+}
+
+fn sink_err(e: SinkError) -> XqError {
+    XqError(e.to_string())
+}
+
+impl<'s> Emitter<'s> {
+    fn new(sink: &'s mut dyn XmlSink, input_docs: Vec<usize>) -> Emitter<'s> {
+        Emitter { sink, prev_atomic: false, input_docs, spilled_subtrees: 0, peak_spilled_nodes: 0 }
+    }
+
+    fn run(&self) -> SinkRun {
+        SinkRun {
+            spilled_subtrees: self.spilled_subtrees,
+            peak_spilled_nodes: self.peak_spilled_nodes,
+        }
+    }
+
+    fn is_input_doc(&self, doc: &DocRc) -> bool {
+        self.input_docs.contains(&(Rc::as_ptr(doc) as *const () as usize))
+    }
+
+    /// Emit one atomic value under the space-join rule.
+    fn emit_atomic(&mut self, s: &str) -> Result<(), XqError> {
+        if self.prev_atomic {
+            self.sink.text(" ").map_err(sink_err)?;
+        }
+        self.sink.text(s).map_err(sink_err)?;
+        self.prev_atomic = true;
+        Ok(())
+    }
+
+    /// Emit a materialised sequence — the spill replay. Mirrors
+    /// [`build_content`] item by item: attribute-node items become
+    /// attribute events (misplaced if content already started), other
+    /// nodes replay as subtree events, atomics space-join.
+    fn emit_items(&mut self, items: Sequence) -> Result<(), XqError> {
+        for item in items {
+            match item {
+                Item::Node(n) => {
+                    let fresh = !self.is_input_doc(&n.doc);
+                    let replayed = if n.doc.is_attribute(n.id) {
+                        if let NodeKind::Attribute { name, value } = n.doc.kind(n.id) {
+                            self.sink.attribute(name.clone(), value).map_err(sink_err)?;
+                        }
+                        1
+                    } else {
+                        replay_subtree(&n.doc, n.id, self.sink).map_err(sink_err)?
+                    };
+                    if fresh {
+                        self.spilled_subtrees += 1;
+                        self.peak_spilled_nodes = self.peak_spilled_nodes.max(replayed);
+                    }
+                    self.prev_atomic = false;
+                }
+                atomic => self.emit_atomic(&atomic.to_string_value())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate `e` into `out`: in `Items` mode this is exactly [`eval`]; in
+/// `Sink` mode constructors in emission position become events and
+/// everything else spills through [`eval`] and replays.
+pub(crate) fn eval_into(
+    e: &XqExpr,
+    env: &mut EvalEnv<'_>,
+    out: &mut EvalOutput<'_, '_>,
+) -> Result<(), XqError> {
+    match out {
+        EvalOutput::Items(items) => {
+            items.extend(eval(e, env)?);
+            Ok(())
+        }
+        EvalOutput::Sink(em) => emit(e, env, em),
+    }
+}
+
+/// The emitting recursion. Only expressions whose value flows *directly*
+/// to the output stay in emission position (sequences, conditional
+/// branches, FLWOR returns, constructor content); every other expression
+/// is evaluated with [`eval`] — materialising whatever it must — and its
+/// items are replayed as events.
+fn emit(e: &XqExpr, env: &mut EvalEnv<'_>, em: &mut Emitter<'_>) -> Result<(), XqError> {
+    match e {
+        XqExpr::Seq(es) => {
+            env.guard.charge(1).map_err(guard_err)?;
+            for sub in es {
+                emit(sub, env, em)?;
+            }
+            Ok(())
+        }
+        XqExpr::If { cond, then, els } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let c = eval(cond, env)?;
+            if ebv(&c)? {
+                emit(then, env, em)
+            } else {
+                emit(els, env, em)
+            }
+        }
+        XqExpr::Annotated { expr, .. } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            emit(expr, env, em)
+        }
+        XqExpr::Flwor { clauses, where_clause, order_by, ret } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let tuples = flwor_tuples(clauses, where_clause.as_deref(), order_by, env)?;
+            for t in tuples {
+                let depth = t.len();
+                for binding in t {
+                    env.vars.push(binding);
+                }
+                let r = emit(ret, env, em);
+                for _ in 0..depth {
+                    env.vars.pop();
+                }
+                r?;
+            }
+            Ok(())
+        }
+        XqExpr::DirectElem { name, attrs, content } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            env.guard.charge_output_nodes(1).map_err(guard_err)?;
+            em.sink.start_element(name.clone()).map_err(sink_err)?;
+            for (aname, parts) in attrs {
+                let mut val = String::new();
+                for p in parts {
+                    match p {
+                        AttrValuePart::Text(t) => val.push_str(t),
+                        AttrValuePart::Expr(e) => {
+                            let seq = eval(e, env)?;
+                            let strs: Vec<String> =
+                                seq.iter().map(|i| i.atomize().to_string_value()).collect();
+                            val.push_str(&strs.join(" "));
+                        }
+                    }
+                }
+                em.sink.attribute(aname.clone(), &val).map_err(sink_err)?;
+            }
+            em.prev_atomic = false;
+            for c in content {
+                match c {
+                    // Literal element content is emitted verbatim and
+                    // breaks atomic adjacency — the `ContentPiece::Text`
+                    // rule of the materialising path.
+                    XqExpr::TextContent(t) => {
+                        em.sink.text(t).map_err(sink_err)?;
+                        em.prev_atomic = false;
+                    }
+                    other => emit(other, env, em)?,
+                }
+            }
+            em.sink.end_element().map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        XqExpr::CompElem { name, content } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            env.guard.charge_output_nodes(1).map_err(guard_err)?;
+            let n = eval(name, env)?;
+            let lexical = n
+                .first()
+                .map(|i| i.to_string_value())
+                .ok_or_else(|| XqError("element constructor with empty name".into()))?;
+            let (prefix, local) = QName::split(&lexical);
+            let qname = QName { prefix: prefix.map(Into::into), local: local.into(), ns_uri: None };
+            em.sink.start_element(qname).map_err(sink_err)?;
+            em.prev_atomic = false;
+            // No TextContent special case here: the materialising path
+            // evaluates computed content with `eval`, where literal text
+            // becomes an atomic string.
+            emit(content, env, em)?;
+            em.sink.end_element().map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        XqExpr::CompAttr { name, value } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let n = eval(name, env)?;
+            let lexical = n
+                .first()
+                .map(|i| i.to_string_value())
+                .ok_or_else(|| XqError("attribute constructor with empty name".into()))?;
+            let v = eval(value, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            let (prefix, local) = QName::split(&lexical);
+            em.sink
+                .attribute(
+                    QName { prefix: prefix.map(Into::into), local: local.into(), ns_uri: None },
+                    &strs.join(" "),
+                )
+                .map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        XqExpr::CompText(inner) => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let v = eval(inner, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            let joined = strs.join(" ");
+            // An empty computed text node is an empty sequence on the
+            // materialising path: emit nothing and leave atomic adjacency
+            // untouched.
+            if joined.is_empty() {
+                return Ok(());
+            }
+            em.sink.text(&joined).map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        XqExpr::CompComment(inner) => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let v = eval(inner, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            em.sink.comment(&strs.join(" ")).map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        XqExpr::CompPi { target, content } => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let v = eval(content, env)?;
+            let strs: Vec<String> = v.iter().map(|i| i.atomize().to_string_value()).collect();
+            em.sink.pi(target.as_str(), &strs.join(" ")).map_err(sink_err)?;
+            em.prev_atomic = false;
+            Ok(())
+        }
+        // A call to a *user-declared* function whose result flows straight
+        // to the output: inline the body in emission position. The body's
+        // value is never re-inspected here, so its constructors may stream
+        // — this is what keeps the recursion-shaped XSLTMark cases (whose
+        // every constructor lives inside a template function) spill-free.
+        // Argument values ARE re-inspected (bound to parameters), so they
+        // evaluate in spill position, exactly as `eval_call` does.
+        XqExpr::Call { name, args } if env.functions.contains_key(name.as_str()) => {
+            env.guard.charge(1).map_err(guard_err)?;
+            let decl = env.functions[name.as_str()];
+            if decl.params.len() != args.len() {
+                return Err(XqError(format!(
+                    "{name}() expects {} arguments, got {}",
+                    decl.params.len(),
+                    args.len()
+                )));
+            }
+            if env.depth + 1 > MAX_DEPTH {
+                return Err(XqError(format!(
+                    "function recursion deeper than {MAX_DEPTH} (infinite recursion?)"
+                )));
+            }
+            let mut bound = Vec::with_capacity(args.len());
+            for (p, a) in decl.params.iter().zip(args) {
+                bound.push((p.clone(), eval(a, env)?));
+            }
+            // Functions see only their parameters (and other functions).
+            let saved_vars = std::mem::replace(&mut env.vars, bound);
+            let saved_ctx = env.ctx.take();
+            env.depth += 1;
+            let r = match env.guard.enter() {
+                Ok(()) => {
+                    let r = emit(&decl.body, env, em);
+                    env.guard.leave();
+                    r
+                }
+                Err(e) => Err(guard_err(e)),
+            };
+            env.depth -= 1;
+            env.vars = saved_vars;
+            env.ctx = saved_ctx;
+            r
+        }
+        // Everything else must be re-inspected (paths, predicates, builtin
+        // calls, comparisons, variables…): evaluate it — `eval` charges the
+        // guard — then replay the materialised items as events.
+        other => {
+            let items = eval(other, env)?;
+            em.emit_items(items)
+        }
+    }
+}
+
+/// Evaluate a full query straight into an [`XmlSink`]: the sink-mode twin
+/// of [`evaluate_query_guarded_with_vars`] + [`sequence_to_document`].
+/// Constructors in emission position never materialise; spilled subtrees
+/// are counted in the returned [`SinkRun`]. The event stream is
+/// byte-identical (through a `StreamWriter`) to serializing the
+/// materialised evaluation — property-tested in `tests/prop_stream.rs`.
+pub fn evaluate_query_to_sink(
+    q: &XQuery,
+    input: Option<NodeHandle>,
+    extra_vars: Vec<(String, Sequence)>,
+    guard: Guard,
+    sink: &mut dyn XmlSink,
+) -> Result<SinkRun, XqError> {
+    if let Some(kind) = guard.take_fault(FaultPoint::XQueryExec) {
+        match kind {
+            FaultKind::Error => return Err(XqError("injected fault at XQuery tier".into())),
+            FaultKind::Panic => panic!("injected panic at XQuery tier"),
+        }
+    }
+    let mut input_docs = Vec::new();
+    if let Some(n) = &input {
+        input_docs.push(Rc::as_ptr(&n.doc) as *const () as usize);
+    }
+    for (_, seq) in &extra_vars {
+        for item in seq {
+            if let Item::Node(n) = item {
+                let key = Rc::as_ptr(&n.doc) as *const () as usize;
+                if !input_docs.contains(&key) {
+                    input_docs.push(key);
+                }
+            }
+        }
+    }
+    let functions: HashMap<String, &FunctionDecl> =
+        q.functions.iter().map(|f| (f.name.clone(), f)).collect();
+    let mut env = EvalEnv {
+        functions,
+        vars: extra_vars,
+        ctx: input.map(Item::Node),
+        pos: 1,
+        size: 1,
+        depth: 0,
+        guard,
+    };
+    // Prolog variables are re-inspection position by definition: their
+    // values are bound, not emitted. Fresh trees they build spill later
+    // if the body emits them.
+    for v in &q.variables {
+        let val = eval(&v.value, &mut env)?;
+        env.vars.push((v.name.clone(), val));
+    }
+    let mut em = Emitter::new(sink, input_docs);
+    let mut out = EvalOutput::Sink(&mut em);
+    eval_into(&q.body, &mut env, &mut out)?;
+    Ok(em.run())
 }
 
 // The functions module needs access to the evaluator internals.
@@ -1154,5 +1545,151 @@ mod tests {
         assert!(err.0.contains("injected fault"), "unexpected: {}", err.0);
         // One-shot: the same guard succeeds on retry.
         assert!(run_guarded("1", "<r/>", guard).is_ok());
+    }
+
+    /// Sink-mode evaluation through a StreamWriter, plus the materialised
+    /// reference for the same query: the outputs must be byte-identical.
+    fn run_sink(src: &str, xml: &str) -> (String, String, SinkRun) {
+        let q = parse_query(src).unwrap();
+        let in_doc = input(xml);
+        let mut sw = xsltdb_xml::StreamWriter::new(Vec::new(), Guard::unlimited());
+        let sink_run =
+            evaluate_query_to_sink(&q, Some(in_doc.clone()), Vec::new(), Guard::unlimited(), &mut sw)
+                .unwrap();
+        let streamed = String::from_utf8(sw.finish().unwrap()).unwrap();
+        let seq = evaluate_query(&q, Some(in_doc)).unwrap();
+        let reference = xsltdb_xml::to_string(&sequence_to_document(&seq));
+        (streamed, reference, sink_run)
+    }
+
+    #[test]
+    fn sink_mode_streams_top_level_constructors_without_spilling() {
+        let xml = "<dept><emp><sal>100</sal></emp><emp><sal>300</sal></emp></dept>";
+        let (streamed, reference, run) = run_sink(
+            "for $e in /dept/emp return <hi s=\"{fn:string($e/sal)}\">{fn:string($e/sal)}</hi>",
+            xml,
+        );
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<hi s=\"100\">100</hi><hi s=\"300\">300</hi>");
+        assert_eq!(run, SinkRun::default(), "no constructor should have spilled");
+    }
+
+    #[test]
+    fn sink_mode_copies_input_subtrees_without_counting_spills() {
+        let xml = "<r><a k=\"1\">x</a><a k=\"2\">y</a></r>";
+        let (streamed, reference, run) = run_sink("<out>{/r/a}</out>", xml);
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<out><a k=\"1\">x</a><a k=\"2\">y</a></out>");
+        // Input-document subtrees replay as a streamed copy-out, not a spill.
+        assert_eq!(run.spilled_subtrees, 0);
+    }
+
+    #[test]
+    fn sink_mode_spills_predicate_over_fresh_element() {
+        let (streamed, reference, run) =
+            run_sink("<out>{(<probe><v>1</v></probe>)[v = 1]}</out>", "<r/>");
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<out><probe><v>1</v></probe></out>");
+        assert_eq!(run.spilled_subtrees, 1);
+        // probe + v + text("1") = 3 arena nodes in the spilled subtree.
+        assert_eq!(run.peak_spilled_nodes, 3);
+    }
+
+    #[test]
+    fn sink_mode_inlines_emission_position_function_calls() {
+        // The call is in emission position, so the body's constructor
+        // streams: zero spills even though the constructor lives inside
+        // a user function.
+        let (streamed, reference, run) = run_sink(
+            "declare function local:wrap($n) { <w>{fn:string($n)}</w> }; local:wrap(/r/v)",
+            "<r><v>q</v></r>",
+        );
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<w>q</w>");
+        assert_eq!(run.spilled_subtrees, 0);
+    }
+
+    #[test]
+    fn sink_mode_spills_function_results_that_are_reinspected() {
+        // Same function, but the result is filtered: the call sits in
+        // spill position, so the body materialises once and replays.
+        let (streamed, reference, run) = run_sink(
+            "declare function local:wrap($n) { <w>{fn:string($n)}</w> }; (local:wrap(/r/v))[1]",
+            "<r><v>q</v></r>",
+        );
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<w>q</w>");
+        assert_eq!(run.spilled_subtrees, 1);
+    }
+
+    #[test]
+    fn sink_mode_streams_recursive_template_functions() {
+        let (streamed, reference, run) = run_sink(
+            "declare function local:down($n) { \
+               if ($n = 0) then <leaf/> else <node>{local:down($n - 1)}</node> \
+             }; local:down(3)",
+            "<r/>",
+        );
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<node><node><node><leaf/></node></node></node>");
+        assert_eq!(run.spilled_subtrees, 0);
+    }
+
+    #[test]
+    fn sink_mode_space_joins_and_empty_text_match_materialised() {
+        for src in [
+            "<o>{1, 2, 'x'}</o>",
+            "('x', text {''}, 'y')",
+            "('x', text {'a'}, 'y')",
+            "element {'e'} {attribute {'k'} {'v'}, 'body'}",
+            "<o>lit{'a'}{'b'}</o>",
+            "(<a/>, 'x', <b/>)",
+            "if (/r) then <yes/> else <no/>",
+            "comment {'c'}, processing-instruction tgt {'d'}",
+        ] {
+            let (streamed, reference, _) = run_sink(src, "<r/>");
+            assert_eq!(streamed, reference, "diverged on {src}");
+        }
+    }
+
+    #[test]
+    fn sink_mode_order_by_streams_sorted_returns() {
+        let xml = "<r><e><n>b</n></e><e><n>a</n></e></r>";
+        let (streamed, reference, run) =
+            run_sink("for $e in /r/e order by $e/n return <o>{fn:string($e/n)}</o>", xml);
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed, "<o>a</o><o>b</o>");
+        assert_eq!(run.spilled_subtrees, 0, "sorting tuples must not spill the returns");
+    }
+
+    #[test]
+    fn sink_mode_byte_cap_trips_mid_stream() {
+        use xsltdb_xml::{Limits, Resource};
+        let q = parse_query("for $e in /d/e return <o>{fn:string($e)}</o>").unwrap();
+        let guard = Guard::new(Limits::UNLIMITED.with_max_output_bytes(12));
+        let mut sw = xsltdb_xml::StreamWriter::new(Vec::new(), guard.clone());
+        let err = evaluate_query_to_sink(
+            &q,
+            Some(input("<d><e>aaaa</e><e>bbbb</e><e>cccc</e></d>")),
+            Vec::new(),
+            guard.clone(),
+            &mut sw,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("output bytes"), "unexpected error: {}", err.0);
+        let trip = guard.trip().expect("guard recorded the trip");
+        assert_eq!(trip.resource, Resource::OutputBytes);
+        assert!(sw.bytes_written() <= 12, "bytes on the wire exceed the cap");
+    }
+
+    #[test]
+    fn sink_mode_injected_fault_fires_before_any_event() {
+        let guard = Guard::unlimited().with_fault(FaultPoint::XQueryExec, FaultKind::Error);
+        let q = parse_query("<a/>").unwrap();
+        let mut sw = xsltdb_xml::StreamWriter::new(Vec::new(), guard.clone());
+        let err = evaluate_query_to_sink(&q, Some(input("<r/>")), Vec::new(), guard, &mut sw)
+            .unwrap_err();
+        assert!(err.0.contains("injected fault"));
+        assert_eq!(sw.bytes_written(), 0);
     }
 }

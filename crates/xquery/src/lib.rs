@@ -21,6 +21,7 @@
 //! ```
 
 pub mod ast;
+pub mod emission;
 pub mod eval;
 pub mod functions;
 pub mod parser;
@@ -31,10 +32,11 @@ pub use ast::{
     ArithOp, AttrValuePart, Clause, CompOp, FunctionDecl, OrderSpec, PathStart, SeqType, VarDecl,
     XQuery, XqExpr, XqStep,
 };
+pub use emission::{analyze_expr, analyze_query, EmissionReport};
 pub use eval::{
     ebv, evaluate_expr, evaluate_query, evaluate_query_guarded, evaluate_query_guarded_with_vars,
-    evaluate_query_with_vars, sequence_to_document,
-    serialize_sequence, Item, NodeHandle, Sequence, XqError,
+    evaluate_query_to_sink, evaluate_query_with_vars, sequence_to_document,
+    serialize_sequence, Item, NodeHandle, Sequence, SinkRun, XqError,
 };
 pub use parser::{parse_expr as parse_xq_expr, parse_query, XqParseError};
 pub use pretty::{pretty, pretty_query};

@@ -242,6 +242,7 @@ fn tagged_plan(generation: u64) -> Arc<TransformPlan> {
         canonical_fp: 0xF00D,
         slot_count: 0,
         fallback_reason: Some(format!("gen:{generation}")),
+        emission: None,
     })
 }
 
